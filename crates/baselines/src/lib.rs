@@ -1,0 +1,31 @@
+//! The baseline tuners of the paper's evaluation (§7), each adapted to the
+//! resource-oriented problem exactly the way the paper describes:
+//!
+//! * **iTuned** ([`ituned`]) — GP + plain Expected Improvement with the
+//!   objective swapped from throughput-maximization to
+//!   resource-minimization, algorithm otherwise unmodified (so it happily
+//!   recommends SLA-violating configs).
+//! * **OtterTune-w-Con** ([`ottertune`]) — workload mapping by internal-
+//!   metric distance to a single matched historical workload, matched data
+//!   merged into one GP, acquisition replaced with ResTune's CEI.
+//! * **CDBTune-w-Con** ([`cdbtune`]) — DDPG over internal-metric states with
+//!   the reward rewritten for resource + SLA (positive-but-infeasible and
+//!   negative-but-feasible rewards are zeroed).
+//! * **Grid search** ([`grid`]) — the 8×8×8 ground-truth sweep of the §7.3
+//!   case study.
+//!
+//! All baselines produce the same [`restune_core::tuner::TuningOutcome`] so
+//! the experiment harnesses can overlay them directly.
+
+pub mod cdbtune;
+pub mod grid;
+pub mod ituned;
+pub mod loop_support;
+pub mod method;
+pub mod ottertune;
+
+pub use cdbtune::CdbTuneWithConstraints;
+pub use grid::grid_search;
+pub use ituned::ITuned;
+pub use method::{run_method, Method, MethodContext};
+pub use ottertune::OtterTuneWithConstraints;

@@ -1,0 +1,189 @@
+//! Shared evaluate-and-record machinery for baselines that do not use
+//! ResTune's session (OtterTune-w-Con, CDBTune-w-Con).
+
+use dbsim::{Configuration, Observation};
+use restune_core::problem::{SlaConstraints, TuningProblem};
+use restune_core::tuner::{IterationRecord, IterationTiming, TuningEnvironment, TuningOutcome};
+
+/// A minimal tuning loop: evaluates points, tracks history, SLA feasibility,
+/// and the best feasible incumbent, and renders a [`TuningOutcome`].
+pub struct EvalLoop {
+    /// The environment being tuned.
+    pub env: TuningEnvironment,
+    /// Problem definition (SLA fixed from the default observation).
+    pub problem: TuningProblem,
+    /// The default observation.
+    pub default_observation: Observation,
+    /// Normalized default point.
+    pub default_point: Vec<f64>,
+    /// All evaluated points (default excluded).
+    pub points: Vec<Vec<f64>>,
+    /// Raw objective values per point.
+    pub res: Vec<f64>,
+    /// Raw throughput per point.
+    pub tps: Vec<f64>,
+    /// Raw latency per point.
+    pub lat: Vec<f64>,
+    /// Internal metric vectors per point.
+    pub metrics: Vec<Vec<f64>>,
+    history: Vec<IterationRecord>,
+    best: Option<(usize, f64, Vec<f64>)>,
+    default_objective: f64,
+}
+
+impl EvalLoop {
+    /// Evaluates the default configuration and fixes the SLA.
+    pub fn new(mut env: TuningEnvironment) -> Self {
+        let default_observation = env.dbms.evaluate(&Configuration::dba_default());
+        let sla = SlaConstraints::from_default_observation(&default_observation);
+        let problem = TuningProblem {
+            knob_set: env.knob_set.clone(),
+            resource: env.resource,
+            constraints: sla,
+        };
+        let default_point = env.knob_set.default_point();
+        let default_objective = env.resource.value(&default_observation);
+        EvalLoop {
+            env,
+            problem,
+            default_observation,
+            default_point,
+            points: Vec::new(),
+            res: Vec::new(),
+            tps: Vec::new(),
+            lat: Vec::new(),
+            metrics: Vec::new(),
+            history: Vec::new(),
+            best: None,
+            default_objective,
+        }
+    }
+
+    /// Iterations completed.
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The current best feasible objective (default if nothing better yet).
+    pub fn best_objective(&self) -> f64 {
+        self.best.as_ref().map(|b| b.1).unwrap_or(self.default_objective)
+    }
+
+    /// Evaluates `point`, recording the iteration with the given
+    /// model/recommendation timings.
+    pub fn evaluate(
+        &mut self,
+        point: Vec<f64>,
+        model_update_s: f64,
+        recommendation_s: f64,
+    ) -> &IterationRecord {
+        let iter = self.history.len();
+        let config =
+            self.problem.knob_set.to_configuration(&point, &Configuration::dba_default());
+        let observation = self.env.dbms.evaluate(&config);
+        let objective = self.env.resource.value(&observation);
+        let feasible = self.problem.constraints.is_feasible(&observation);
+        self.points.push(point.clone());
+        self.res.push(objective);
+        self.tps.push(observation.tps);
+        self.lat.push(observation.p99_ms);
+        self.metrics.push(observation.internal.to_vec());
+        if feasible
+            && objective < self.best.as_ref().map(|b| b.1).unwrap_or(self.default_objective)
+        {
+            self.best = Some((iter, objective, point.clone()));
+        }
+        let record = IterationRecord {
+            iteration: iter,
+            point,
+            objective,
+            feasible,
+            best_feasible_objective: self.best_objective(),
+            weights: None,
+            timing: IterationTiming {
+                meta_data_processing_s: 0.0,
+                model_update_s,
+                recommendation_s,
+                replay_s: observation.replay_seconds,
+            },
+            observation,
+        };
+        self.history.push(record);
+        self.history.last().unwrap()
+    }
+
+    /// Mutable access to the most recent iteration record (baselines patch
+    /// timings in after training).
+    pub fn history_last_mut(&mut self) -> Option<&mut IterationRecord> {
+        self.history.last_mut()
+    }
+
+    /// Renders the outcome in the same shape as a ResTune session.
+    pub fn outcome(&self) -> TuningOutcome {
+        let (best_iteration, best_objective, best_config) = match &self.best {
+            Some((it, obj, point)) => (
+                Some(*it),
+                Some(*obj),
+                self.problem.knob_set.to_configuration(point, &Configuration::dba_default()),
+            ),
+            None => (None, Some(self.default_objective), Configuration::dba_default()),
+        };
+        TuningOutcome {
+            history: self.history.clone(),
+            default_observation: self.default_observation.clone(),
+            sla: self.problem.constraints,
+            best_config,
+            best_objective,
+            best_iteration,
+            converged_at: None,
+            default_obj_value: self.default_objective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsim::{InstanceType, KnobSet, WorkloadSpec};
+    use restune_core::problem::ResourceKind;
+
+    fn env() -> TuningEnvironment {
+        TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(1)
+            .build()
+    }
+
+    #[test]
+    fn tracks_best_feasible_only() {
+        let mut el = EvalLoop::new(env());
+        // A throttled point: low CPU but infeasible.
+        let throttled = vec![1.0 / 128.0, 0.0, 0.0];
+        el.evaluate(throttled, 0.0, 0.0);
+        let record = &el.outcome().history[0];
+        assert!(!record.feasible, "throttled config should violate the SLA");
+        assert_eq!(el.best_objective(), el.outcome().default_obj_value);
+    }
+
+    #[test]
+    fn good_point_becomes_incumbent() {
+        let mut el = EvalLoop::new(env());
+        let good = vec![13.0 / 128.0, 0.0, 0.3];
+        el.evaluate(good, 0.0, 0.0);
+        let o = el.outcome();
+        assert_eq!(o.best_iteration, Some(0));
+        assert!(o.best_objective.unwrap() < o.default_obj_value);
+    }
+
+    #[test]
+    fn outcome_history_matches_iterations() {
+        let mut el = EvalLoop::new(env());
+        el.evaluate(vec![0.5, 0.5, 0.5], 0.0, 0.0);
+        el.evaluate(vec![0.2, 0.2, 0.2], 0.0, 0.0);
+        assert_eq!(el.iterations(), 2);
+        assert_eq!(el.outcome().history.len(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! A uniform dispatcher over every tuning method in the paper's evaluation,
+//! so experiment harnesses can sweep methods with one call.
+
+use crate::cdbtune::CdbTuneWithConstraints;
+use crate::ituned::ITuned;
+use crate::ottertune::OtterTuneWithConstraints;
+use restune_core::repository::DataRepository;
+use restune_core::tuner::{
+    InitStrategy, RestuneConfig, TuningEnvironment, TuningOutcome, TuningSession,
+};
+use serde::{Deserialize, Serialize};
+
+/// Every method compared in §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Full ResTune (CEI + meta-learning).
+    Restune,
+    /// ResTune without the data repository (learns from scratch).
+    RestuneWithoutML,
+    /// ResTune with LHS replacing workload-characterization initialization
+    /// (the Figure 6(b) ablation).
+    RestuneWithoutWorkload,
+    /// iTuned: unconstrained EI.
+    ITuned,
+    /// OtterTune with CEI and workload mapping.
+    OtterTuneWithConstraints,
+    /// CDBTune with the SLA-gated resource reward.
+    CdbTuneWithConstraints,
+}
+
+impl Method {
+    /// The five non-default methods of Figure 3, in legend order.
+    pub const FIGURE3: [Method; 5] = [
+        Method::Restune,
+        Method::RestuneWithoutML,
+        Method::OtterTuneWithConstraints,
+        Method::CdbTuneWithConstraints,
+        Method::ITuned,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Restune => "ResTune",
+            Method::RestuneWithoutML => "ResTune-w/o-ML",
+            Method::RestuneWithoutWorkload => "ResTune-w/o-Workload",
+            Method::ITuned => "iTuned",
+            Method::OtterTuneWithConstraints => "OtterTune-w-Con",
+            Method::CdbTuneWithConstraints => "CDBTune-w-Con",
+        }
+    }
+}
+
+/// Which historical tasks a transfer-learning method may use — the paper's
+/// three evaluation settings (§7 "Data Repository").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Setting {
+    /// All 34 historical tasks, target's own included.
+    Original,
+    /// Hold out the target workload's tasks.
+    VaryingWorkloads,
+    /// Hold out tasks collected on the target's instance type.
+    VaryingHardware,
+}
+
+/// Shared context for a method run.
+pub struct MethodContext<'a> {
+    /// Algorithm configuration (budgets, seed).
+    pub config: RestuneConfig,
+    /// Historical repository (used by ResTune and OtterTune-w-Con).
+    pub repository: Option<&'a DataRepository>,
+    /// Pre-fitted base learners (avoids refitting 34 GPs per run); filtered
+    /// by `setting` like the repository.
+    pub prepared_learners: Option<&'a [restune_core::meta::BaseLearner]>,
+    /// Evaluation setting filter.
+    pub setting: Setting,
+    /// Target meta-feature (required for ResTune's static weights).
+    pub target_meta_feature: Vec<f64>,
+}
+
+impl MethodContext<'_> {
+    /// Base learners visible under the setting filter.
+    fn base_learners(
+        &self,
+        env: &TuningEnvironment,
+    ) -> Vec<restune_core::meta::BaseLearner> {
+        let target_workload = env.dbms.workload().name.clone();
+        let target_instance = env.dbms.instance();
+        let keep = |workload: &str, instance: dbsim::InstanceType| match self.setting {
+            Setting::Original => true,
+            Setting::VaryingWorkloads => workload != target_workload,
+            Setting::VaryingHardware => instance != target_instance,
+        };
+        if let Some(prepared) = self.prepared_learners {
+            return prepared
+                .iter()
+                .filter(|l| keep(&l.workload, l.instance))
+                .cloned()
+                .collect();
+        }
+        let Some(repo) = self.repository else { return Vec::new() };
+        let mut gp_config = self.config.gp.clone();
+        // Historical learners are frozen; fit their hyperparameters once,
+        // with a modest budget.
+        gp_config.optimize_hypers = true;
+        repo.base_learners(&gp_config, |t| keep(&t.workload, t.instance))
+    }
+
+    /// Repository filtered the same way, for OtterTune's mapping.
+    fn filtered_repository(&self, env: &TuningEnvironment) -> DataRepository {
+        let mut out = DataRepository::new();
+        if let Some(repo) = self.repository {
+            let target_workload = env.dbms.workload().name.clone();
+            let target_instance = env.dbms.instance();
+            for t in repo.tasks() {
+                let keep = match self.setting {
+                    Setting::Original => true,
+                    Setting::VaryingWorkloads => t.workload != target_workload,
+                    Setting::VaryingHardware => t.instance != target_instance,
+                };
+                if keep {
+                    out.add(t.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs `method` on `env` for `iterations` and returns its outcome.
+pub fn run_method(
+    method: Method,
+    env: TuningEnvironment,
+    iterations: usize,
+    ctx: &MethodContext<'_>,
+) -> TuningOutcome {
+    match method {
+        Method::Restune => {
+            let learners = ctx.base_learners(&env);
+            let mut session = TuningSession::with_base_learners(
+                env,
+                ctx.config.clone(),
+                learners,
+                ctx.target_meta_feature.clone(),
+            );
+            session.run(iterations)
+        }
+        Method::RestuneWithoutML => {
+            let mut session = TuningSession::new(env, ctx.config.clone());
+            session.run(iterations)
+        }
+        Method::RestuneWithoutWorkload => {
+            let learners = ctx.base_learners(&env);
+            let mut config = ctx.config.clone();
+            config.init_strategy = InitStrategy::Lhs;
+            let mut session = TuningSession::with_base_learners(
+                env,
+                config,
+                learners,
+                ctx.target_meta_feature.clone(),
+            );
+            session.run(iterations)
+        }
+        Method::ITuned => ITuned::new(env, ctx.config.clone()).run(iterations),
+        Method::OtterTuneWithConstraints => {
+            let repo = ctx.filtered_repository(&env);
+            OtterTuneWithConstraints::new(env, ctx.config.clone(), repo).run(iterations)
+        }
+        Method::CdbTuneWithConstraints => {
+            CdbTuneWithConstraints::new(env, ctx.config.clone()).run(iterations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsim::{InstanceType, KnobSet, WorkloadSpec};
+    use restune_core::acquisition::AcquisitionOptimizer;
+    use restune_core::problem::ResourceKind;
+
+    fn env(seed: u64) -> TuningEnvironment {
+        TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(seed)
+            .build()
+    }
+
+    fn quick_ctx() -> MethodContext<'static> {
+        MethodContext {
+            config: RestuneConfig {
+                optimizer: AcquisitionOptimizer {
+                    n_candidates: 200,
+                    n_local: 40,
+                    local_sigma: 0.1,
+                },
+                gp: gp::GpConfig { restarts: 1, adam_iters: 10, ..Default::default() },
+                dynamic_samples: 8,
+                init_iters: 4,
+                seed: 1,
+                ..Default::default()
+            },
+            repository: None,
+            prepared_learners: None,
+            setting: Setting::Original,
+            target_meta_feature: vec![0.2; 5],
+        }
+    }
+
+    #[test]
+    fn every_method_runs_end_to_end() {
+        for method in [
+            Method::Restune,
+            Method::RestuneWithoutML,
+            Method::RestuneWithoutWorkload,
+            Method::ITuned,
+            Method::OtterTuneWithConstraints,
+            Method::CdbTuneWithConstraints,
+        ] {
+            let outcome = run_method(method, env(7), 6, &quick_ctx());
+            assert_eq!(outcome.history.len(), 6, "{}", method.name());
+            assert!(outcome.default_obj_value > 0.0);
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper_legends() {
+        assert_eq!(Method::Restune.name(), "ResTune");
+        assert_eq!(Method::OtterTuneWithConstraints.name(), "OtterTune-w-Con");
+        assert_eq!(Method::FIGURE3.len(), 5);
+    }
+}

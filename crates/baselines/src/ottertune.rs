@@ -1,0 +1,252 @@
+//! OtterTune-w-Con (§7): OtterTune's machine-learning pipeline with its
+//! workload-mapping transfer, and the acquisition replaced by ResTune's CEI
+//! so it can honor the SLA.
+//!
+//! "Unlike meta-learning, OtterTune identifies the most similar workload from
+//! its repository based on the distance between the internal metrics. It uses
+//! the matched data for target workload in a single Gaussian Process model."
+//!
+//! The failure mode ResTune's §7.2.3 analysis predicts is reproduced here
+//! structurally: internal metrics scale with hardware (pages/s, context
+//! switches/s, threads running), so *absolute* distances match the wrong
+//! workload across instance types, and there is no mechanism to stop trusting
+//! a matched workload (negative transfer).
+
+use crate::loop_support::EvalLoop;
+use restune_core::acquisition::ConstrainedExpectedImprovement;
+use restune_core::lhs::latin_hypercube;
+use restune_core::repository::DataRepository;
+use restune_core::surrogate::{GpTaskModel, TaskSurrogate};
+use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningOutcome};
+use std::time::Instant;
+
+/// The OtterTune-with-constraints baseline.
+pub struct OtterTuneWithConstraints {
+    eval: EvalLoop,
+    repository: DataRepository,
+    config: RestuneConfig,
+    lhs_plan: Vec<Vec<f64>>,
+    /// The task_id matched at the latest iteration (for analysis output).
+    pub last_match: Option<String>,
+}
+
+impl OtterTuneWithConstraints {
+    /// Creates a run on `env` transferring from `repository`.
+    pub fn new(env: TuningEnvironment, config: RestuneConfig, repository: DataRepository) -> Self {
+        let lhs_plan =
+            latin_hypercube(config.init_iters, env.knob_set.dim(), config.seed ^ 0x07);
+        OtterTuneWithConstraints {
+            eval: EvalLoop::new(env),
+            repository,
+            config,
+            lhs_plan,
+            last_match: None,
+        }
+    }
+
+    /// Mean of the target's observed internal metric vectors.
+    fn target_signature(&self) -> Vec<f64> {
+        let n = self.eval.metrics.len();
+        if n == 0 {
+            return self.eval.default_observation.internal.to_vec();
+        }
+        let dim = self.eval.metrics[0].len();
+        let mut acc = vec![0.0; dim];
+        for m in &self.eval.metrics {
+            for (a, v) in acc.iter_mut().zip(m) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+        acc
+    }
+
+    /// OtterTune's workload mapping: nearest repository task by Euclidean
+    /// distance between internal-metric signatures (each dimension scaled by
+    /// the repository-wide standard deviation, mirroring OtterTune's metric
+    /// binning — note the *values* still carry hardware scale).
+    fn match_task(&self) -> Option<usize> {
+        if self.repository.is_empty() {
+            return None;
+        }
+        let target = self.target_signature();
+        let dim = target.len();
+        // Repository-wide per-dimension std for scaling.
+        let mut all: Vec<Vec<f64>> = Vec::new();
+        for t in self.repository.tasks() {
+            all.push(t.mean_metrics());
+        }
+        let mut stds = vec![1e-9_f64; dim];
+        for d in 0..dim {
+            let col: Vec<f64> = all.iter().map(|m| m[d]).collect();
+            stds[d] = linalg::vector::std_dev(&col).max(1e-9);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, sig) in all.iter().enumerate() {
+            let mut d2 = 0.0;
+            for d in 0..dim {
+                let diff = (sig[d] - target[d]) / stds[d];
+                d2 += diff * diff;
+            }
+            if best.map(|(_, bd)| d2 < bd).unwrap_or(true) {
+                best = Some((i, d2));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// One tuning iteration.
+    pub fn step(&mut self) {
+        let iter = self.eval.iterations();
+        if iter < self.config.init_iters {
+            let point = self.lhs_plan[iter].clone();
+            self.eval.evaluate(point, 0.0, 0.0);
+            return;
+        }
+
+        let t0 = Instant::now();
+        // Merge matched workload data (same knob space) with target data.
+        let mut points = self.eval.points.clone();
+        points.push(self.eval.default_point.clone());
+        let mut res = self.eval.res.clone();
+        res.push(self.eval.env.resource.value(&self.eval.default_observation));
+        let mut tps = self.eval.tps.clone();
+        tps.push(self.eval.default_observation.tps);
+        let mut lat = self.eval.lat.clone();
+        lat.push(self.eval.default_observation.p99_ms);
+        if let Some(idx) = self.match_task() {
+            let task = &self.repository.tasks()[idx];
+            self.last_match = Some(task.task_id.clone());
+            if task.knob_names == self.eval.problem.knob_set.names() {
+                for o in &task.observations {
+                    points.push(o.point.clone());
+                    res.push(o.res);
+                    tps.push(o.tps);
+                    lat.push(o.lat);
+                }
+            }
+        }
+        let mut gp_config = self.config.gp.clone();
+        gp_config.optimize_hypers = self.config.gp.optimize_hypers
+            && (points.len() <= 40 || iter.is_multiple_of(self.config.refit_hypers_every));
+        let model = GpTaskModel::fit(&points, &res, &tps, &lat, &gp_config)
+            .expect("merged surrogate fit");
+        let model_update_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        // CEI with thresholds at the merged model's default-point prediction.
+        let default_pred = model.predict(&self.eval.default_point);
+        let sla = self.eval.problem.constraints;
+        let tps_floor =
+            default_pred.tps.mean - sla.tolerance * sla.min_tps / model.scalers.tps.std;
+        let lat_ceiling =
+            default_pred.lat.mean + sla.tolerance * sla.max_p99_ms / model.scalers.lat.std;
+        // Incumbent: best feasible target observation.
+        let mut best_feasible: Option<(Vec<f64>, f64)> = None;
+        for (i, p) in self.eval.points.iter().enumerate() {
+            let feasible = self.eval.tps[i] >= sla.tps_floor()
+                && self.eval.lat[i] <= sla.lat_ceiling();
+            if feasible
+                && best_feasible.as_ref().map(|(_, v)| self.eval.res[i] < *v).unwrap_or(true)
+            {
+                best_feasible = Some((p.clone(), self.eval.res[i]));
+            }
+        }
+        let (anchors, incumbent) = match &best_feasible {
+            Some((p, _)) => (vec![p.clone()], Some(model.predict(p).res.mean)),
+            None => (vec![self.eval.default_point.clone()], {
+                Some(model.predict(&self.eval.default_point).res.mean)
+            }),
+        };
+        let cei =
+            ConstrainedExpectedImprovement { best_feasible: incumbent, tps_floor, lat_ceiling };
+        let seed = self.config.seed.wrapping_add(iter as u64).wrapping_mul(0x51);
+        let point = self.config.optimizer.optimize(
+            self.eval.problem.dim(),
+            &anchors,
+            seed,
+            |p| cei.value(&model.predict(p)),
+        );
+        let recommendation_s = t1.elapsed().as_secs_f64();
+        self.eval.evaluate(point, model_update_s, recommendation_s);
+    }
+
+    /// Runs `iterations` steps and summarizes.
+    pub fn run(&mut self, iterations: usize) -> TuningOutcome {
+        for _ in 0..iterations {
+            self.step();
+        }
+        self.eval.outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+    use restune_core::acquisition::AcquisitionOptimizer;
+    use restune_core::problem::ResourceKind;
+    use restune_core::repository::TaskRecord;
+    use workload::WorkloadCharacterizer;
+
+    fn quick_config(seed: u64) -> RestuneConfig {
+        RestuneConfig {
+            optimizer: AcquisitionOptimizer { n_candidates: 250, n_local: 50, local_sigma: 0.1 },
+            gp: gp::GpConfig { restarts: 1, adam_iters: 12, ..Default::default() },
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn small_repo() -> DataRepository {
+        let characterizer = WorkloadCharacterizer::train_default(0);
+        let mut repo = DataRepository::new();
+        for (i, w) in [WorkloadSpec::twitter(), WorkloadSpec::sysbench()].into_iter().enumerate()
+        {
+            let mut dbms = SimulatedDbms::new(InstanceType::A, w, 100 + i as u64);
+            repo.add(TaskRecord::collect(
+                &mut dbms,
+                &KnobSet::case_study(),
+                ResourceKind::Cpu,
+                &characterizer,
+                15,
+                200 + i as u64,
+            ));
+        }
+        repo
+    }
+
+    #[test]
+    fn ottertune_improves_over_default_with_matched_history() {
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(4)
+            .build();
+        let mut ot = OtterTuneWithConstraints::new(env, quick_config(4), small_repo());
+        let outcome = ot.run(20);
+        assert!(outcome.best_objective.unwrap() < outcome.default_obj_value);
+        // It matched some workload after the bootstrap phase.
+        assert!(ot.last_match.is_some());
+    }
+
+    #[test]
+    fn works_with_an_empty_repository() {
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::B)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(5)
+            .build();
+        let mut ot =
+            OtterTuneWithConstraints::new(env, quick_config(5), DataRepository::new());
+        let outcome = ot.run(13);
+        assert_eq!(outcome.history.len(), 13);
+        assert!(ot.last_match.is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the Gaussian-process surrogate stack — the
+//! computational kernels behind every "Model Update" row of Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp::{GaussianProcess, GpConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn dataset(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>().sin()).collect();
+    (xs, ys)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    for &n in &[50usize, 100, 200] {
+        let (xs, ys) = dataset(n, 14, 1);
+        group.bench_with_input(BenchmarkId::new("fit_fixed_hypers", n), &n, |b, _| {
+            b.iter(|| {
+                GaussianProcess::fit(black_box(xs.clone()), black_box(ys.clone()), &GpConfig::fixed())
+                    .unwrap()
+            })
+        });
+    }
+    let (xs, ys) = dataset(100, 14, 2);
+    let opt_cfg = GpConfig { restarts: 1, adam_iters: 25, ..Default::default() };
+    group.sample_size(10);
+    group.bench_function("fit_optimized_hypers_n100", |b| {
+        b.iter(|| GaussianProcess::fit(black_box(xs.clone()), black_box(ys.clone()), &opt_cfg))
+    });
+
+    let model = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
+    let probes = dataset(500, 14, 3).0;
+    group.bench_function("predict_500_points_n100", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(model.predict(p).unwrap());
+            }
+        })
+    });
+    let sample_points = dataset(40, 14, 4).0;
+    group.bench_function("sample_joint_30x40_n100", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(model.sample_joint(&sample_points, 30, &mut rng).unwrap()))
+    });
+    group.bench_function("loo_predictions_n100", |b| {
+        b.iter(|| black_box(model.loo_predictions().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp);
+criterion_main!(benches);

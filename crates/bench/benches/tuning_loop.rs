@@ -1,0 +1,93 @@
+//! Benchmarks of whole tuning iterations: the algorithm-side cost per
+//! iteration for ResTune with and without meta-learning (Table 3's
+//! model-update + recommendation columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune_core::acquisition::AcquisitionOptimizer;
+use restune_core::problem::ResourceKind;
+use restune_core::repository::{DataRepository, TaskRecord};
+use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningSession};
+use std::hint::black_box;
+use workload::WorkloadCharacterizer;
+
+fn quick_config(seed: u64) -> RestuneConfig {
+    RestuneConfig {
+        optimizer: AcquisitionOptimizer { n_candidates: 600, n_local: 120, local_sigma: 0.08 },
+        gp: gp::GpConfig { restarts: 1, adam_iters: 25, ..Default::default() },
+        dynamic_samples: 16,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn env(seed: u64) -> TuningEnvironment {
+    TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::cpu())
+        .seed(seed)
+        .build()
+}
+
+fn bench_tuning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuning_iteration");
+    group.sample_size(10);
+
+    group.bench_function("restune_without_ml_step", |b| {
+        b.iter_batched(
+            || {
+                let mut s = TuningSession::new(env(1), quick_config(1));
+                // Warm past the LHS bootstrap so the GP path is exercised.
+                for _ in 0..12 {
+                    s.step();
+                }
+                s
+            },
+            |mut s| black_box(s.step()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Meta-boosted step (dynamic ranking-loss weights over 6 base learners).
+    let characterizer = WorkloadCharacterizer::train_default(2);
+    let mut repo = DataRepository::new();
+    for (i, spec) in WorkloadSpec::twitter_variations().into_iter().take(3).enumerate() {
+        for instance in [InstanceType::A, InstanceType::B] {
+            let mut dbms = SimulatedDbms::new(instance, spec.clone(), 30 + i as u64);
+            repo.add(TaskRecord::collect(
+                &mut dbms,
+                &KnobSet::cpu(),
+                ResourceKind::Cpu,
+                &characterizer,
+                50,
+                40 + i as u64,
+            ));
+        }
+    }
+    let learners = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
+    let mf = characterizer.embed_workload(&WorkloadSpec::twitter(), 1).probs;
+    group.bench_function("restune_meta_step_6_learners", |b| {
+        b.iter_batched(
+            || {
+                let mut s = TuningSession::with_base_learners(
+                    env(2),
+                    quick_config(2),
+                    learners.clone(),
+                    mf.clone(),
+                );
+                for _ in 0..12 {
+                    s.step();
+                }
+                s
+            },
+            |mut s| black_box(s.step()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs the design-choice ablations (see `experiments::ablations`).
+
+use restune_bench::experiments::ablations;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let iterations = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 120,
+    };
+    let result = ablations::run(&ctx, iterations);
+    ablations::render(&result);
+    report::save_json("ablations", &result);
+}

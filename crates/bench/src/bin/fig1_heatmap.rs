@@ -1,0 +1,14 @@
+//! Regenerates Figure 1: TPS & CPU heatmap over 2 knobs.
+
+use restune_bench::experiments::fig1;
+use restune_bench::{report, Scale};
+
+fn main() {
+    let levels = match Scale::from_args() {
+        Scale::Quick => 10,
+        Scale::Full => 20,
+    };
+    let result = fig1::run(levels);
+    fig1::render(&result);
+    report::save_json("fig1_heatmap", &result);
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 3: efficiency comparison under the original setting
+//! (5 workloads x 6 methods, instance A).
+
+use baselines::method::Setting;
+use baselines::Method;
+use dbsim::{InstanceType, WorkloadSpec};
+use restune_bench::experiments::efficiency;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let result = efficiency::run(
+        &ctx,
+        "Figure 3",
+        Setting::Original,
+        InstanceType::A,
+        &Method::FIGURE3,
+        &WorkloadSpec::evaluation_suite(),
+        scale.iterations(),
+    );
+    efficiency::render(&result);
+    report::save_json("fig3_efficiency", &result);
+}

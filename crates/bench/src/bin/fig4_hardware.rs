@@ -1,0 +1,37 @@
+//! Regenerates Figure 4: hardware adaptation (history from the other
+//! instance only — B->A shown on instance A, A->B on instance B).
+
+use baselines::method::Setting;
+use baselines::Method;
+use dbsim::{InstanceType, WorkloadSpec};
+use restune_bench::experiments::efficiency;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let methods =
+        [Method::Restune, Method::RestuneWithoutML, Method::OtterTuneWithConstraints];
+    let b_to_a = efficiency::run(
+        &ctx,
+        "Figure 4 (B to A)",
+        Setting::VaryingHardware,
+        InstanceType::A,
+        &methods,
+        &WorkloadSpec::evaluation_suite(),
+        scale.iterations(),
+    );
+    efficiency::render(&b_to_a);
+    report::save_json("fig4_hardware_b_to_a", &b_to_a);
+    let a_to_b = efficiency::run(
+        &ctx,
+        "Figure 4 (A to B)",
+        Setting::VaryingHardware,
+        InstanceType::B,
+        &methods,
+        &WorkloadSpec::evaluation_suite(),
+        scale.iterations(),
+    );
+    efficiency::render(&a_to_b);
+    report::save_json("fig4_hardware_a_to_b", &a_to_b);
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 5: workload adaptation (target workload's history held
+//! out, instance A).
+
+use baselines::method::Setting;
+use baselines::Method;
+use dbsim::{InstanceType, WorkloadSpec};
+use restune_bench::experiments::efficiency;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let result = efficiency::run(
+        &ctx,
+        "Figure 5",
+        Setting::VaryingWorkloads,
+        InstanceType::A,
+        &[Method::Restune, Method::RestuneWithoutML, Method::OtterTuneWithConstraints],
+        &WorkloadSpec::evaluation_suite(),
+        scale.iterations(),
+    );
+    efficiency::render(&result);
+    report::save_json("fig5_workload", &result);
+}

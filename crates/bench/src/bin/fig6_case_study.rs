@@ -1,0 +1,17 @@
+//! Regenerates the SS7.3 case study: Figure 6(a-e), Table 5, Table 6 and
+//! Figure 7 in one run (they share the 3-knob Twitter setup).
+
+use restune_bench::experiments::case_study;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let iterations = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 100,
+    };
+    let result = case_study::run(&ctx, iterations);
+    case_study::render(&result);
+    report::save_json("fig6_case_study", &result);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: sensitivity to the client request rate.
+
+use restune_bench::experiments::sensitivity;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let iterations = match scale {
+        Scale::Quick => 30,
+        Scale::Full => 100,
+    };
+    let result = sensitivity::run_fig8(&ctx, iterations);
+    sensitivity::render_fig8(&result);
+    report::save_json("fig8_request_rate", &result);
+}

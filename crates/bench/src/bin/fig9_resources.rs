@@ -1,0 +1,16 @@
+//! Regenerates Figure 9: tuning I/O (BPS, IOPS) and memory on instance E.
+
+use restune_bench::experiments::resources;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let iterations = match scale {
+        Scale::Quick => 30,
+        Scale::Full => 100,
+    };
+    let result = resources::run(&ctx, iterations);
+    resources::render(&result);
+    report::save_json("fig9_resources", &result);
+}

@@ -1,0 +1,92 @@
+//! Runs every experiment harness in sequence, printing each artifact and
+//! saving JSON under `results/`. Pass `--full` for paper-scale budgets.
+
+use baselines::method::Setting;
+use baselines::Method;
+use dbsim::{InstanceType, WorkloadSpec};
+use restune_bench::experiments::*;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[reproduce_all] scale: {scale:?}");
+
+    let r1 = fig1::run(if scale == Scale::Full { 20 } else { 10 });
+    fig1::render(&r1);
+    report::save_json("fig1_heatmap", &r1);
+
+    eprintln!("[reproduce_all] building shared context (34-task repository) ...");
+    let ctx = ExperimentContext::build(scale);
+
+    let t3 = table3::run(&ctx, 15);
+    table3::render(&t3);
+    report::save_json("table3_breakdown", &t3);
+
+    let f3 = efficiency::run(
+        &ctx,
+        "Figure 3",
+        Setting::Original,
+        InstanceType::A,
+        &Method::FIGURE3,
+        &WorkloadSpec::evaluation_suite(),
+        scale.iterations(),
+    );
+    efficiency::render(&f3);
+    report::save_json("fig3_efficiency", &f3);
+
+    let transfer_methods =
+        [Method::Restune, Method::RestuneWithoutML, Method::OtterTuneWithConstraints];
+    let f4 = efficiency::run(
+        &ctx,
+        "Figure 4 (B to A)",
+        Setting::VaryingHardware,
+        InstanceType::A,
+        &transfer_methods,
+        &WorkloadSpec::evaluation_suite(),
+        scale.iterations(),
+    );
+    efficiency::render(&f4);
+    report::save_json("fig4_hardware_b_to_a", &f4);
+
+    let t4 = table4::run(&ctx, scale.iterations());
+    table4::render(&t4);
+    report::save_json("table4_instances", &t4);
+
+    let f5 = efficiency::run(
+        &ctx,
+        "Figure 5",
+        Setting::VaryingWorkloads,
+        InstanceType::A,
+        &transfer_methods,
+        &WorkloadSpec::evaluation_suite(),
+        scale.iterations(),
+    );
+    efficiency::render(&f5);
+    report::save_json("fig5_workload", &f5);
+
+    let short = if scale == Scale::Full { 100 } else { 30 };
+    let cs = case_study::run(&ctx, if scale == Scale::Full { 100 } else { 40 });
+    case_study::render(&cs);
+    report::save_json("fig6_case_study", &cs);
+
+    let f8 = sensitivity::run_fig8(&ctx, short);
+    sensitivity::render_fig8(&f8);
+    report::save_json("fig8_request_rate", &f8);
+
+    let t7 = sensitivity::run_table7(&ctx, short);
+    sensitivity::render_table7(&t7);
+    report::save_json("table7_data_size", &t7);
+
+    let f9 = resources::run(&ctx, short);
+    resources::render(&f9);
+    report::save_json("fig9_resources", &f9);
+
+    let t8 = tco::run_table8(&ctx, short);
+    tco::render_table8(&t8);
+    report::save_json("table8_tco_cpu", &t8);
+    let t9 = tco::run_table9(&ctx, short);
+    tco::render_table9(&t9);
+    report::save_json("table9_tco_mem", &t9);
+
+    eprintln!("[reproduce_all] done.");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 3: execution-time breakdown per iteration.
+
+use restune_bench::experiments::table3;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let result = table3::run(&ctx, 15);
+    table3::render(&result);
+    report::save_json("table3_breakdown", &result);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 4: adaptation to instances C-F.
+
+use restune_bench::experiments::table4;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let result = table4::run(&ctx, scale.iterations());
+    table4::render(&result);
+    report::save_json("table4_instances", &result);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 7: sensitivity to the TPC-C data size.
+
+use restune_bench::experiments::sensitivity;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let iterations = match scale {
+        Scale::Quick => 30,
+        Scale::Full => 100,
+    };
+    let result = sensitivity::run_table7(&ctx, iterations);
+    sensitivity::render_table7(&result);
+    report::save_json("table7_data_size", &result);
+}

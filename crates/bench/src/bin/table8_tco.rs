@@ -1,0 +1,20 @@
+//! Regenerates Tables 8 and 9: 1-year TCO reduction (CPU across instances,
+//! memory on instance E).
+
+use restune_bench::experiments::tco;
+use restune_bench::{report, ExperimentContext, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = ExperimentContext::build(scale);
+    let iterations = match scale {
+        Scale::Quick => 30,
+        Scale::Full => 100,
+    };
+    let t8 = tco::run_table8(&ctx, iterations);
+    tco::render_table8(&t8);
+    report::save_json("table8_tco_cpu", &t8);
+    let t9 = tco::run_table9(&ctx, iterations);
+    tco::render_table9(&t9);
+    report::save_json("table9_tco_mem", &t9);
+}

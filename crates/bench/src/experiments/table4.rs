@@ -1,0 +1,126 @@
+//! Table 4: workload adaptation on instances C, D, E, F using history
+//! collected on instances A and B (the *varying hardware* setting):
+//! improvement over the default, iterations to best, and ResTune's speed-up
+//! over ResTune-w/o-ML.
+
+use crate::context::ExperimentContext;
+use crate::experiments::efficiency::iterations_to_best;
+use crate::report;
+use baselines::method::Setting;
+use baselines::Method;
+use dbsim::{InstanceType, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// One (workload, instance) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Cell {
+    /// Workload name.
+    pub workload: String,
+    /// Instance name.
+    pub instance: String,
+    /// ResTune's relative CPU improvement over the default.
+    pub restune_improvement: f64,
+    /// ResTune-w/o-ML's improvement.
+    pub no_ml_improvement: f64,
+    /// Iteration at which ResTune found its best.
+    pub restune_iterations: f64,
+    /// Iteration at which ResTune-w/o-ML found its best.
+    pub no_ml_iterations: f64,
+    /// Speed-up: `(no_ml - restune) / no_ml`.
+    pub speed_up: f64,
+}
+
+/// The full table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Result {
+    /// Cells in (workload, instance) order.
+    pub cells: Vec<Table4Cell>,
+}
+
+/// Runs SYSBENCH(100G) and TPC-C(100G) on C–F per the paper ("we use
+/// SYSBENCH(100G) and TPC-C(100G) to ensure the data size is always larger
+/// than the buffer pool").
+///
+/// The client request rate is scaled with the instance's core count
+/// (Table 2's rates were chosen for instance A; running 21 K txn/s against a
+/// 4-core box saturates it, pinning CPU at 100 % and leaving no tuning
+/// headroom — the paper's per-instance setups necessarily did the same).
+pub fn run(ctx: &ExperimentContext, iterations: usize) -> Table4Result {
+    let workloads = [
+        WorkloadSpec::sysbench().with_data_gb(100.0).named("SYSBENCH"),
+        WorkloadSpec::tpcc().with_data_gb(100.0).named("TPC-C"),
+    ];
+    let instances = [InstanceType::C, InstanceType::D, InstanceType::E, InstanceType::F];
+    let mut cells = Vec::new();
+    for base_workload in &workloads {
+        for &instance in &instances {
+            let scale = instance.cores() as f64 / InstanceType::A.cores() as f64;
+            let workload = &base_workload
+                .clone()
+                .with_request_rate(base_workload.request_rate.unwrap() * scale * 0.8)
+                .named(&base_workload.name);
+            eprintln!("[table4] {} on {:?} ...", workload.name, instance);
+            let restune = ctx.run(
+                Method::Restune,
+                instance,
+                workload,
+                Setting::VaryingHardware,
+                iterations,
+                ctx.seed + 3,
+            );
+            let no_ml = ctx.run(
+                Method::RestuneWithoutML,
+                instance,
+                workload,
+                Setting::VaryingHardware,
+                iterations,
+                ctx.seed + 3,
+            );
+            let ri = iterations_to_best(&restune.best_curve()) as f64;
+            let ni = iterations_to_best(&no_ml.best_curve()) as f64;
+            cells.push(Table4Cell {
+                workload: workload.name.clone(),
+                instance: instance.name().to_string(),
+                restune_improvement: restune.improvement(),
+                no_ml_improvement: no_ml.improvement(),
+                restune_iterations: ri,
+                no_ml_iterations: ni,
+                speed_up: ((ni - ri) / ni).max(0.0),
+            });
+        }
+    }
+    Table4Result { cells }
+}
+
+/// Prints the table in the paper's layout.
+pub fn render(r: &Table4Result) {
+    report::header("Table 4 — Workload adaptation on instances C–F (varying hardware)");
+    let widths = [10usize, 9, 14, 14, 10, 10, 9];
+    report::row(
+        &[
+            "Workload".into(),
+            "Instance".into(),
+            "ResTune impr".into(),
+            "w/o-ML impr".into(),
+            "RT iters".into(),
+            "w/o iters".into(),
+            "SpeedUp".into(),
+        ],
+        &widths,
+    );
+    for c in &r.cells {
+        report::row(
+            &[
+                c.workload.clone(),
+                c.instance.clone(),
+                format!("{:.2}%", c.restune_improvement * 100.0),
+                format!("{:.2}%", c.no_ml_improvement * 100.0),
+                format!("{:.0}", c.restune_iterations),
+                format!("{:.0}", c.no_ml_iterations),
+                format!("{:.0}%", c.speed_up * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!("\nPaper shape: ResTune matches or beats w/o-ML improvement and finds it faster.");
+}

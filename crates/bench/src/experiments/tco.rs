@@ -1,0 +1,181 @@
+//! Tables 8 and 9 (§7.6): 1-year TCO reduction from the resource savings.
+
+use crate::context::ExperimentContext;
+use crate::report;
+use baselines::method::Setting;
+use baselines::{run_method, Method, MethodContext};
+use dbsim::{InstanceType, WorkloadSpec};
+use restune_core::problem::ResourceKind;
+use restune_core::tco::{cpu_tco_reduction, memory_tco_reduction, providers, used_cores};
+use restune_core::tuner::TuningEnvironment;
+use serde::{Deserialize, Serialize};
+
+/// One Table 8 cell (workload × instance).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8Cell {
+    /// Workload name.
+    pub workload: String,
+    /// Instance name.
+    pub instance: String,
+    /// Cores in use before tuning.
+    pub original_cores: f64,
+    /// Cores in use after tuning.
+    pub optimized_cores: f64,
+    /// Average 1-year TCO reduction across providers (USD).
+    pub avg_tco_reduction: f64,
+}
+
+/// Table 8 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8Result {
+    /// Cells per (workload, instance).
+    pub cells: Vec<Table8Cell>,
+}
+
+/// One Table 9 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table9Row {
+    /// Workload name.
+    pub workload: String,
+    /// Memory before tuning (GB).
+    pub original_gb: f64,
+    /// Memory after tuning (GB).
+    pub optimized_gb: f64,
+    /// Savings per provider (AWS, Azure, Aliyun), USD/year.
+    pub per_provider: Vec<f64>,
+}
+
+/// Table 9 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table9Result {
+    /// Rows per workload.
+    pub rows: Vec<Table9Row>,
+}
+
+/// Runs CPU tuning on SYSBENCH and TPC-C across all six instances (Table 8).
+pub fn run_table8(ctx: &ExperimentContext, iterations: usize) -> Table8Result {
+    let workloads = [WorkloadSpec::sysbench(), WorkloadSpec::tpcc()];
+    let mut cells = Vec::new();
+    for workload in &workloads {
+        for instance in InstanceType::ALL {
+            eprintln!("[table8] {} on {:?} ...", workload.name, instance);
+            let outcome = ctx.run(
+                Method::Restune,
+                instance,
+                workload,
+                Setting::Original,
+                iterations,
+                ctx.seed + 51,
+            );
+            let original = used_cores(outcome.default_obj_value, instance.cores());
+            let optimized = used_cores(
+                outcome.best_objective.unwrap_or(outcome.default_obj_value),
+                instance.cores(),
+            );
+            let tco = cpu_tco_reduction(original, optimized);
+            cells.push(Table8Cell {
+                workload: workload.name.clone(),
+                instance: instance.name().to_string(),
+                original_cores: original,
+                optimized_cores: optimized,
+                avg_tco_reduction: tco.average,
+            });
+        }
+    }
+    Table8Result { cells }
+}
+
+/// Runs memory tuning on instance E (Table 9).
+pub fn run_table9(ctx: &ExperimentContext, iterations: usize) -> Table9Result {
+    let workloads = [
+        WorkloadSpec::sysbench().with_data_gb(30.0),
+        WorkloadSpec::tpcc().with_data_gb(100.0),
+    ];
+    let mut rows = Vec::new();
+    for workload in &workloads {
+        eprintln!("[table9] memory tuning {} on E ...", workload.name);
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::E)
+            .workload(workload.clone())
+            .resource(ResourceKind::Memory)
+            .seed(ctx.seed + 61)
+            .build();
+        let mctx = MethodContext {
+            config: ctx.config(ctx.seed + 61),
+            repository: None,
+            prepared_learners: None,
+            setting: Setting::Original,
+            target_meta_feature: ctx.characterizer.embed_workload(workload, ctx.seed).probs,
+        };
+        let outcome = run_method(Method::RestuneWithoutML, env, iterations, &mctx);
+        let original = outcome.default_obj_value;
+        let optimized = outcome.best_objective.unwrap_or(original);
+        let tco = memory_tco_reduction(original, optimized);
+        rows.push(Table9Row {
+            workload: workload.name.clone(),
+            original_gb: original,
+            optimized_gb: optimized,
+            per_provider: tco.per_provider,
+        });
+    }
+    Table9Result { rows }
+}
+
+/// Prints Table 8.
+pub fn render_table8(r: &Table8Result) {
+    report::header("Table 8 — 1-year TCO reduction optimizing CPU");
+    let widths = [10usize, 9, 14, 15, 12];
+    report::row(
+        &[
+            "Workload".into(),
+            "Instance".into(),
+            "OriginalCores".into(),
+            "OptimizedCores".into(),
+            "AvgTCO↓($)".into(),
+        ],
+        &widths,
+    );
+    for c in &r.cells {
+        report::row(
+            &[
+                c.workload.clone(),
+                c.instance.clone(),
+                format!("{:.0}", c.original_cores),
+                format!("{:.0}", c.optimized_cores),
+                format!("{:.0}", c.avg_tco_reduction),
+            ],
+            &widths,
+        );
+    }
+}
+
+/// Prints Table 9.
+pub fn render_table9(r: &Table9Result) {
+    report::header("Table 9 — 1-year TCO reduction optimizing memory on instance E");
+    let names: Vec<String> = providers().iter().map(|p| format!("TCO↓({})", p.name)).collect();
+    let widths = [14usize, 13, 14, 12, 12, 12];
+    report::row(
+        &[
+            "Workload".into(),
+            "Original(GB)".into(),
+            "Optimized(GB)".into(),
+            names[0].clone(),
+            names[1].clone(),
+            names[2].clone(),
+        ],
+        &widths,
+    );
+    for row in &r.rows {
+        report::row(
+            &[
+                row.workload.clone(),
+                format!("{:.1}", row.original_gb),
+                format!("{:.1}", row.optimized_gb),
+                format!("${:.0}", row.per_provider[0]),
+                format!("${:.0}", row.per_provider[1]),
+                format!("${:.0}", row.per_provider[2]),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Rendering and persistence helpers shared by the experiment binaries.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints one aligned table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{:>width$}", c, width = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a labelled numeric series, down-sampled to at most `max_points`
+/// (the textual stand-in for a figure's curve).
+pub fn series(label: &str, values: &[f64], max_points: usize) {
+    if values.is_empty() {
+        println!("{label:<22} (empty)");
+        return;
+    }
+    let step = (values.len() as f64 / max_points as f64).ceil().max(1.0) as usize;
+    let pts: Vec<String> = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % step == 0 || *i == values.len() - 1)
+        .map(|(i, v)| format!("{i}:{v:.1}"))
+        .collect();
+    println!("{label:<22} {}", pts.join("  "));
+}
+
+/// Directory experiment outputs are written to (`results/` in the repo root,
+/// created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("RESTUNE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// Saves an experiment result as pretty JSON under `results/<id>.json`.
+pub fn save_json<T: Serialize>(id: &str, value: &T) {
+    let path = results_dir().join(format!("{id}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {id}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_handles_empty_and_short_inputs() {
+        series("empty", &[], 10);
+        series("short", &[1.0, 2.0], 10);
+    }
+
+    #[test]
+    fn save_json_writes_a_file() {
+        std::env::set_var("RESTUNE_RESULTS_DIR", std::env::temp_dir().join("rt_test_results"));
+        save_json("unit_test", &vec![1, 2, 3]);
+        let path = results_dir().join("unit_test.json");
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+        std::env::remove_var("RESTUNE_RESULTS_DIR");
+    }
+}

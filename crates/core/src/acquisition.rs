@@ -1,0 +1,262 @@
+//! Acquisition functions (§5.2): Expected Improvement and the paper's
+//! Constrained Expected Improvement (CEI, Eq. 5), plus the candidate-based
+//! optimizer that proposes the next configuration.
+
+use crate::surrogate::SurrogatePrediction;
+use gp::{normal_cdf, normal_pdf};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which acquisition the tuner optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcquisitionKind {
+    /// Plain EI on the objective (iTuned — ignores the SLA).
+    ExpectedImprovement,
+    /// CEI: EI weighted by the probability of satisfying both constraints.
+    ConstrainedExpectedImprovement,
+    /// The simple alternative the paper's related work describes (§2):
+    /// attach a penalty to the objective when constraints are violated, then
+    /// run plain EI on the penalized objective. Used by the acquisition
+    /// ablation to show why CEI's probabilistic weighting wins.
+    PenalizedExpectedImprovement,
+}
+
+/// Closed-form Expected Improvement for *minimization*:
+/// `EI(θ) = E[max(0, f_best - f(θ))]` (Eq. 2).
+pub fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * normal_cdf(z) + std * normal_pdf(z)
+}
+
+/// The CEI acquisition (Eq. 5): `Pr[tps ≥ λ'_tps] · Pr[lat ≤ λ'_lat] · EI`.
+///
+/// Thresholds are in the same (standardized) units as the surrogate's
+/// predictions.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstrainedExpectedImprovement {
+    /// Best *feasible* objective value observed so far (standardized).
+    /// `None` until a feasible point exists — then CEI degenerates to pure
+    /// feasibility search.
+    pub best_feasible: Option<f64>,
+    /// Re-scaled throughput floor λ'_tps.
+    pub tps_floor: f64,
+    /// Re-scaled latency ceiling λ'_lat.
+    pub lat_ceiling: f64,
+}
+
+impl ConstrainedExpectedImprovement {
+    /// Probability that `point` satisfies both SLA constraints under the
+    /// surrogate — the expectation of the feasibility indicator Δ(θ) (Eq. 4).
+    pub fn feasibility_probability(&self, pred: &SurrogatePrediction) -> f64 {
+        let p_tps = if pred.tps.std_dev() <= 1e-12 {
+            if pred.tps.mean >= self.tps_floor {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - normal_cdf((self.tps_floor - pred.tps.mean) / pred.tps.std_dev())
+        };
+        let p_lat = if pred.lat.std_dev() <= 1e-12 {
+            if pred.lat.mean <= self.lat_ceiling {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            normal_cdf((self.lat_ceiling - pred.lat.mean) / pred.lat.std_dev())
+        };
+        p_tps * p_lat
+    }
+
+    /// The CEI value at a prediction.
+    pub fn value(&self, pred: &SurrogatePrediction) -> f64 {
+        let pf = self.feasibility_probability(pred);
+        match self.best_feasible {
+            Some(best) => pf * expected_improvement(pred.res.mean, pred.res.std_dev(), best),
+            // No feasible incumbent yet: maximize the probability of finding
+            // one (standard CBO practice when the feasible set is unknown).
+            None => pf,
+        }
+    }
+}
+
+/// Configuration for the acquisition optimizer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AcquisitionOptimizer {
+    /// Uniform random candidates per round.
+    pub n_candidates: usize,
+    /// Local-perturbation candidates around each of the top incumbents.
+    pub n_local: usize,
+    /// Perturbation scale for local candidates.
+    pub local_sigma: f64,
+}
+
+impl Default for AcquisitionOptimizer {
+    fn default() -> Self {
+        AcquisitionOptimizer { n_candidates: 1500, n_local: 200, local_sigma: 0.08 }
+    }
+}
+
+impl AcquisitionOptimizer {
+    /// Maximizes `score` over `[0,1]^d` via random search plus local
+    /// refinement around `anchors` (typically the incumbent best points).
+    pub fn optimize(
+        &self,
+        dim: usize,
+        anchors: &[Vec<f64>],
+        seed: u64,
+        mut score: impl FnMut(&[f64]) -> f64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best_point: Option<Vec<f64>> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        let consider = |point: Vec<f64>, score_fn: &mut dyn FnMut(&[f64]) -> f64,
+                            best_point: &mut Option<Vec<f64>>, best_score: &mut f64| {
+            let s = score_fn(&point);
+            if s > *best_score {
+                *best_score = s;
+                *best_point = Some(point);
+            }
+        };
+        for _ in 0..self.n_candidates {
+            let point: Vec<f64> = (0..dim).map(|_| rng.random::<f64>()).collect();
+            consider(point, &mut score, &mut best_point, &mut best_score);
+        }
+        if !anchors.is_empty() {
+            for i in 0..self.n_local {
+                let anchor = &anchors[i % anchors.len()];
+                let point: Vec<f64> = anchor
+                    .iter()
+                    .map(|v| {
+                        let u1: f64 = 1.0 - rng.random::<f64>();
+                        let u2: f64 = rng.random::<f64>();
+                        let z = (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        (v + self.local_sigma * z).clamp(0.0, 1.0)
+                    })
+                    .collect();
+                consider(point, &mut score, &mut best_point, &mut best_score);
+            }
+        }
+        best_point.expect("n_candidates > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp::Prediction;
+
+    fn pred(res: (f64, f64), tps: (f64, f64), lat: (f64, f64)) -> SurrogatePrediction {
+        SurrogatePrediction {
+            res: Prediction { mean: res.0, variance: res.1 * res.1 },
+            tps: Prediction { mean: tps.0, variance: tps.1 * tps.1 },
+            lat: Prediction { mean: lat.0, variance: lat.1 * lat.1 },
+        }
+    }
+
+    #[test]
+    fn ei_matches_monte_carlo() {
+        let (mean, std, best) = (0.2, 0.7, 0.5);
+        let analytic = expected_improvement(mean, std, best);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mc: f64 = (0..n)
+            .map(|_| {
+                let z = gp::rand_util::standard_normal(&mut rng);
+                (best - (mean + std * z)).max(0.0)
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((analytic - mc).abs() < 0.01, "analytic {analytic} mc {mc}");
+    }
+
+    #[test]
+    fn ei_is_zero_when_certainly_worse() {
+        assert_eq!(expected_improvement(5.0, 0.0, 1.0), 0.0);
+        assert!(expected_improvement(5.0, 0.1, 1.0) < 1e-6);
+    }
+
+    #[test]
+    fn cei_is_bounded_by_ei() {
+        let cei = ConstrainedExpectedImprovement {
+            best_feasible: Some(0.5),
+            tps_floor: 0.0,
+            lat_ceiling: 0.0,
+        };
+        for p in [
+            pred((0.0, 0.5), (0.5, 0.3), (-0.5, 0.3)),
+            pred((-1.0, 0.2), (-2.0, 0.3), (2.0, 0.3)),
+            pred((0.4, 0.9), (0.0, 1.0), (0.0, 1.0)),
+        ] {
+            let ei = expected_improvement(p.res.mean, p.res.std_dev(), 0.5);
+            let v = cei.value(&p);
+            assert!(v >= -1e-12 && v <= ei + 1e-12, "cei {v} vs ei {ei}");
+        }
+    }
+
+    #[test]
+    fn infeasible_regions_score_near_zero() {
+        let cei = ConstrainedExpectedImprovement {
+            best_feasible: Some(0.0),
+            tps_floor: 0.0,
+            lat_ceiling: 0.0,
+        };
+        // tps far below the floor with small uncertainty.
+        let p = pred((-3.0, 0.3), (-4.0, 0.2), (0.0, 0.2));
+        assert!(cei.value(&p) < 1e-6);
+    }
+
+    #[test]
+    fn feasibility_probability_factorizes() {
+        let cei = ConstrainedExpectedImprovement {
+            best_feasible: None,
+            tps_floor: 0.0,
+            lat_ceiling: 0.0,
+        };
+        // Exactly at both bounds with symmetric uncertainty: p = 0.5 * 0.5.
+        let p = pred((0.0, 1.0), (0.0, 1.0), (0.0, 1.0));
+        assert!((cei.feasibility_probability(&p) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn without_incumbent_cei_seeks_feasibility() {
+        let cei = ConstrainedExpectedImprovement {
+            best_feasible: None,
+            tps_floor: 0.0,
+            lat_ceiling: 0.0,
+        };
+        let likely = pred((0.0, 0.1), (2.0, 0.5), (-2.0, 0.5));
+        let unlikely = pred((-5.0, 0.1), (-2.0, 0.5), (2.0, 0.5));
+        assert!(cei.value(&likely) > cei.value(&unlikely));
+    }
+
+    #[test]
+    fn optimizer_finds_a_known_peak() {
+        let opt = AcquisitionOptimizer::default();
+        // Score peaks at (0.7, 0.3).
+        let best = opt.optimize(2, &[], 3, |p| {
+            -((p[0] - 0.7) * (p[0] - 0.7) + (p[1] - 0.3) * (p[1] - 0.3))
+        });
+        assert!((best[0] - 0.7).abs() < 0.08, "{best:?}");
+        assert!((best[1] - 0.3).abs() < 0.08, "{best:?}");
+    }
+
+    #[test]
+    fn optimizer_uses_anchors_for_local_refinement() {
+        let opt = AcquisitionOptimizer { n_candidates: 10, n_local: 400, local_sigma: 0.02 };
+        // A very narrow peak near the anchor that random search would miss.
+        let anchor = vec![0.912, 0.118];
+        let best = opt.optimize(2, std::slice::from_ref(&anchor), 5, |p| {
+            let d2 = (p[0] - 0.91) * (p[0] - 0.91) + (p[1] - 0.12) * (p[1] - 0.12);
+            (-d2 * 2000.0).exp()
+        });
+        let d = ((best[0] - 0.91).powi(2) + (best[1] - 0.12).powi(2)).sqrt();
+        assert!(d < 0.05, "local refinement missed the peak: {best:?}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Latin hypercube sampling over `[0,1]^d`.
+//!
+//! The paper bootstraps the non-meta BO methods (ResTune-w/o-ML, iTuned,
+//! OtterTune-w-Con) with 10 LHS samples before switching to model-guided
+//! search (§7 "Setting").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws `n` Latin-hypercube samples in `[0,1]^d`.
+///
+/// Each dimension's range is split into `n` equal strata; each stratum is hit
+/// exactly once per dimension, with independent random permutations across
+/// dimensions.
+pub fn latin_hypercube(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = vec![vec![0.0; d]; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    for dim in 0..d {
+        // Fisher–Yates shuffle of the strata.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        for (row, &stratum) in samples.iter_mut().zip(perm.iter()) {
+            let jitter: f64 = rng.random();
+            row[dim] = (stratum as f64 + jitter) / n as f64;
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_unit_cube() {
+        for s in latin_hypercube(32, 5, 1) {
+            assert_eq!(s.len(), 5);
+            for v in s {
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn each_stratum_hit_exactly_once_per_dimension() {
+        let n = 16;
+        let samples = latin_hypercube(n, 3, 7);
+        for dim in 0..3 {
+            let mut strata: Vec<usize> =
+                samples.iter().map(|s| (s[dim] * n as f64).floor() as usize).collect();
+            strata.sort_unstable();
+            assert_eq!(strata, (0..n).collect::<Vec<_>>(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(latin_hypercube(8, 2, 3), latin_hypercube(8, 2, 3));
+        assert_ne!(latin_hypercube(8, 2, 3), latin_hypercube(8, 2, 4));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(latin_hypercube(0, 3, 0).len(), 0);
+        let one = latin_hypercube(1, 2, 0);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].iter().all(|v| (0.0..1.0).contains(v)));
+    }
+}

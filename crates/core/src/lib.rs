@@ -1,0 +1,43 @@
+//! The ResTune tuner: resource-oriented DBMS knob tuning as constrained
+//! Bayesian optimization, boosted by meta-learning.
+//!
+//! Paper: *ResTune: Resource Oriented Tuning Boosted by Meta-Learning for
+//! Cloud Databases*, SIGMOD 2021. Module map (paper section → module):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §3 problem statement (Eq. 1) | [`problem`] |
+//! | §5.1 multi-output GP surrogate | [`surrogate`] |
+//! | §5.2 constrained expected improvement (Eqs. 2–5) | [`acquisition`] |
+//! | §6.1 scale unification | [`scale`] |
+//! | §6.3 meta-learner ensemble (Eqs. 6–7) | [`meta`] |
+//! | §6.4.1 static weights (Eq. 8) | [`meta::static_weights`] |
+//! | §6.4.2 dynamic ranking-loss weights (Eq. 9) | [`meta::dynamic_weights`] |
+//! | §6.4.3 adaptive weight schema | [`tuner`] |
+//! | §4 workflow, convergence, data repository | [`tuner`], [`repository`] |
+//! | §7.3 SHAP knob attribution (Fig. 7) | [`shap`] |
+//! | §7.6 TCO analysis (Tables 8–9) | [`tco`] |
+
+// Indexed loops are intentional in the numeric kernels below: they mirror
+// the textbook formulations and keep bounds explicit.
+#![allow(clippy::needless_range_loop)]
+
+pub mod acquisition;
+pub mod advisor;
+pub mod lhs;
+pub mod meta;
+pub mod problem;
+pub mod repository;
+pub mod scale;
+pub mod shap;
+pub mod surrogate;
+pub mod tco;
+pub mod tuner;
+
+pub use acquisition::{AcquisitionKind, ConstrainedExpectedImprovement};
+pub use meta::{BaseLearner, MetaLearner, WeightStrategy};
+pub use problem::{ResourceKind, SlaConstraints, TuningProblem};
+pub use repository::{DataRepository, TaskObservation, TaskRecord};
+pub use scale::Standardizer;
+pub use surrogate::{SurrogatePrediction, TaskSurrogate};
+pub use tuner::{IterationRecord, RestuneConfig, TuningEnvironment, TuningOutcome, TuningSession};

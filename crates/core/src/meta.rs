@@ -1,0 +1,508 @@
+//! The meta-learner (§6): a weighted ensemble of per-task Gaussian-process
+//! base-learners that transfers tuning experience to a new task.
+//!
+//! * **Base-learners** memorize one historical task's observations each
+//!   (standardized per §6.1), so adding history never inflates the `O(n^3)`
+//!   GP cost of the target task (§6.3).
+//! * **Static weights** (§6.4.1, Eq. 8): before the target has meaningful
+//!   observations, weights come from meta-feature distances through an
+//!   Epanechnikov kernel.
+//! * **Dynamic weights** (§6.4.2, Eq. 9): once observations accumulate, each
+//!   base-learner is scored by its *ranking loss* against the target's
+//!   observations — misranked pairs, not absolute errors, which is what makes
+//!   the transfer robust to hardware-induced scale changes. Weights are the
+//!   probability that a learner has the lowest loss, estimated by sampling
+//!   from learner posteriors (the target uses leave-one-out predictions to
+//!   avoid in-sample optimism).
+//! * **Ensemble predictions** (Eqs. 6–7): the mean is the weighted average of
+//!   base-learner means; the variance is the *target* learner's variance
+//!   alone, because only target observations should shrink uncertainty.
+
+use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
+use gp::{GaussianProcess, Prediction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A historical task's frozen surrogate plus its meta-feature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaseLearner {
+    /// Task label (workload @ instance).
+    pub task_id: String,
+    /// Workload name (for the varying-workloads setting filter).
+    pub workload: String,
+    /// Hardware environment (for the varying-hardware setting filter).
+    pub instance: dbsim::InstanceType,
+    /// Workload meta-feature (averaged cost-class distribution, §6.2).
+    pub meta_feature: Vec<f64>,
+    /// The task's best observed point that met the task's *own* SLA
+    /// (throughput/latency of its first — default — observation). Used to
+    /// seed acquisition anchors; `None` when no stored point qualified.
+    pub promising_point: Option<Vec<f64>>,
+    /// The task's fitted multi-output surrogate.
+    pub model: GpTaskModel,
+}
+
+/// How ensemble weights are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightStrategy {
+    /// Meta-feature distances through the Epanechnikov kernel (Eq. 8).
+    Static {
+        /// Kernel bandwidth ρ.
+        bandwidth: f64,
+    },
+    /// Ranking-loss posterior sampling (Eq. 9).
+    Dynamic {
+        /// Posterior samples used to estimate `P(learner has lowest loss)`.
+        samples: usize,
+        /// At most this many of the most recent target observations enter the
+        /// O(n²) ranking-loss computation.
+        max_points: usize,
+    },
+}
+
+impl WeightStrategy {
+    /// The paper's defaults: bandwidth chosen so Table 5-scale distances
+    /// produce comparable weights; 30 posterior samples.
+    pub fn default_static() -> Self {
+        WeightStrategy::Static { bandwidth: 0.2 }
+    }
+
+    /// Default dynamic strategy.
+    pub fn default_dynamic() -> Self {
+        WeightStrategy::Dynamic { samples: 30, max_points: 50 }
+    }
+}
+
+/// The Epanechnikov quadratic kernel γ(t) = 3/4 (1 − t²) for t ≤ 1 (Eq. 8).
+pub fn epanechnikov(t: f64) -> f64 {
+    if t.abs() <= 1.0 {
+        0.75 * (1.0 - t * t)
+    } else {
+        0.0
+    }
+}
+
+/// Static weights from meta-feature distances (§6.4.1).
+///
+/// Returns one weight per historical learner plus, last, the target's weight
+/// (the kernel at distance zero, 0.75 — matching the ~54 % share Table 5
+/// reports for the target before normalization).
+pub fn static_weights(
+    base: &[BaseLearner],
+    target_meta_feature: &[f64],
+    bandwidth: f64,
+) -> Vec<f64> {
+    let mut weights: Vec<f64> = base
+        .iter()
+        .map(|b| {
+            let d = linalg::vector::euclidean_distance(&b.meta_feature, target_meta_feature);
+            epanechnikov(d / bandwidth)
+        })
+        .collect();
+    weights.push(epanechnikov(0.0));
+    weights
+}
+
+/// The target task's observations, standardized, as the dynamic weighting
+/// needs them.
+#[derive(Debug, Clone)]
+pub struct TargetObservations<'a> {
+    /// Normalized knob points.
+    pub points: &'a [Vec<f64>],
+    /// Standardized resource objective values.
+    pub res: &'a [f64],
+    /// Standardized throughput values.
+    pub tps: &'a [f64],
+    /// Standardized latency values.
+    pub lat: &'a [f64],
+}
+
+/// Counts misranked pairs between `pred` and `actual` (Eq. 9).
+pub fn ranking_loss(pred: &[f64], actual: &[f64]) -> usize {
+    debug_assert_eq!(pred.len(), actual.len());
+    let n = pred.len();
+    let mut loss = 0;
+    for j in 0..n {
+        for k in 0..n {
+            if j == k {
+                continue;
+            }
+            if (pred[j] <= pred[k]) != (actual[j] <= actual[k]) {
+                loss += 1;
+            }
+        }
+    }
+    loss
+}
+
+/// Posterior draws of a GP at `points`: one `Vec<f64>` per sample.
+fn posterior_draws(
+    gp: &GaussianProcess,
+    points: &[Vec<f64>],
+    n_samples: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<f64>> {
+    gp.sample_joint(points, n_samples, rng).unwrap_or_else(|_| {
+        // Degenerate covariance: fall back to the posterior means.
+        let means: Vec<f64> =
+            points.iter().map(|p| gp.predict(p).map(|q| q.mean).unwrap_or(0.0)).collect();
+        vec![means; n_samples]
+    })
+}
+
+/// Independent draws from leave-one-out predictive distributions (used for
+/// the target learner so its loss is out-of-sample, §6.4.2). Only training
+/// indices `start..` are drawn, matching the (possibly truncated) ranking
+/// window.
+fn loo_draws(
+    gp: &GaussianProcess,
+    start: usize,
+    n_samples: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<f64>> {
+    let loo = gp.loo_predictions().unwrap_or_default();
+    let tail = &loo[start.min(loo.len())..];
+    (0..n_samples)
+        .map(|_| {
+            tail.iter()
+                .map(|p| p.mean + p.std_dev() * gp::rand_util::standard_normal(rng))
+                .collect()
+        })
+        .collect()
+}
+
+/// Dynamic weights: the probability that each learner (historical learners
+/// first, target last) attains the lowest summed ranking loss over
+/// {res, tps, lat} (§6.4.2).
+pub fn dynamic_weights(
+    base: &[BaseLearner],
+    target: &GpTaskModel,
+    obs: &TargetObservations<'_>,
+    samples: usize,
+    max_points: usize,
+    seed: u64,
+) -> Vec<f64> {
+    dynamic_weights_with_options(base, target, obs, samples, max_points, true, seed)
+}
+
+/// [`dynamic_weights`] with the RGPE weight-dilution guard switchable (the
+/// ablation harness runs both arms).
+pub fn dynamic_weights_with_options(
+    base: &[BaseLearner],
+    target: &GpTaskModel,
+    obs: &TargetObservations<'_>,
+    samples: usize,
+    max_points: usize,
+    dilution_guard: bool,
+    seed: u64,
+) -> Vec<f64> {
+    let n_all = obs.points.len();
+    let take = n_all.min(max_points);
+    let start = n_all - take;
+    let points = &obs.points[start..];
+    let actual: [&[f64]; 3] =
+        [&obs.res[start..], &obs.tps[start..], &obs.lat[start..]];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = base.len();
+    if take < 3 {
+        // Too few observations to rank: everything on the target.
+        let mut w = vec![0.0; t + 1];
+        w[t] = 1.0;
+        return w;
+    }
+
+    // Pre-draw posterior samples per learner per metric.
+    // draws[learner][metric][sample] -> predictions at `points`.
+    let mut draws: Vec<[Vec<Vec<f64>>; 3]> = Vec::with_capacity(t + 1);
+    for b in base {
+        draws.push([
+            posterior_draws(&b.model.res, points, samples, &mut rng),
+            posterior_draws(&b.model.tps, points, samples, &mut rng),
+            posterior_draws(&b.model.lat, points, samples, &mut rng),
+        ]);
+    }
+    draws.push([
+        loo_draws(&target.res, start, samples, &mut rng),
+        loo_draws(&target.tps, start, samples, &mut rng),
+        loo_draws(&target.lat, start, samples, &mut rng),
+    ]);
+
+    // Per-learner per-sample summed losses.
+    let mut losses = vec![vec![0usize; samples]; t + 1];
+    for (li, learner_draws) in draws.iter().enumerate() {
+        for s in 0..samples {
+            let mut loss = 0;
+            for (m, actual_m) in actual.iter().enumerate() {
+                loss += ranking_loss(&learner_draws[m][s], actual_m);
+            }
+            losses[li][s] = loss;
+        }
+    }
+
+    // Weight-dilution guard (RGPE): drop a historical learner whose median
+    // loss exceeds the 95th percentile of the *target's* loss samples — it
+    // can only add noise ("negative transfer", §6.4.2 / §7.2.3).
+    let percentile = |sorted: &[usize], q: f64| -> usize {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    let mut target_sorted = losses[t].clone();
+    target_sorted.sort_unstable();
+    let guard = percentile(&target_sorted, 0.95);
+    let allowed: Vec<bool> = (0..=t)
+        .map(|li| {
+            if li == t || !dilution_guard {
+                return true;
+            }
+            let mut sorted = losses[li].clone();
+            sorted.sort_unstable();
+            percentile(&sorted, 0.5) <= guard
+        })
+        .collect();
+
+    let mut counts = vec![0.0; t + 1];
+    for s in 0..samples {
+        let mut best_loss = usize::MAX;
+        let mut best: Vec<usize> = Vec::new();
+        for li in 0..=t {
+            if !allowed[li] {
+                continue;
+            }
+            let loss = losses[li][s];
+            match loss.cmp(&best_loss) {
+                std::cmp::Ordering::Less => {
+                    best_loss = loss;
+                    best = vec![li];
+                }
+                std::cmp::Ordering::Equal => best.push(li),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        // Split ties evenly (unbiased estimate of P(min)).
+        let share = 1.0 / best.len() as f64;
+        for li in best {
+            counts[li] += share;
+        }
+    }
+    for c in &mut counts {
+        *c /= samples as f64;
+    }
+    counts
+}
+
+/// The ensemble surrogate L_M (§6.3).
+#[derive(Debug, Clone)]
+pub struct MetaLearner {
+    base: Vec<BaseLearner>,
+    target: GpTaskModel,
+    /// Weights over `[base..., target]`; need not be normalized.
+    weights: Vec<f64>,
+}
+
+impl MetaLearner {
+    /// Builds the ensemble with explicit weights (`weights.len() ==
+    /// base.len() + 1`, target last).
+    pub fn new(base: Vec<BaseLearner>, target: GpTaskModel, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), base.len() + 1, "one weight per learner plus target");
+        MetaLearner { base, target, weights }
+    }
+
+    /// A meta-learner with no history: pure target model (ResTune-w/o-ML
+    /// reduces to this).
+    pub fn target_only(target: GpTaskModel) -> Self {
+        MetaLearner { base: Vec::new(), target, weights: vec![1.0] }
+    }
+
+    /// The current weights (historical learners first, target last).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The target base-learner.
+    pub fn target(&self) -> &GpTaskModel {
+        &self.target
+    }
+
+    /// Historical base-learners.
+    pub fn base_learners(&self) -> &[BaseLearner] {
+        &self.base
+    }
+
+    fn ensemble(&self, extract: impl Fn(&GpTaskModel, &[f64]) -> Prediction, point: &[f64]) -> Prediction {
+        let wsum: f64 = self.weights.iter().sum();
+        let target_pred = extract(&self.target, point);
+        if wsum <= 1e-12 {
+            return target_pred;
+        }
+        // Eq. 6: weighted mean across all learners.
+        let mut mean = 0.0;
+        for (b, w) in self.base.iter().zip(&self.weights) {
+            if *w > 0.0 {
+                mean += w * extract(&b.model, point).mean;
+            }
+        }
+        mean += self.weights[self.base.len()] * target_pred.mean;
+        mean /= wsum;
+        // Eq. 7: variance from the target learner only.
+        Prediction { mean, variance: target_pred.variance }
+    }
+}
+
+impl TaskSurrogate for MetaLearner {
+    fn predict(&self, point: &[f64]) -> SurrogatePrediction {
+        SurrogatePrediction {
+            res: self.ensemble(|m, p| m.res.predict(p).expect("dim"), point),
+            tps: self.ensemble(|m, p| m.tps.predict(p).expect("dim"), point),
+            lat: self.ensemble(|m, p| m.lat.predict(p).expect("dim"), point),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp::GpConfig;
+
+    fn model_from(f: impl Fn(f64) -> f64) -> GpTaskModel {
+        let points: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let res: Vec<f64> = points.iter().map(|p| f(p[0])).collect();
+        let tps: Vec<f64> = points.iter().map(|p| 100.0 - 10.0 * p[0]).collect();
+        let lat: Vec<f64> = points.iter().map(|p| 5.0 + p[0]).collect();
+        GpTaskModel::fit(&points, &res, &tps, &lat, &GpConfig::fixed()).unwrap()
+    }
+
+    fn learner(id: &str, mf: Vec<f64>, f: impl Fn(f64) -> f64) -> BaseLearner {
+        BaseLearner {
+            task_id: id.into(),
+            workload: id.into(),
+            instance: dbsim::InstanceType::A,
+            meta_feature: mf,
+            promising_point: None,
+            model: model_from(f),
+        }
+    }
+
+    #[test]
+    fn epanechnikov_shape() {
+        assert_eq!(epanechnikov(0.0), 0.75);
+        assert!(epanechnikov(0.5) > epanechnikov(0.9));
+        assert_eq!(epanechnikov(1.5), 0.0);
+        assert_eq!(epanechnikov(-1.5), 0.0);
+    }
+
+    #[test]
+    fn static_weights_favor_similar_meta_features() {
+        let base = vec![
+            learner("near", vec![0.5, 0.5], |x| x),
+            learner("far", vec![0.9, 0.1], |x| x),
+        ];
+        let w = static_weights(&base, &[0.52, 0.48], 0.5);
+        assert_eq!(w.len(), 3);
+        assert!(w[0] > w[1], "near {} far {}", w[0], w[1]);
+        assert_eq!(w[2], 0.75); // target at distance 0
+    }
+
+    #[test]
+    fn ranking_loss_counts_misranked_pairs() {
+        // Perfectly aligned ranking: zero loss.
+        assert_eq!(ranking_loss(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 0);
+        // Fully reversed: every ordered pair (j != k) misranks except ties.
+        let loss = ranking_loss(&[3.0, 2.0, 1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(loss, 6);
+        // One swap.
+        assert!(ranking_loss(&[1.0, 3.0, 2.0], &[1.0, 2.0, 3.0]) > 0);
+    }
+
+    #[test]
+    fn ranking_loss_is_scale_invariant() {
+        // The whole point of rank-based similarity: multiplying predictions
+        // by any positive scale (different hardware!) leaves the loss
+        // unchanged.
+        let actual = [5.0, 1.0, 3.0, 2.0];
+        let pred = [50.0, 10.0, 30.0, 20.0];
+        let scaled: Vec<f64> = pred.iter().map(|v| v * 1000.0 + 7.0).collect();
+        assert_eq!(ranking_loss(&pred, &actual), 0);
+        assert_eq!(ranking_loss(&scaled, &actual), 0);
+    }
+
+    #[test]
+    fn dynamic_weights_pick_the_matching_base_learner() {
+        // Base learner A models the same res shape as the target; B is
+        // anti-correlated. With enough target observations, A should carry
+        // much more weight than B.
+        let base = vec![
+            learner("match", vec![0.5], |x| x),
+            learner("anti", vec![0.5], |x| 1.0 - x),
+        ];
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let res_raw: Vec<f64> = points.iter().map(|p| 40.0 + 30.0 * p[0]).collect();
+        let tps_raw: Vec<f64> = points.iter().map(|p| 200.0 - 20.0 * p[0]).collect();
+        let lat_raw: Vec<f64> = points.iter().map(|p| 10.0 + 2.0 * p[0]).collect();
+        let target =
+            GpTaskModel::fit(&points, &res_raw, &tps_raw, &lat_raw, &GpConfig::fixed()).unwrap();
+        let res_std = target.scalers.res.transform_all(&res_raw);
+        let tps_std = target.scalers.tps.transform_all(&tps_raw);
+        let lat_std = target.scalers.lat.transform_all(&lat_raw);
+        let obs = TargetObservations {
+            points: &points,
+            res: &res_std,
+            tps: &tps_std,
+            lat: &lat_std,
+        };
+        let w = dynamic_weights(&base, &target, &obs, 40, 50, 7);
+        assert_eq!(w.len(), 3);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[1] + 0.2, "match {} anti {}", w[0], w[1]);
+    }
+
+    #[test]
+    fn dynamic_weights_fall_back_to_target_with_few_points() {
+        let base = vec![learner("a", vec![0.5], |x| x)];
+        let points = vec![vec![0.1], vec![0.9]];
+        let vals = vec![0.0, 1.0];
+        let target = GpTaskModel::fit(
+            &points,
+            &vals,
+            &vals,
+            &vals,
+            &GpConfig::fixed(),
+        )
+        .unwrap();
+        let obs = TargetObservations { points: &points, res: &vals, tps: &vals, lat: &vals };
+        let w = dynamic_weights(&base, &target, &obs, 10, 50, 0);
+        assert_eq!(w, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn ensemble_mean_is_weighted_average_and_variance_is_targets() {
+        let base = vec![learner("a", vec![0.5], |x| x), learner("b", vec![0.5], |x| 1.0 - x)];
+        let target = model_from(|x| 0.5 * x);
+        let target_pred = target.res.predict(&[0.3]).unwrap();
+        let meta = MetaLearner::new(base, target, vec![1.0, 1.0, 2.0]);
+        let pred = meta.predict(&[0.3]);
+        assert_eq!(pred.res.variance, target_pred.variance);
+        // Mean is pulled between the learners; with symmetric base learners
+        // (x and 1-x standardized are mirror images) it stays near target's.
+        assert!(pred.res.mean.is_finite());
+    }
+
+    #[test]
+    fn zero_weights_degrade_to_target_prediction() {
+        let base = vec![learner("a", vec![0.5], |x| x)];
+        let target = model_from(|x| x * x);
+        let expected = target.res.predict(&[0.4]).unwrap();
+        let meta = MetaLearner::new(base, target, vec![0.0, 0.0]);
+        let pred = meta.predict(&[0.4]);
+        assert_eq!(pred.res, expected);
+    }
+
+    #[test]
+    fn target_only_matches_plain_model() {
+        let target = model_from(|x| x);
+        let direct = target.res.predict(&[0.6]).unwrap();
+        let meta = MetaLearner::target_only(target);
+        assert_eq!(meta.predict(&[0.6]).res, direct);
+    }
+}

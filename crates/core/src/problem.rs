@@ -1,0 +1,165 @@
+//! The resource-oriented tuning problem (§3, Eq. 1):
+//!
+//! ```text
+//! argmin_θ f_res(θ)   s.t.  f_tps(θ) ≥ λ_tps,  f_lat(θ) ≤ λ_lat
+//! ```
+//!
+//! with λ set from the performance under the DBA default configuration.
+
+use dbsim::{KnobSet, Observation};
+use serde::{Deserialize, Serialize};
+
+/// Which resource the objective minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU utilization (percent of instance).
+    Cpu,
+    /// Resident memory (GB).
+    Memory,
+    /// I/O bandwidth (MB/s), "BPS" in §7.5.1.
+    IoBps,
+    /// I/O operations per second, "IOPS" in §7.5.1.
+    Iops,
+}
+
+impl ResourceKind {
+    /// Extracts the objective value from an observation.
+    pub fn value(&self, obs: &Observation) -> f64 {
+        match self {
+            ResourceKind::Cpu => obs.resources.cpu_pct,
+            ResourceKind::Memory => obs.resources.mem_gb,
+            ResourceKind::IoBps => obs.resources.io_mbps,
+            ResourceKind::Iops => obs.resources.iops,
+        }
+    }
+
+    /// The knob set the paper pre-selects for this resource (14 CPU, 20 I/O,
+    /// 6 memory knobs).
+    pub fn default_knob_set(&self) -> KnobSet {
+        match self {
+            ResourceKind::Cpu => KnobSet::cpu(),
+            ResourceKind::Memory => KnobSet::memory(),
+            ResourceKind::IoBps | ResourceKind::Iops => KnobSet::io(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "CPU",
+            ResourceKind::Memory => "Memory",
+            ResourceKind::IoBps => "IO-BPS",
+            ResourceKind::Iops => "IOPS",
+        }
+    }
+
+    /// Unit string for reports.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "%",
+            ResourceKind::Memory => "GB",
+            ResourceKind::IoBps => "MB/s",
+            ResourceKind::Iops => "op/s",
+        }
+    }
+}
+
+/// SLA bounds: the throughput floor and latency ceiling (§3). The paper
+/// accepts a 5 % measurement deviation; `tolerance` implements that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaConstraints {
+    /// Lower bound λ_tps on throughput (txn/s).
+    pub min_tps: f64,
+    /// Upper bound λ_lat on p99 latency (ms).
+    pub max_p99_ms: f64,
+    /// Relative tolerance applied to both bounds (paper: 0.05).
+    pub tolerance: f64,
+}
+
+impl SlaConstraints {
+    /// Builds constraints from the default-configuration observation, as the
+    /// paper does: "We set λ_tps and λ_lat to the throughput and latency
+    /// under the DBA's default knobs" (§7).
+    pub fn from_default_observation(obs: &Observation) -> Self {
+        SlaConstraints { min_tps: obs.tps, max_p99_ms: obs.p99_ms, tolerance: 0.05 }
+    }
+
+    /// Effective throughput floor after tolerance.
+    pub fn tps_floor(&self) -> f64 {
+        self.min_tps * (1.0 - self.tolerance)
+    }
+
+    /// Effective latency ceiling after tolerance.
+    pub fn lat_ceiling(&self) -> f64 {
+        self.max_p99_ms * (1.0 + self.tolerance)
+    }
+
+    /// Whether an observation satisfies the SLA.
+    pub fn is_feasible(&self, obs: &Observation) -> bool {
+        obs.tps >= self.tps_floor() && obs.p99_ms <= self.lat_ceiling()
+    }
+}
+
+/// A fully specified tuning problem: search space + objective + constraints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningProblem {
+    /// The knob subspace being tuned, `[0,1]^m` after normalization.
+    pub knob_set: KnobSet,
+    /// The resource objective.
+    pub resource: ResourceKind,
+    /// SLA constraints from the default configuration.
+    pub constraints: SlaConstraints,
+}
+
+impl TuningProblem {
+    /// Search-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.knob_set.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsim::{Configuration, InstanceType, SimulatedDbms, WorkloadSpec};
+
+    fn obs() -> Observation {
+        let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::sysbench(), 0);
+        dbms.evaluate(&Configuration::dba_default())
+    }
+
+    #[test]
+    fn resource_kind_selects_the_right_metric() {
+        let o = obs();
+        assert_eq!(ResourceKind::Cpu.value(&o), o.resources.cpu_pct);
+        assert_eq!(ResourceKind::Memory.value(&o), o.resources.mem_gb);
+        assert_eq!(ResourceKind::IoBps.value(&o), o.resources.io_mbps);
+        assert_eq!(ResourceKind::Iops.value(&o), o.resources.iops);
+    }
+
+    #[test]
+    fn knob_set_sizes_match_the_paper() {
+        assert_eq!(ResourceKind::Cpu.default_knob_set().dim(), 14);
+        assert_eq!(ResourceKind::IoBps.default_knob_set().dim(), 20);
+        assert_eq!(ResourceKind::Memory.default_knob_set().dim(), 6);
+    }
+
+    #[test]
+    fn feasibility_respects_tolerance() {
+        let o = obs();
+        let sla = SlaConstraints::from_default_observation(&o);
+        // The defining observation is feasible by construction.
+        assert!(sla.is_feasible(&o));
+        // 3 % worse tps is inside the 5 % tolerance.
+        let mut worse = o.clone();
+        worse.tps *= 0.97;
+        assert!(sla.is_feasible(&worse));
+        // 10 % worse is not.
+        worse.tps = o.tps * 0.90;
+        assert!(!sla.is_feasible(&worse));
+        // Latency ceiling works the same way.
+        let mut slow = o.clone();
+        slow.p99_ms = o.p99_ms * 1.2;
+        assert!(!sla.is_feasible(&slow));
+    }
+}

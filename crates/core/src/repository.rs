@@ -1,0 +1,294 @@
+//! The data repository (§4): meta-features and observation histories of past
+//! tuning tasks, from which base-learners are built.
+//!
+//! The paper's repository holds 34 past tasks — 17 workloads × 2 hardware
+//! environments, 6 400 observations total — each a set of
+//! `(θ, f_res, f_tps, f_lat)` tuples plus a workload meta-feature.
+
+use crate::meta::BaseLearner;
+use crate::problem::ResourceKind;
+use crate::surrogate::GpTaskModel;
+use dbsim::{Configuration, InstanceType, KnobSet, SimulatedDbms};
+use gp::GpConfig;
+use serde::{Deserialize, Serialize};
+use workload::WorkloadCharacterizer;
+
+/// One stored observation of a historical task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskObservation {
+    /// Normalized knob point.
+    pub point: Vec<f64>,
+    /// Raw resource-objective value.
+    pub res: f64,
+    /// Raw throughput.
+    pub tps: f64,
+    /// Raw p99 latency (ms).
+    pub lat: f64,
+    /// Internal metrics vector (for OtterTune-style mapping).
+    pub metrics: Vec<f64>,
+}
+
+/// A complete historical tuning task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Unique label, conventionally `workload@instance`.
+    pub task_id: String,
+    /// Workload name.
+    pub workload: String,
+    /// Hardware environment.
+    pub instance: InstanceType,
+    /// Resource the task tuned.
+    pub resource: ResourceKind,
+    /// Knob names of the search space (order = point order).
+    pub knob_names: Vec<String>,
+    /// Workload meta-feature (§6.2).
+    pub meta_feature: Vec<f64>,
+    /// Observation history.
+    pub observations: Vec<TaskObservation>,
+}
+
+impl TaskRecord {
+    /// Collects a fresh task record by LHS-sampling `n` configurations on a
+    /// simulated DBMS (how the experiment harnesses bootstrap the repository).
+    pub fn collect(
+        dbms: &mut SimulatedDbms,
+        knob_set: &KnobSet,
+        resource: ResourceKind,
+        characterizer: &WorkloadCharacterizer,
+        n: usize,
+        seed: u64,
+    ) -> TaskRecord {
+        let meta_feature = characterizer.embed_workload(dbms.workload(), seed).probs;
+        let workload_name = dbms.workload().name.clone();
+        let instance = dbms.instance();
+        let base = Configuration::dba_default();
+        let mut observations = Vec::with_capacity(n + 1);
+        // Always include the default point: it anchors the SLA semantics.
+        let mut points = vec![knob_set.default_point()];
+        points.extend(crate::lhs::latin_hypercube(n.saturating_sub(1), knob_set.dim(), seed));
+        for point in points {
+            let config = knob_set.to_configuration(&point, &base);
+            let obs = dbms.evaluate(&config);
+            observations.push(TaskObservation {
+                point,
+                res: resource.value(&obs),
+                tps: obs.tps,
+                lat: obs.p99_ms,
+                metrics: obs.internal.to_vec(),
+            });
+        }
+        TaskRecord {
+            task_id: format!("{}@{}", workload_name, instance.name()),
+            workload: workload_name,
+            instance,
+            resource,
+            knob_names: knob_set.names().to_vec(),
+            meta_feature,
+            observations,
+        }
+    }
+
+    /// Fits this task's frozen base-learner.
+    pub fn to_base_learner(&self, config: &GpConfig) -> Result<BaseLearner, gp::GpError> {
+        let points: Vec<Vec<f64>> = self.observations.iter().map(|o| o.point.clone()).collect();
+        let res: Vec<f64> = self.observations.iter().map(|o| o.res).collect();
+        let tps: Vec<f64> = self.observations.iter().map(|o| o.tps).collect();
+        let lat: Vec<f64> = self.observations.iter().map(|o| o.lat).collect();
+        let model = GpTaskModel::fit(&points, &res, &tps, &lat, config)?;
+        Ok(BaseLearner {
+            task_id: self.task_id.clone(),
+            workload: self.workload.clone(),
+            instance: self.instance,
+            meta_feature: self.meta_feature.clone(),
+            promising_point: self.promising_point(),
+            model,
+        })
+    }
+
+    /// The best stored point that met this task's own SLA (taken relative to
+    /// the first observation, which `collect` pins to the default
+    /// configuration), with the usual 5 % tolerance.
+    pub fn promising_point(&self) -> Option<Vec<f64>> {
+        let first = self.observations.first()?;
+        let (tps_floor, lat_ceiling) = (first.tps * 0.95, first.lat * 1.05);
+        self.observations
+            .iter()
+            .filter(|o| o.tps >= tps_floor && o.lat <= lat_ceiling)
+            .min_by(|a, b| a.res.partial_cmp(&b.res).unwrap())
+            .map(|o| o.point.clone())
+    }
+
+    /// Mean internal-metrics vector over the task's observations (OtterTune's
+    /// workload signature).
+    pub fn mean_metrics(&self) -> Vec<f64> {
+        if self.observations.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.observations[0].metrics.len();
+        let mut acc = vec![0.0; dim];
+        for o in &self.observations {
+            for (a, v) in acc.iter_mut().zip(&o.metrics) {
+                *a += v;
+            }
+        }
+        let n = self.observations.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+}
+
+/// The repository of historical tasks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataRepository {
+    tasks: Vec<TaskRecord>,
+}
+
+impl DataRepository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        DataRepository::default()
+    }
+
+    /// Adds a completed task.
+    pub fn add(&mut self, task: TaskRecord) {
+        self.tasks.push(task);
+    }
+
+    /// All stored tasks.
+    pub fn tasks(&self) -> &[TaskRecord] {
+        &self.tasks
+    }
+
+    /// Number of stored tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total observations across tasks.
+    pub fn n_observations(&self) -> usize {
+        self.tasks.iter().map(|t| t.observations.len()).sum()
+    }
+
+    /// Builds base-learners for every task matching `keep`.
+    ///
+    /// The evaluation's three settings map to filters: *original* keeps all,
+    /// *varying workloads* drops the target workload's tasks, *varying
+    /// hardware* drops tasks from the target's instance.
+    pub fn base_learners(
+        &self,
+        config: &GpConfig,
+        mut keep: impl FnMut(&TaskRecord) -> bool,
+    ) -> Vec<BaseLearner> {
+        self.tasks
+            .iter()
+            .filter(|t| keep(t))
+            .filter_map(|t| t.to_base_learner(config).ok())
+            .collect()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsim::WorkloadSpec;
+
+    fn sample_record() -> TaskRecord {
+        let characterizer = WorkloadCharacterizer::train_default(1);
+        let mut dbms = SimulatedDbms::new(InstanceType::B, WorkloadSpec::twitter(), 3);
+        TaskRecord::collect(
+            &mut dbms,
+            &KnobSet::case_study(),
+            ResourceKind::Cpu,
+            &characterizer,
+            12,
+            5,
+        )
+    }
+
+    #[test]
+    fn collect_produces_default_plus_lhs_points() {
+        let rec = sample_record();
+        assert_eq!(rec.observations.len(), 12);
+        assert_eq!(rec.task_id, "Twitter@B");
+        assert_eq!(rec.knob_names.len(), 3);
+        // First observation is the default point.
+        let def = KnobSet::case_study().default_point();
+        assert_eq!(rec.observations[0].point, def);
+        assert!(!rec.meta_feature.is_empty());
+    }
+
+    #[test]
+    fn base_learner_fits_from_record() {
+        let rec = sample_record();
+        let learner = rec.to_base_learner(&GpConfig::fixed()).unwrap();
+        assert_eq!(learner.task_id, "Twitter@B");
+        assert_eq!(learner.model.n(), 12);
+    }
+
+    #[test]
+    fn repository_roundtrips_through_json() {
+        let mut repo = DataRepository::new();
+        repo.add(sample_record());
+        let json = repo.to_json().unwrap();
+        let back = DataRepository::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.tasks()[0], repo.tasks()[0]);
+    }
+
+    #[test]
+    fn filters_implement_the_evaluation_settings() {
+        let mut repo = DataRepository::new();
+        let rec = sample_record();
+        repo.add(rec.clone());
+        let mut other = rec.clone();
+        other.task_id = "Twitter@A".into();
+        other.instance = InstanceType::A;
+        repo.add(other);
+
+        let all = repo.base_learners(&GpConfig::fixed(), |_| true);
+        assert_eq!(all.len(), 2);
+        // Varying hardware: exclude instance B.
+        let vh = repo.base_learners(&GpConfig::fixed(), |t| t.instance != InstanceType::B);
+        assert_eq!(vh.len(), 1);
+        // Varying workloads: exclude the Twitter workload entirely.
+        let vw = repo.base_learners(&GpConfig::fixed(), |t| t.workload != "Twitter");
+        assert_eq!(vw.len(), 0);
+    }
+
+    #[test]
+    fn mean_metrics_averages_observations() {
+        let rec = sample_record();
+        let m = rec.mean_metrics();
+        assert_eq!(m.len(), dbsim::InternalMetrics::DIM);
+        assert!(m.iter().all(|v| v.is_finite()));
+    }
+}

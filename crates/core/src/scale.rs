@@ -1,0 +1,120 @@
+//! Scale unification (§6.1).
+//!
+//! Metrics differ wildly in scale across instances and workloads (2 K txn/s
+//! vs 30 K txn/s, 8 GB vs 128 GB). Before any cross-task learning, each
+//! task's observations are standardized to zero mean / unit standard
+//! deviation, so base-learners output *relative* values. Constraint bounds
+//! are re-scaled through the same transform; the paper's §6.1 proof notes
+//! that with the meta-learner, the re-scaled bound can simply be the
+//! meta-learner's prediction at the default configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// An affine standardizer `z = (x - mean) / std`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    /// Empirical mean.
+    pub mean: f64,
+    /// Empirical standard deviation (floored to avoid division blow-ups on
+    /// constant data).
+    pub std: f64,
+}
+
+impl Standardizer {
+    /// Minimum standard deviation; constant observation sets (e.g. tps pinned
+    /// at the request rate) standardize to zero rather than exploding.
+    pub const MIN_STD: f64 = 1e-9;
+
+    /// Fits mean/std on `values` (population std).
+    pub fn fit(values: &[f64]) -> Self {
+        let mean = linalg::vector::mean(values);
+        let std = linalg::vector::std_dev(values).max(Self::MIN_STD);
+        Standardizer { mean, std }
+    }
+
+    /// Standardizes one value.
+    pub fn transform(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std
+    }
+
+    /// Standardizes a slice.
+    pub fn transform_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|x| self.transform(*x)).collect()
+    }
+
+    /// Inverse transform back to the original scale.
+    pub fn inverse(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+}
+
+/// The per-task scalers for the three modeled outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskScalers {
+    /// Resource-objective scaler.
+    pub res: Standardizer,
+    /// Throughput scaler.
+    pub tps: Standardizer,
+    /// Latency scaler.
+    pub lat: Standardizer,
+}
+
+impl TaskScalers {
+    /// Fits all three scalers from raw observation columns.
+    pub fn fit(res: &[f64], tps: &[f64], lat: &[f64]) -> Self {
+        TaskScalers {
+            res: Standardizer::fit(res),
+            tps: Standardizer::fit(tps),
+            lat: Standardizer::fit(lat),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_data_has_zero_mean_unit_std() {
+        let xs = [3.0, 7.0, 11.0, 5.0, 9.0];
+        let s = Standardizer::fit(&xs);
+        let zs = s.transform_all(&xs);
+        assert!(linalg::vector::mean(&zs).abs() < 1e-12);
+        assert!((linalg::vector::std_dev(&zs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip() {
+        let s = Standardizer::fit(&[10.0, 20.0, 30.0]);
+        for x in [-5.0, 12.3, 40.0] {
+            assert!((s.inverse(s.transform(x)) - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_data_does_not_explode() {
+        let s = Standardizer::fit(&[21_000.0, 21_000.0, 21_000.0]);
+        let z = s.transform(21_000.0);
+        assert!(z.abs() < 1e-6);
+        assert!(z.is_finite());
+    }
+
+    #[test]
+    fn ordering_is_preserved() {
+        // The heart of the §6.1 proof: standardization is monotone, so
+        // relative comparisons carry over. L(a) <= L(b) iff a <= b.
+        let s = Standardizer::fit(&[1.0, 5.0, 9.0, 2.0]);
+        let pairs = [(1.0, 2.0), (-3.0, 7.5), (5.0, 5.1)];
+        for (a, b) in pairs {
+            assert_eq!(a <= b, s.transform(a) <= s.transform(b));
+        }
+    }
+
+    #[test]
+    fn task_scalers_fit_all_three_outputs() {
+        let t = TaskScalers::fit(&[50.0, 60.0], &[1000.0, 2000.0], &[10.0, 30.0]);
+        assert!((t.res.mean - 55.0).abs() < 1e-12);
+        assert!((t.tps.mean - 1500.0).abs() < 1e-12);
+        assert!((t.lat.mean - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! The multi-output task surrogate (§5.1): three conditionally independent
+//! Gaussian processes over the normalized knob space, one each for the
+//! resource objective, throughput, and p99 latency — fitted on *standardized*
+//! observations (§6.1).
+
+use crate::scale::TaskScalers;
+use gp::{GaussianProcess, GpConfig, GpError, Prediction};
+use serde::{Deserialize, Serialize};
+
+/// Joint prediction of the three modeled outputs, in standardized units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurrogatePrediction {
+    /// Resource objective.
+    pub res: Prediction,
+    /// Throughput.
+    pub tps: Prediction,
+    /// p99 latency.
+    pub lat: Prediction,
+}
+
+/// Anything that can predict `(f_res, f_tps, f_lat)` at a normalized point:
+/// a single task model, or the meta-learner ensemble.
+pub trait TaskSurrogate {
+    /// Predicts the three outputs (standardized scale).
+    fn predict(&self, point: &[f64]) -> SurrogatePrediction;
+}
+
+/// A single task's surrogate: three GPs on standardized outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpTaskModel {
+    /// GP over the standardized resource objective.
+    pub res: GaussianProcess,
+    /// GP over standardized throughput.
+    pub tps: GaussianProcess,
+    /// GP over standardized latency.
+    pub lat: GaussianProcess,
+    /// The scalers used (needed to map SLA bounds into model space).
+    pub scalers: TaskScalers,
+}
+
+impl GpTaskModel {
+    /// Fits the three GPs on raw observation columns; standardization happens
+    /// internally so base-learners from different tasks share one scale.
+    pub fn fit(
+        points: &[Vec<f64>],
+        res_raw: &[f64],
+        tps_raw: &[f64],
+        lat_raw: &[f64],
+        config: &GpConfig,
+    ) -> Result<Self, GpError> {
+        let scalers = TaskScalers::fit(res_raw, tps_raw, lat_raw);
+        let pts = points.to_vec();
+        let res = GaussianProcess::fit(pts.clone(), scalers.res.transform_all(res_raw), config)?;
+        let tps = GaussianProcess::fit(pts.clone(), scalers.tps.transform_all(tps_raw), config)?;
+        let lat = GaussianProcess::fit(pts, scalers.lat.transform_all(lat_raw), config)?;
+        Ok(GpTaskModel { res, tps, lat, scalers })
+    }
+
+    /// Number of observations the model was fitted on.
+    pub fn n(&self) -> usize {
+        self.res.n()
+    }
+}
+
+impl TaskSurrogate for GpTaskModel {
+    fn predict(&self, point: &[f64]) -> SurrogatePrediction {
+        SurrogatePrediction {
+            res: self.res.predict(point).expect("dimension checked at fit"),
+            tps: self.tps.predict(point).expect("dimension checked at fit"),
+            lat: self.lat.predict(point).expect("dimension checked at fit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> GpTaskModel {
+        // res = x, tps = 100 - 50x, lat = 10 + 5x over a 1-D grid.
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let res: Vec<f64> = points.iter().map(|p| 80.0 * p[0] + 10.0).collect();
+        let tps: Vec<f64> = points.iter().map(|p| 100.0 - 50.0 * p[0]).collect();
+        let lat: Vec<f64> = points.iter().map(|p| 10.0 + 5.0 * p[0]).collect();
+        GpTaskModel::fit(&points, &res, &tps, &lat, &GpConfig::fixed()).unwrap()
+    }
+
+    #[test]
+    fn predictions_track_the_training_signal() {
+        let m = toy_model();
+        let lo = m.predict(&[0.05]);
+        let hi = m.predict(&[0.95]);
+        // Standardized res increases with x, tps decreases, lat increases.
+        assert!(lo.res.mean < hi.res.mean);
+        assert!(lo.tps.mean > hi.tps.mean);
+        assert!(lo.lat.mean < hi.lat.mean);
+    }
+
+    #[test]
+    fn scalers_invert_to_raw_units() {
+        let m = toy_model();
+        let p = m.predict(&[0.5]);
+        let raw_res = m.scalers.res.inverse(p.res.mean);
+        assert!((raw_res - 50.0).abs() < 8.0, "raw res {raw_res}");
+    }
+
+    #[test]
+    fn n_reports_observation_count() {
+        assert_eq!(toy_model().n(), 10);
+    }
+}

@@ -1,0 +1,819 @@
+//! The ResTune tuning session (§4): evaluate the default to fix the SLA,
+//! then iterate *recommend → apply → replay → observe*, with the adaptive
+//! weight schema of §6.4.3 (meta-feature static weights for the first
+//! iterations, ranking-loss dynamic weights afterwards).
+
+use crate::acquisition::{
+    AcquisitionKind, AcquisitionOptimizer, ConstrainedExpectedImprovement, expected_improvement,
+};
+use crate::meta::{
+    static_weights, BaseLearner, MetaLearner, TargetObservations,
+};
+use crate::problem::{ResourceKind, SlaConstraints, TuningProblem};
+use crate::surrogate::{GpTaskModel, TaskSurrogate};
+use dbsim::{Configuration, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSpec};
+use gp::GpConfig;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The target DBMS copy plus the search space and objective.
+#[derive(Debug, Clone)]
+pub struct TuningEnvironment {
+    /// The simulated DBMS copy under test.
+    pub dbms: SimulatedDbms,
+    /// The knob subspace being tuned.
+    pub knob_set: KnobSet,
+    /// The resource objective.
+    pub resource: ResourceKind,
+}
+
+impl TuningEnvironment {
+    /// Starts a builder.
+    pub fn builder() -> TuningEnvironmentBuilder {
+        TuningEnvironmentBuilder::default()
+    }
+}
+
+/// Builder for [`TuningEnvironment`].
+#[derive(Debug, Clone)]
+pub struct TuningEnvironmentBuilder {
+    instance: InstanceType,
+    workload: WorkloadSpec,
+    resource: ResourceKind,
+    knob_set: Option<KnobSet>,
+    seed: u64,
+    noise: Option<f64>,
+}
+
+impl Default for TuningEnvironmentBuilder {
+    fn default() -> Self {
+        TuningEnvironmentBuilder {
+            instance: InstanceType::A,
+            workload: WorkloadSpec::sysbench(),
+            resource: ResourceKind::Cpu,
+            knob_set: None,
+            seed: 0,
+            noise: None,
+        }
+    }
+}
+
+impl TuningEnvironmentBuilder {
+    /// Hardware environment (Table 1).
+    pub fn instance(mut self, instance: InstanceType) -> Self {
+        self.instance = instance;
+        self
+    }
+
+    /// Target workload (Table 2).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Resource objective; also selects the default knob set.
+    pub fn resource(mut self, resource: ResourceKind) -> Self {
+        self.resource = resource;
+        self
+    }
+
+    /// Overrides the knob set (e.g. the 3-knob case study).
+    pub fn knob_set(mut self, set: KnobSet) -> Self {
+        self.knob_set = Some(set);
+        self
+    }
+
+    /// Simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Observation noise override (`0.0` = deterministic).
+    pub fn noise(mut self, noise: f64) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Builds the environment.
+    pub fn build(self) -> TuningEnvironment {
+        let mut dbms = SimulatedDbms::new(self.instance, self.workload, self.seed);
+        if let Some(n) = self.noise {
+            dbms = dbms.with_noise(n);
+        }
+        let knob_set = self.knob_set.unwrap_or_else(|| self.resource.default_knob_set());
+        TuningEnvironment { dbms, knob_set, resource: self.resource }
+    }
+}
+
+/// How the first `init_iters` iterations pick points when meta-learning is
+/// active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitStrategy {
+    /// Suggestions from the static-weight (meta-feature) ensemble — full
+    /// ResTune.
+    StaticWeights,
+    /// Latin hypercube samples — the ResTune-w/o-Workload ablation of
+    /// Figure 6(b).
+    Lhs,
+}
+
+/// ResTune configuration (defaults follow §7 "Setting").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RestuneConfig {
+    /// Initialization iterations before switching to dynamic weights / after
+    /// which LHS bootstrapping ends (paper: 10).
+    pub init_iters: usize,
+    /// Initialization point source when meta-learning is active.
+    pub init_strategy: InitStrategy,
+    /// GP fitting configuration.
+    pub gp: GpConfig,
+    /// Refit GP hyperparameters every `k` iterations once > 40 observations.
+    pub refit_hypers_every: usize,
+    /// Acquisition function (CEI for ResTune; EI reproduces iTuned).
+    pub acquisition: AcquisitionKind,
+    /// Acquisition optimizer budget.
+    pub optimizer: AcquisitionOptimizer,
+    /// Epanechnikov bandwidth ρ for static weights.
+    pub static_bandwidth: f64,
+    /// Posterior samples for dynamic weights (§6.4.2).
+    pub dynamic_samples: usize,
+    /// Cap on target observations entering the O(n²) ranking loss.
+    pub max_rank_points: usize,
+    /// Convergence window: no metric moves more than `convergence_epsilon`
+    /// for this many consecutive iterations (§4: 0.5 % over 10 iterations).
+    pub convergence_window: usize,
+    /// Relative convergence threshold.
+    pub convergence_epsilon: f64,
+    /// RGPE weight-dilution guard (drop base-learners whose median ranking
+    /// loss exceeds the target's 95th percentile). On by default; the
+    /// ablation harness turns it off.
+    pub dilution_guard: bool,
+    /// During the static-weight bootstrap, source constraint predictions
+    /// from the target learner only (see DESIGN.md §5b). On by default.
+    pub static_constraints_from_target: bool,
+    /// Algorithm seed (acquisition optimizer, weight sampling).
+    pub seed: u64,
+}
+
+impl Default for RestuneConfig {
+    fn default() -> Self {
+        RestuneConfig {
+            init_iters: 10,
+            init_strategy: InitStrategy::StaticWeights,
+            gp: GpConfig::default(),
+            refit_hypers_every: 5,
+            acquisition: AcquisitionKind::ConstrainedExpectedImprovement,
+            optimizer: AcquisitionOptimizer::default(),
+            static_bandwidth: 0.2,
+            dynamic_samples: 30,
+            max_rank_points: 50,
+            convergence_window: 10,
+            convergence_epsilon: 0.005,
+            dilution_guard: true,
+            static_constraints_from_target: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Wall-clock breakdown of a single iteration (Table 3's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationTiming {
+    /// Meta-data processing (scale unification, meta-feature handling).
+    pub meta_data_processing_s: f64,
+    /// Model update (GP fits + weight learning).
+    pub model_update_s: f64,
+    /// Knob recommendation (acquisition optimization).
+    pub recommendation_s: f64,
+    /// Target workload replay (simulated seconds).
+    pub replay_s: f64,
+}
+
+impl IterationTiming {
+    /// Total iteration time.
+    pub fn total_s(&self) -> f64 {
+        self.meta_data_processing_s + self.model_update_s + self.recommendation_s + self.replay_s
+    }
+}
+
+/// One tuning iteration's record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// Normalized point that was evaluated.
+    pub point: Vec<f64>,
+    /// Raw observation.
+    pub observation: Observation,
+    /// Raw objective value.
+    pub objective: f64,
+    /// Whether the observation met the SLA.
+    pub feasible: bool,
+    /// Running best feasible objective (includes the default as incumbent).
+    pub best_feasible_objective: f64,
+    /// Ensemble weights at recommendation time (base learners..., target),
+    /// when meta-learning was active.
+    pub weights: Option<Vec<f64>>,
+    /// Timing breakdown.
+    pub timing: IterationTiming,
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    /// Per-iteration records.
+    pub history: Vec<IterationRecord>,
+    /// The default-configuration observation that fixed the SLA.
+    pub default_observation: Observation,
+    /// The SLA constraints.
+    pub sla: SlaConstraints,
+    /// Best feasible configuration found (the default if nothing better).
+    pub best_config: Configuration,
+    /// Best feasible objective value.
+    pub best_objective: Option<f64>,
+    /// Iteration (0-based) at which the best was found; `None` if the default
+    /// was never improved.
+    pub best_iteration: Option<usize>,
+    /// Iteration at which the §4 convergence criterion first held.
+    pub converged_at: Option<usize>,
+    /// The default configuration's objective value (the tuning baseline).
+    pub default_obj_value: f64,
+}
+
+impl TuningOutcome {
+    /// The best-feasible-objective curve per iteration (what Figures 3–5
+    /// plot).
+    pub fn best_curve(&self) -> Vec<f64> {
+        self.history.iter().map(|r| r.best_feasible_objective).collect()
+    }
+
+    /// Relative improvement of the best feasible objective over the default.
+    pub fn improvement(&self) -> f64 {
+        let default = self.default_obj_value.max(1e-12);
+        match self.best_objective {
+            Some(best) => (default - best) / default,
+            None => 0.0,
+        }
+    }
+
+    /// The default configuration's objective value.
+    pub fn default_objective(&self) -> f64 {
+        self.default_obj_value
+    }
+}
+
+/// A running ResTune tuning session.
+///
+/// # Examples
+///
+/// ```
+/// use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningSession};
+/// use restune_core::problem::ResourceKind;
+/// use restune_core::acquisition::AcquisitionOptimizer;
+/// use dbsim::{InstanceType, KnobSet, WorkloadSpec};
+///
+/// let env = TuningEnvironment::builder()
+///     .instance(InstanceType::A)
+///     .workload(WorkloadSpec::twitter())
+///     .resource(ResourceKind::Cpu)
+///     .knob_set(KnobSet::case_study())
+///     .seed(1)
+///     .build();
+/// let config = RestuneConfig {
+///     optimizer: AcquisitionOptimizer { n_candidates: 200, n_local: 40, local_sigma: 0.1 },
+///     ..Default::default()
+/// };
+/// let mut session = TuningSession::new(env, config);
+/// let outcome = session.run(8);
+/// assert_eq!(outcome.history.len(), 8);
+/// // The incumbent is always SLA-feasible (the default until improved).
+/// assert!(outcome.best_objective.unwrap() <= outcome.default_obj_value);
+/// ```
+pub struct TuningSession {
+    env: TuningEnvironment,
+    config: RestuneConfig,
+    base_learners: Vec<BaseLearner>,
+    target_meta_feature: Vec<f64>,
+    problem: TuningProblem,
+    default_observation: Observation,
+    default_point: Vec<f64>,
+    /// All observed points (default first).
+    points: Vec<Vec<f64>>,
+    res: Vec<f64>,
+    tps: Vec<f64>,
+    lat: Vec<f64>,
+    history: Vec<IterationRecord>,
+    best: Option<(usize, f64, Vec<f64>)>,
+    lhs_plan: Vec<Vec<f64>>,
+    converged_at: Option<usize>,
+    use_meta: bool,
+    last_improvement: usize,
+}
+
+impl TuningSession {
+    /// A session without meta-learning (ResTune-w/o-ML): LHS bootstrap, then
+    /// CEI over the target-only surrogate.
+    pub fn new(env: TuningEnvironment, config: RestuneConfig) -> Self {
+        Self::build(env, config, Vec::new(), Vec::new(), false)
+    }
+
+    /// A session boosted by historical base-learners (full ResTune).
+    pub fn with_base_learners(
+        env: TuningEnvironment,
+        config: RestuneConfig,
+        base_learners: Vec<BaseLearner>,
+        target_meta_feature: Vec<f64>,
+    ) -> Self {
+        Self::build(env, config, base_learners, target_meta_feature, true)
+    }
+
+    fn build(
+        mut env: TuningEnvironment,
+        config: RestuneConfig,
+        base_learners: Vec<BaseLearner>,
+        target_meta_feature: Vec<f64>,
+        use_meta: bool,
+    ) -> Self {
+        let default_observation = env.dbms.evaluate(&Configuration::dba_default());
+        let sla = SlaConstraints::from_default_observation(&default_observation);
+        let problem = TuningProblem {
+            knob_set: env.knob_set.clone(),
+            resource: env.resource,
+            constraints: sla,
+        };
+        let default_point = env.knob_set.default_point();
+        let default_objective = env.resource.value(&default_observation);
+        let lhs_plan =
+            crate::lhs::latin_hypercube(config.init_iters, env.knob_set.dim(), config.seed ^ 0x5A);
+        let mut session = TuningSession {
+            env,
+            config,
+            base_learners,
+            target_meta_feature,
+            problem,
+            default_observation: default_observation.clone(),
+            default_point: default_point.clone(),
+            points: Vec::new(),
+            res: Vec::new(),
+            tps: Vec::new(),
+            lat: Vec::new(),
+            history: Vec::new(),
+            best: None,
+            lhs_plan,
+            converged_at: None,
+            use_meta,
+            last_improvement: 0,
+        };
+        // The default observation seeds the model and the incumbent.
+        session.record_data(default_point, &default_observation);
+        session.best = Some((0, default_objective, session.default_point.clone()));
+        session
+    }
+
+    fn record_data(&mut self, point: Vec<f64>, obs: &Observation) {
+        self.points.push(point);
+        self.res.push(self.env.resource.value(obs));
+        self.tps.push(obs.tps);
+        self.lat.push(obs.p99_ms);
+    }
+
+    /// The SLA in force.
+    pub fn sla(&self) -> SlaConstraints {
+        self.problem.constraints
+    }
+
+    /// The default observation.
+    pub fn default_observation(&self) -> &Observation {
+        &self.default_observation
+    }
+
+    /// Completed iterations.
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    fn fit_target(&self) -> Result<GpTaskModel, gp::GpError> {
+        let n = self.points.len();
+        let iter = self.history.len();
+        let mut gp_config = self.config.gp.clone();
+        gp_config.optimize_hypers = self.config.gp.optimize_hypers
+            && (n <= 40 || iter.is_multiple_of(self.config.refit_hypers_every));
+        gp_config.seed = self.config.seed;
+        let res = match self.config.acquisition {
+            // Penalty-based constrained BO (§2's simple alternative): the
+            // surrogate is fit on a *penalized* objective — infeasible
+            // observations are pushed above the worst feasible value, so
+            // plain EI steers away from them.
+            AcquisitionKind::PenalizedExpectedImprovement => self.penalized_res(),
+            _ => self.res.clone(),
+        };
+        GpTaskModel::fit(&self.points, &res, &self.tps, &self.lat, &gp_config)
+    }
+
+    fn penalized_res(&self) -> Vec<f64> {
+        let sla = self.problem.constraints;
+        let worst = self.res.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best = self.res.iter().cloned().fold(f64::INFINITY, f64::min);
+        let penalty = worst + 0.3 * (worst - best).max(1.0);
+        self.res
+            .iter()
+            .zip(self.tps.iter().zip(&self.lat))
+            .map(|(r, (t, l))| {
+                if *t >= sla.tps_floor() && *l <= sla.lat_ceiling() {
+                    *r
+                } else {
+                    penalty
+                }
+            })
+            .collect()
+    }
+
+    /// Runs one iteration; returns the new record.
+    pub fn step(&mut self) -> IterationRecord {
+        let iter = self.history.len();
+        let seed = self.config.seed.wrapping_add(iter as u64).wrapping_mul(0x9E37);
+
+        // ---- meta-data processing: scale unification ----------------------
+        // (standardizing the observation columns; the heavy lifting — GP
+        // fits and weight learning — is the model-update phase below)
+        let t0 = Instant::now();
+        let scalers_probe = crate::scale::TaskScalers::fit(&self.res, &self.tps, &self.lat);
+        let _ = &scalers_probe;
+        let meta_data_processing_s = t0.elapsed().as_secs_f64();
+
+        // ---- model update: surrogate fit + weights + ensemble ---------------
+        let t1 = Instant::now();
+        let target = self.fit_target().expect("target surrogate fit");
+        let (surrogate, weights): (MetaLearner, Option<Vec<f64>>) = if self.use_meta
+            && !self.base_learners.is_empty()
+        {
+            let w = if iter < self.config.init_iters {
+                static_weights(
+                    &self.base_learners,
+                    &self.target_meta_feature,
+                    self.config.static_bandwidth,
+                )
+            } else {
+                let res_std = target.scalers.res.transform_all(&self.res);
+                let tps_std = target.scalers.tps.transform_all(&self.tps);
+                let lat_std = target.scalers.lat.transform_all(&self.lat);
+                let obs = TargetObservations {
+                    points: &self.points,
+                    res: &res_std,
+                    tps: &tps_std,
+                    lat: &lat_std,
+                };
+                crate::meta::dynamic_weights_with_options(
+                    &self.base_learners,
+                    &target,
+                    &obs,
+                    self.config.dynamic_samples,
+                    self.config.max_rank_points,
+                    self.config.dilution_guard,
+                    seed,
+                )
+            };
+            let learner = MetaLearner::new(self.base_learners.clone(), target, w.clone());
+            (learner, Some(w))
+        } else {
+            (MetaLearner::target_only(target), None)
+        };
+        let model_update_s = t1.elapsed().as_secs_f64();
+
+        // ---- knob recommendation -------------------------------------------
+        let t2 = Instant::now();
+        let lhs_init = iter < self.config.init_iters
+            && (!self.use_meta || self.config.init_strategy == InitStrategy::Lhs);
+        // During the static bootstrap the ensemble mixes base-learners from
+        // heterogeneous hardware whose *feasibility* surfaces can disagree
+        // with the target instance (a small machine's optimal concurrency
+        // throttles a big one). Constraint predictions therefore come from
+        // the target learner until dynamic (ranking-loss) weights take over —
+        // ranking loss scores tps/lat orderings explicitly, so the dynamic
+        // ensemble is safe for constraints.
+        let constraints_from_target = self.use_meta
+            && iter < self.config.init_iters
+            && self.config.static_constraints_from_target;
+        // Stagnation safeguard: when the incumbent has not moved for a long
+        // stretch (a misled ensemble or a degenerate surrogate can pin the
+        // acquisition in a dead region), interleave a uniform exploration
+        // point every few iterations — standard ε-greedy insurance in BO
+        // implementations.
+        let stagnated = iter >= self.config.init_iters
+            && iter.saturating_sub(self.last_improvement) >= 8
+            && iter.is_multiple_of(4);
+        let point = if lhs_init {
+            // Non-meta methods (and the w/o-Workload ablation) bootstrap with
+            // LHS (§7 Setting).
+            self.lhs_plan[iter].clone()
+        } else if stagnated {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE5C4);
+            (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect()
+        } else {
+            self.optimize_acquisition(&surrogate, constraints_from_target, seed)
+        };
+        let recommendation_s = t2.elapsed().as_secs_f64();
+
+        // ---- apply + replay ---------------------------------------------------
+        let config =
+            self.problem.knob_set.to_configuration(&point, &Configuration::dba_default());
+        let observation = self.env.dbms.evaluate(&config);
+        let replay_s = observation.replay_seconds;
+
+        let objective = self.env.resource.value(&observation);
+        let feasible = self.problem.constraints.is_feasible(&observation);
+        self.record_data(point.clone(), &observation);
+        if feasible && objective < self.best.as_ref().map(|b| b.1).unwrap_or(f64::INFINITY) {
+            self.best = Some((iter, objective, point.clone()));
+            self.last_improvement = iter;
+        }
+
+        let record = IterationRecord {
+            iteration: iter,
+            point,
+            observation,
+            objective,
+            feasible,
+            best_feasible_objective: self.best.as_ref().map(|b| b.1).unwrap(),
+            weights,
+            timing: IterationTiming {
+                meta_data_processing_s,
+                model_update_s,
+                recommendation_s,
+                replay_s,
+            },
+        };
+        self.history.push(record.clone());
+        self.check_convergence();
+        record
+    }
+
+    fn optimize_acquisition(
+        &self,
+        surrogate: &MetaLearner,
+        constraints_from_target: bool,
+        seed: u64,
+    ) -> Vec<f64> {
+        // Joint prediction with constraints optionally sourced from the
+        // target learner alone.
+        let predict = |p: &[f64]| {
+            let mut pred = surrogate.predict(p);
+            if constraints_from_target {
+                let t = surrogate.target();
+                pred.tps = t.tps.predict(p).expect("dim");
+                pred.lat = t.lat.predict(p).expect("dim");
+            }
+            pred
+        };
+        // Re-scaled constraint bounds λ' = L_M(θ_d) (§6.1), widened by the
+        // 5 % tolerance expressed in target-σ units.
+        let default_pred = predict(&self.default_point);
+        let scalers = surrogate.target().scalers;
+        let tol = self.problem.constraints.tolerance;
+        let tps_floor =
+            default_pred.tps.mean - tol * self.problem.constraints.min_tps / scalers.tps.std;
+        let lat_ceiling =
+            default_pred.lat.mean + tol * self.problem.constraints.max_p99_ms / scalers.lat.std;
+
+        let (best_feasible, mut anchors) = match &self.best {
+            Some((_, _, point)) => {
+                let incumbent = predict(point).res.mean;
+                (Some(incumbent), vec![point.clone()])
+            }
+            None => (None, Vec::new()),
+        };
+        // Seed local refinement with the best observed points of the
+        // highest-weight base-learners: "suggest knobs that are promising
+        // according to similar historical tasks" (§6.4.3).
+        let weights = surrogate.weights();
+        let mut ranked: Vec<(usize, f64)> = surrogate
+            .base_learners()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i, weights[i]))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        for (i, w) in ranked.into_iter().take(3) {
+            if w <= 0.0 {
+                break;
+            }
+            // Anchor on the learner's best point that met its own task's SLA
+            // — the raw resource minimum is usually a throttled violator.
+            if let Some(p) = &surrogate.base_learners()[i].promising_point {
+                anchors.push(p.clone());
+            }
+        }
+
+        match self.config.acquisition {
+            AcquisitionKind::ConstrainedExpectedImprovement => {
+                let cei = ConstrainedExpectedImprovement { best_feasible, tps_floor, lat_ceiling };
+                self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
+                    cei.value(&predict(p))
+                })
+            }
+            AcquisitionKind::PenalizedExpectedImprovement => {
+                // Plain EI on the penalized surrogate; the penalty encoded at
+                // fit time does the constraint handling.
+                let incumbent = self
+                    .best
+                    .as_ref()
+                    .map(|(_, _, p)| predict(p).res.mean)
+                    .unwrap_or_else(|| predict(&self.default_point).res.mean);
+                self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
+                    let pred = predict(p);
+                    expected_improvement(pred.res.mean, pred.res.std_dev(), incumbent)
+                })
+            }
+            AcquisitionKind::ExpectedImprovement => {
+                // Unconstrained EI over the *overall* best (iTuned's behavior
+                // after the objective swap): ignores the SLA entirely.
+                let best_overall = self
+                    .points
+                    .iter()
+                    .zip(&self.res)
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(p, _)| predict(p).res.mean);
+                self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
+                    let pred = predict(p);
+                    expected_improvement(
+                        pred.res.mean,
+                        pred.res.std_dev(),
+                        best_overall.unwrap_or(0.0),
+                    )
+                })
+            }
+        }
+    }
+
+    fn check_convergence(&mut self) {
+        if self.converged_at.is_some() {
+            return;
+        }
+        let w = self.config.convergence_window;
+        if self.history.len() < w + 1 {
+            return;
+        }
+        let eps = self.config.convergence_epsilon;
+        let tail = &self.history[self.history.len() - w - 1..];
+        let within = |get: fn(&IterationRecord) -> f64| {
+            let base = get(&tail[0]).abs().max(1e-12);
+            tail.iter().all(|r| (get(r) - get(&tail[0])).abs() / base <= eps)
+        };
+        // §4: resource utilization, throughput and latency all stable.
+        if within(|r| r.best_feasible_objective)
+            && within(|r| r.observation.tps)
+            && within(|r| r.observation.p99_ms)
+        {
+            self.converged_at = Some(self.history.len() - 1);
+        }
+    }
+
+    /// Runs `iterations` steps and summarizes.
+    pub fn run(&mut self, iterations: usize) -> TuningOutcome {
+        for _ in 0..iterations {
+            self.step();
+        }
+        self.outcome()
+    }
+
+    /// Summarizes what has been observed so far.
+    pub fn outcome(&self) -> TuningOutcome {
+        let (best_iteration, best_objective, best_config) = match &self.best {
+            Some((it, obj, point)) => {
+                let config = self
+                    .problem
+                    .knob_set
+                    .to_configuration(point, &Configuration::dba_default());
+                // Iteration 0 in `best` means "the default"; report None then.
+                let default_obj = self.env.resource.value(&self.default_observation);
+                if (obj - default_obj).abs() < 1e-12 && point == &self.default_point {
+                    (None, Some(*obj), config)
+                } else {
+                    (Some(*it), Some(*obj), config)
+                }
+            }
+            None => (None, None, Configuration::dba_default()),
+        };
+        TuningOutcome {
+            history: self.history.clone(),
+            default_observation: self.default_observation.clone(),
+            sla: self.problem.constraints,
+            best_config,
+            best_objective,
+            best_iteration,
+            converged_at: self.converged_at,
+            default_obj_value: self.env.resource.value(&self.default_observation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> RestuneConfig {
+        RestuneConfig {
+            optimizer: AcquisitionOptimizer { n_candidates: 300, n_local: 60, local_sigma: 0.08 },
+            gp: GpConfig { restarts: 1, adam_iters: 20, ..GpConfig::default() },
+            dynamic_samples: 10,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn twitter_env(seed: u64) -> TuningEnvironment {
+        TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn tuning_reduces_cpu_within_sla() {
+        let mut session = TuningSession::new(twitter_env(1), quick_config(1));
+        let outcome = session.run(25);
+        let default = outcome.default_objective();
+        let best = outcome.best_objective.unwrap();
+        assert!(
+            best < 0.6 * default,
+            "expected a large CPU reduction: default {default:.1}%, best {best:.1}%"
+        );
+        // The incumbent is always feasible.
+        for r in &outcome.history {
+            if Some(r.iteration) == outcome.best_iteration {
+                assert!(r.feasible);
+            }
+        }
+    }
+
+    #[test]
+    fn incumbent_curve_is_monotone_nonincreasing() {
+        let mut session = TuningSession::new(twitter_env(2), quick_config(2));
+        let outcome = session.run(15);
+        let curve = outcome.best_curve();
+        for pair in curve.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_observation_fixes_the_sla() {
+        let session = TuningSession::new(twitter_env(3), quick_config(3));
+        let sla = session.sla();
+        assert_eq!(sla.min_tps, session.default_observation().tps);
+        assert_eq!(sla.max_p99_ms, session.default_observation().p99_ms);
+    }
+
+    #[test]
+    fn non_meta_sessions_bootstrap_with_lhs() {
+        let mut session = TuningSession::new(twitter_env(4), quick_config(4));
+        let r0 = session.step();
+        let r1 = session.step();
+        // LHS points differ and are not the default point.
+        assert_ne!(r0.point, r1.point);
+        assert!(r0.weights.is_none());
+    }
+
+    #[test]
+    fn penalized_ei_respects_the_sla_indirectly() {
+        let mut config = quick_config(8);
+        config.acquisition = AcquisitionKind::PenalizedExpectedImprovement;
+        let mut session = TuningSession::new(twitter_env(8), config);
+        let outcome = session.run(20);
+        // The penalty steers the search back to feasible space: the best is
+        // feasible and beats the default.
+        assert!(outcome.best_objective.unwrap() < outcome.default_obj_value);
+        // After the bootstrap, most evaluations should be feasible (the
+        // penalty discourages revisiting violating regions).
+        let post = &outcome.history[10..];
+        let feasible = post.iter().filter(|r| r.feasible).count();
+        assert!(feasible * 2 >= post.len(), "only {feasible}/{} feasible", post.len());
+    }
+
+    #[test]
+    fn dilution_guard_flag_is_respected() {
+        // Smoke check: both settings run and produce identical history
+        // lengths (behavioral differences are exercised by the ablation
+        // harness; here we pin the plumbing).
+        for guard in [true, false] {
+            let mut config = quick_config(9);
+            config.dilution_guard = guard;
+            let outcome = TuningSession::new(twitter_env(9), config).run(6);
+            assert_eq!(outcome.history.len(), 6);
+        }
+    }
+
+    #[test]
+    fn timing_breakdown_is_populated() {
+        let mut session = TuningSession::new(twitter_env(5), quick_config(5));
+        let r = session.step();
+        assert!(r.timing.replay_s > 100.0, "replay dominates (simulated)");
+        assert!(r.timing.model_update_s >= 0.0);
+        assert!(r.timing.total_s() > r.timing.replay_s);
+    }
+}

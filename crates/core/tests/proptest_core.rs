@@ -1,0 +1,148 @@
+//! Property-based tests on ResTune's algorithmic invariants.
+
+use proptest::prelude::*;
+use restune_core::acquisition::{expected_improvement, ConstrainedExpectedImprovement};
+use restune_core::lhs::latin_hypercube;
+use restune_core::meta::{epanechnikov, ranking_loss};
+use restune_core::scale::Standardizer;
+use restune_core::surrogate::SurrogatePrediction;
+use gp::Prediction;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- scale unification (§6.1) ----------------------------------------
+
+    #[test]
+    fn standardization_preserves_order(values in prop::collection::vec(-1e5..1e5f64, 2..40)) {
+        let s = Standardizer::fit(&values);
+        let z = s.transform_all(&values);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                prop_assert_eq!(values[i] <= values[j], z[i] <= z[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn standardization_roundtrips(values in prop::collection::vec(-1e5..1e5f64, 2..40), probe in -1e5..1e5f64) {
+        let s = Standardizer::fit(&values);
+        let back = s.inverse(s.transform(probe));
+        prop_assert!((back - probe).abs() <= 1e-6 * (1.0 + probe.abs()));
+    }
+
+    // ---- ranking loss (Eq. 9) ---------------------------------------------
+
+    #[test]
+    fn ranking_loss_bounds(pred in prop::collection::vec(-10.0..10.0f64, 2..20),
+                           actual_seed in 0u64..100) {
+        let n = pred.len();
+        let actual: Vec<f64> =
+            (0..n).map(|i| ((i as u64 * 31 + actual_seed) % 17) as f64).collect();
+        let loss = ranking_loss(&pred, &actual);
+        prop_assert!(loss <= n * (n - 1), "loss {} exceeds pair count", loss);
+    }
+
+    #[test]
+    fn ranking_loss_zero_iff_order_preserving(values in prop::collection::vec(-10.0..10.0f64, 2..20)) {
+        // A strictly increasing transform of the actual values has zero loss.
+        let transformed: Vec<f64> = values.iter().map(|v| v * 3.0 + 7.0).collect();
+        prop_assert_eq!(ranking_loss(&transformed, &values), 0);
+        let exp: Vec<f64> = values.iter().map(|v| (v / 10.0).exp()).collect();
+        prop_assert_eq!(ranking_loss(&exp, &values), 0);
+    }
+
+    #[test]
+    fn ranking_loss_is_permutation_consistent(
+        values in prop::collection::vec(-10.0..10.0f64, 3..12),
+        swap_a in 0usize..12,
+        swap_b in 0usize..12,
+    ) {
+        // Applying the same permutation to both pred and actual leaves the
+        // loss unchanged.
+        let n = values.len();
+        let (a, b) = (swap_a % n, swap_b % n);
+        let pred: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
+        let noisy_pred: Vec<f64> = values.iter().rev().cloned().collect();
+        for p in [pred, noisy_pred] {
+            let base = ranking_loss(&p, &values);
+            let mut p2 = p.clone();
+            let mut v2 = values.clone();
+            p2.swap(a, b);
+            v2.swap(a, b);
+            prop_assert_eq!(ranking_loss(&p2, &v2), base);
+        }
+    }
+
+    // ---- acquisition (Eqs. 2–5) --------------------------------------------
+
+    #[test]
+    fn ei_is_nonnegative_and_bounded(mean in -5.0..5.0f64, std in 0.0..3.0f64, best in -5.0..5.0f64) {
+        let ei = expected_improvement(mean, std, best);
+        prop_assert!(ei >= 0.0);
+        // EI <= E|best - f| <= |best - mean| + std * sqrt(2/pi) + margin.
+        prop_assert!(ei <= (best - mean).abs() + std + 1e-9);
+    }
+
+    #[test]
+    fn ei_increases_with_uncertainty_when_mean_is_worse(
+        mean in 0.5..3.0f64, s1 in 0.01..1.0f64, extra in 0.1..2.0f64,
+    ) {
+        // With mean above the incumbent (no certain improvement), more
+        // variance means more EI.
+        let best = 0.0;
+        prop_assert!(expected_improvement(mean, s1 + extra, best)
+            >= expected_improvement(mean, s1, best) - 1e-12);
+    }
+
+    #[test]
+    fn cei_is_sandwiched(
+        rmean in -3.0..3.0f64, rstd in 0.0..2.0f64,
+        tmean in -3.0..3.0f64, tstd in 0.01..2.0f64,
+        lmean in -3.0..3.0f64, lstd in 0.01..2.0f64,
+        best in -3.0..3.0f64,
+    ) {
+        let cei = ConstrainedExpectedImprovement {
+            best_feasible: Some(best),
+            tps_floor: 0.0,
+            lat_ceiling: 0.0,
+        };
+        let pred = SurrogatePrediction {
+            res: Prediction { mean: rmean, variance: rstd * rstd },
+            tps: Prediction { mean: tmean, variance: tstd * tstd },
+            lat: Prediction { mean: lmean, variance: lstd * lstd },
+        };
+        let v = cei.value(&pred);
+        let ei = expected_improvement(rmean, rstd, best);
+        prop_assert!(v >= -1e-12);
+        prop_assert!(v <= ei + 1e-12);
+        let pf = cei.feasibility_probability(&pred);
+        prop_assert!((0.0..=1.0).contains(&pf));
+    }
+
+    // ---- Epanechnikov kernel (Eq. 8) ----------------------------------------
+
+    #[test]
+    fn epanechnikov_properties(t in -3.0..3.0f64) {
+        let v = epanechnikov(t);
+        prop_assert!((0.0..=0.75).contains(&v));
+        prop_assert_eq!(v, epanechnikov(-t));
+        if t.abs() > 1.0 {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    // ---- LHS --------------------------------------------------------------
+
+    #[test]
+    fn lhs_stratification_holds(n in 2usize..40, d in 1usize..8, seed in 0u64..50) {
+        let samples = latin_hypercube(n, d, seed);
+        prop_assert_eq!(samples.len(), n);
+        for dim in 0..d {
+            let mut strata: Vec<usize> =
+                samples.iter().map(|s| ((s[dim] * n as f64).floor() as usize).min(n - 1)).collect();
+            strata.sort_unstable();
+            prop_assert_eq!(&strata, &(0..n).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Developer aid: prints default vs hand-tuned model outputs per workload.
+//!
+//! Run with `cargo run -p restune-dbsim --example model_scan`.
+
+use dbsim::{Configuration, InstanceType, SimulatedDbms, WorkloadSpec};
+
+fn main() {
+    println!(
+        "{:<22} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "cpu_def", "cpu_tun", "tps_def", "tps_tun", "p99_def", "p99_tun", "cap_def"
+    );
+    for w in WorkloadSpec::evaluation_suite() {
+        for inst in [InstanceType::A, InstanceType::B] {
+            let dbms = SimulatedDbms::new(inst, w.clone(), 0).with_noise(0.0);
+            let def = dbms.evaluate_noiseless(&Configuration::dba_default());
+            let tuned = Configuration::dba_default()
+                .with("innodb_thread_concurrency", (inst.cores() as f64 * 0.8).round())
+                .with("innodb_spin_wait_delay", 0.0)
+                .with("innodb_sync_spin_loops", 4.0)
+                .with("innodb_lru_scan_depth", 256.0)
+                .with("innodb_adaptive_hash_index", 0.0)
+                .with("innodb_old_blocks_pct", 12.0)
+                .with("innodb_purge_threads", 1.0);
+            let tun = dbms.evaluate_noiseless(&tuned);
+            let bd = dbms.breakdown(&Configuration::dba_default());
+            println!(
+                "{:<22} {:>8.1} {:>8.1} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>9.0}",
+                format!("{}@{}", w.name, inst.name()),
+                def.resources.cpu_pct,
+                tun.resources.cpu_pct,
+                def.tps,
+                tun.tps,
+                def.p99_ms,
+                tun.p99_ms,
+                bd.capacity_tps,
+            );
+        }
+    }
+    // IO view on instance E (paper §7.5 setting).
+    println!("\nIO on E (pool fixed at default):");
+    for w in [WorkloadSpec::sysbench().with_data_gb(30.0), WorkloadSpec::tpcc().with_data_gb(100.0)] {
+        let dbms = SimulatedDbms::new(InstanceType::E, w.clone(), 0).with_noise(0.0);
+        let def = dbms.evaluate_noiseless(&Configuration::dba_default());
+        let tuned = Configuration::dba_default()
+            .with("innodb_max_dirty_pages_pct", 95.0)
+            .with("innodb_max_dirty_pages_pct_lwm", 0.0)
+            .with("innodb_log_file_size_mb", 4096.0)
+            .with("innodb_flush_neighbors", 0.0)
+            .with("innodb_doublewrite", 0.0)
+            .with("innodb_flush_log_at_trx_commit", 2.0)
+            .with("sync_binlog", 0.0)
+            .with("innodb_io_capacity", 8000.0);
+        let tun = dbms.evaluate_noiseless(&tuned);
+        println!(
+            "{:<22} bps {:>7.0}->{:>7.0}  iops {:>7.0}->{:>7.0}  tps {:>7.0}->{:>7.0} p99 {:>6.1}->{:>6.1}",
+            w.name, def.resources.io_mbps, tun.resources.io_mbps,
+            def.resources.iops, tun.resources.iops, def.tps, tun.tps, def.p99_ms, tun.p99_ms
+        );
+    }
+    // Memory view on E.
+    println!("\nMemory on E:");
+    for w in [WorkloadSpec::sysbench().with_data_gb(30.0), WorkloadSpec::tpcc().with_data_gb(100.0)] {
+        let dbms = SimulatedDbms::new(InstanceType::E, w.clone(), 0).with_noise(0.0);
+        let def = dbms.evaluate_noiseless(&Configuration::dba_default());
+        let lean = Configuration::dba_default()
+            .with("innodb_buffer_pool_frac", 0.22)
+            .with("sort_buffer_size_kb", 512.0)
+            .with("join_buffer_size_kb", 512.0)
+            .with("read_buffer_size_kb", 128.0)
+            .with("tmp_table_size_mb", 32.0)
+            .with("key_buffer_size_mb", 8.0);
+        let tun = dbms.evaluate_noiseless(&lean);
+        println!(
+            "{:<22} mem {:>6.1}->{:>6.1} GB  tps {:>7.0}->{:>7.0}  p99 {:>6.1}->{:>6.1}",
+            w.name, def.resources.mem_gb, tun.resources.mem_gb, def.tps, tun.tps, def.p99_ms, tun.p99_ms
+        );
+    }
+    // Twitter 3-knob case study on A.
+    println!("\nTwitter case study (A):");
+    let dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0).with_noise(0.0);
+    let def = dbms.evaluate_noiseless(&Configuration::dba_default());
+    let best = Configuration::dba_default()
+        .with("innodb_thread_concurrency", 13.0)
+        .with("innodb_spin_wait_delay", 0.0)
+        .with("innodb_lru_scan_depth", 356.0);
+    let tun = dbms.evaluate_noiseless(&best);
+    println!(
+        "default cpu {:.1}% tps {:.0} p99 {:.1} | tuned cpu {:.1}% tps {:.0} p99 {:.1}",
+        def.resources.cpu_pct, def.tps, def.p99_ms,
+        tun.resources.cpu_pct, tun.tps, tun.p99_ms
+    );
+}

@@ -1,0 +1,105 @@
+//! Cloud instance types from Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The six hardware configurations used in the paper's evaluation (Table 1).
+///
+/// | | A | B | C | D | E | F |
+/// |---|---|---|---|---|---|---|
+/// | CPU | 48 | 8 | 4 | 16 | 32 | 64 |
+/// | RAM (GB) | 12 | 12 | 8 | 32 | 64 | 128 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceType {
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+}
+
+impl InstanceType {
+    /// All six instance types in Table 1 order.
+    pub const ALL: [InstanceType; 6] = [
+        InstanceType::A,
+        InstanceType::B,
+        InstanceType::C,
+        InstanceType::D,
+        InstanceType::E,
+        InstanceType::F,
+    ];
+
+    /// Number of CPU cores.
+    pub fn cores(&self) -> u32 {
+        match self {
+            InstanceType::A => 48,
+            InstanceType::B => 8,
+            InstanceType::C => 4,
+            InstanceType::D => 16,
+            InstanceType::E => 32,
+            InstanceType::F => 64,
+        }
+    }
+
+    /// RAM in gigabytes.
+    pub fn ram_gb(&self) -> f64 {
+        match self {
+            InstanceType::A => 12.0,
+            InstanceType::B => 12.0,
+            InstanceType::C => 8.0,
+            InstanceType::D => 32.0,
+            InstanceType::E => 64.0,
+            InstanceType::F => 128.0,
+        }
+    }
+
+    /// Storage device IOPS ceiling (cloud SSD class scales mildly with size).
+    pub fn max_iops(&self) -> f64 {
+        30_000.0 + 1_500.0 * self.cores() as f64
+    }
+
+    /// Storage bandwidth ceiling in MB/s.
+    pub fn max_io_mbps(&self) -> f64 {
+        800.0 + 40.0 * self.cores() as f64
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InstanceType::A => "A",
+            InstanceType::B => "B",
+            InstanceType::C => "C",
+            InstanceType::D => "D",
+            InstanceType::E => "E",
+            InstanceType::F => "F",
+        }
+    }
+}
+
+impl std::fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Instance {} ({} cores, {} GB)", self.name(), self.cores(), self.ram_gb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(InstanceType::A.cores(), 48);
+        assert_eq!(InstanceType::A.ram_gb(), 12.0);
+        assert_eq!(InstanceType::B.cores(), 8);
+        assert_eq!(InstanceType::C.ram_gb(), 8.0);
+        assert_eq!(InstanceType::D.cores(), 16);
+        assert_eq!(InstanceType::E.ram_gb(), 64.0);
+        assert_eq!(InstanceType::F.cores(), 64);
+    }
+
+    #[test]
+    fn io_ceilings_scale_with_cores() {
+        assert!(InstanceType::F.max_iops() > InstanceType::C.max_iops());
+        assert!(InstanceType::F.max_io_mbps() > InstanceType::C.max_io_mbps());
+    }
+}

@@ -1,0 +1,529 @@
+//! Configuration-knob registry, typed knob definitions, and the normalized
+//! `[0,1]^m` encoding the tuners operate in.
+//!
+//! The paper tunes pre-selected important knobs: **14 for CPU, 20 for I/O and
+//! 6 for memory** (§7 "Setting"). This module defines a registry of real
+//! MySQL/InnoDB knobs with realistic ranges and deliberately DBA-ish (i.e.
+//! safe but resource-wasteful) defaults, and the three pre-selected
+//! [`KnobSet`]s with exactly those sizes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Value domain of a knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnobKind {
+    /// Integer-valued within `[min, max]`.
+    Integer,
+    /// Real-valued within `[min, max]`.
+    Float,
+    /// `0` or `1`.
+    Boolean,
+    /// One of `n` ordered levels `0..n` (e.g. `innodb_flush_log_at_trx_commit`).
+    Enum(u32),
+}
+
+/// Definition of a single tunable knob.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnobDef {
+    /// MySQL-style knob name (units folded into the name where relevant).
+    pub name: &'static str,
+    /// Lower bound (natural units).
+    pub min: f64,
+    /// Upper bound (natural units).
+    pub max: f64,
+    /// DBA default (natural units).
+    pub default: f64,
+    /// Value domain.
+    pub kind: KnobKind,
+    /// Whether the `[0,1]` encoding is logarithmic. Requires `min > 0`.
+    pub log_scale: bool,
+    /// One-line description of the knob's role.
+    pub description: &'static str,
+}
+
+impl KnobDef {
+    /// Maps a natural-unit value to `[0, 1]`.
+    pub fn normalize(&self, value: f64) -> f64 {
+        if let KnobKind::Enum(n) = self.kind {
+            // Use bin centers so normalize/denormalize round-trips.
+            return ((value + 0.5) / n as f64).clamp(0.0, 1.0);
+        }
+        let v = value.clamp(self.min, self.max);
+        let u = if self.log_scale {
+            (v.ln() - self.min.ln()) / (self.max.ln() - self.min.ln())
+        } else {
+            (v - self.min) / (self.max - self.min)
+        };
+        u.clamp(0.0, 1.0)
+    }
+
+    /// Maps a `[0, 1]` value back to natural units, respecting the domain
+    /// (integers round, booleans threshold, enums bin).
+    pub fn denormalize(&self, unit: f64) -> f64 {
+        let u = unit.clamp(0.0, 1.0);
+        let raw = if self.log_scale {
+            (self.min.ln() + u * (self.max.ln() - self.min.ln())).exp()
+        } else {
+            self.min + u * (self.max - self.min)
+        };
+        match self.kind {
+            KnobKind::Float => raw,
+            KnobKind::Integer => raw.round().clamp(self.min, self.max),
+            KnobKind::Boolean => {
+                if u >= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            KnobKind::Enum(n) => {
+                // Partition [0,1] into n bins and round to the nearest bin,
+                // as the paper describes for discrete knobs (§3).
+                ((u * n as f64).floor().min(n as f64 - 1.0)).max(0.0)
+            }
+        }
+    }
+}
+
+/// The full knob registry: an ordered list of [`KnobDef`]s with name lookup.
+#[derive(Debug)]
+pub struct KnobRegistry {
+    knobs: Vec<KnobDef>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl KnobRegistry {
+    fn from_defs(knobs: Vec<KnobDef>) -> Self {
+        let mut index = HashMap::with_capacity(knobs.len());
+        for (i, k) in knobs.iter().enumerate() {
+            let prev = index.insert(k.name, i);
+            assert!(prev.is_none(), "duplicate knob {}", k.name);
+        }
+        KnobRegistry { knobs, index }
+    }
+
+    /// The global MySQL/InnoDB knob registry used throughout the workspace.
+    pub fn mysql() -> &'static KnobRegistry {
+        static REGISTRY: OnceLock<KnobRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(|| KnobRegistry::from_defs(mysql_knob_defs()))
+    }
+
+    /// Number of knobs.
+    pub fn len(&self) -> usize {
+        self.knobs.len()
+    }
+
+    /// Whether the registry is empty (never true for [`KnobRegistry::mysql`]).
+    pub fn is_empty(&self) -> bool {
+        self.knobs.is_empty()
+    }
+
+    /// Knob definition by position.
+    pub fn knob(&self, idx: usize) -> &KnobDef {
+        &self.knobs[idx]
+    }
+
+    /// Knob definition by name.
+    pub fn get(&self, name: &str) -> Option<&KnobDef> {
+        self.index.get(name).map(|&i| &self.knobs[i])
+    }
+
+    /// Position of a knob by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Iterates over all knob definitions in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = &KnobDef> {
+        self.knobs.iter()
+    }
+
+    /// The DBA-default configuration.
+    pub fn default_configuration(&self) -> Configuration {
+        Configuration { values: self.knobs.iter().map(|k| k.default).collect() }
+    }
+}
+
+/// A full knob assignment in natural units, aligned with
+/// [`KnobRegistry::mysql`] order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    values: Vec<f64>,
+}
+
+impl Configuration {
+    /// The DBA-default configuration.
+    pub fn dba_default() -> Self {
+        KnobRegistry::mysql().default_configuration()
+    }
+
+    /// Value of a knob by name. Panics on unknown names (registry is static,
+    /// so an unknown name is a programming error, not an input error).
+    pub fn get(&self, name: &str) -> f64 {
+        let idx = KnobRegistry::mysql()
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown knob {name}"));
+        self.values[idx]
+    }
+
+    /// Sets a knob by name (clamped to the knob's range).
+    pub fn set(&mut self, name: &str, value: f64) {
+        let reg = KnobRegistry::mysql();
+        let idx = reg.index_of(name).unwrap_or_else(|| panic!("unknown knob {name}"));
+        self.values[idx] = value.clamp(reg.knob(idx).min, reg.knob(idx).max);
+    }
+
+    /// Builder-style [`Configuration::set`].
+    pub fn with(mut self, name: &str, value: f64) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Raw values in registry order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Default for Configuration {
+    fn default() -> Self {
+        Configuration::dba_default()
+    }
+}
+
+/// An ordered subset of knobs forming a tuning search space `[0,1]^m`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobSet {
+    names: Vec<String>,
+    indices: Vec<usize>,
+}
+
+impl KnobSet {
+    /// Builds a knob set from names. Panics on unknown names.
+    pub fn new(names: &[&str]) -> Self {
+        let reg = KnobRegistry::mysql();
+        let indices = names
+            .iter()
+            .map(|n| reg.index_of(n).unwrap_or_else(|| panic!("unknown knob {n}")))
+            .collect();
+        KnobSet { names: names.iter().map(|n| n.to_string()).collect(), indices }
+    }
+
+    /// The paper's 14-knob CPU tuning set.
+    pub fn cpu() -> Self {
+        KnobSet::new(&[
+            "innodb_thread_concurrency",
+            "innodb_spin_wait_delay",
+            "innodb_sync_spin_loops",
+            "table_open_cache",
+            "innodb_lru_scan_depth",
+            "innodb_page_cleaners",
+            "innodb_purge_threads",
+            "innodb_read_io_threads",
+            "innodb_write_io_threads",
+            "innodb_adaptive_hash_index",
+            "innodb_buffer_pool_instances",
+            "thread_cache_size",
+            "innodb_concurrency_tickets",
+            "innodb_sync_array_size",
+        ])
+    }
+
+    /// The paper's 20-knob I/O tuning set.
+    pub fn io() -> Self {
+        KnobSet::new(&[
+            "innodb_io_capacity",
+            "innodb_io_capacity_max",
+            "innodb_flush_log_at_trx_commit",
+            "sync_binlog",
+            "innodb_flush_neighbors",
+            "innodb_log_file_size_mb",
+            "innodb_log_buffer_size_mb",
+            "innodb_max_dirty_pages_pct",
+            "innodb_max_dirty_pages_pct_lwm",
+            "innodb_adaptive_flushing",
+            "innodb_adaptive_flushing_lwm",
+            "innodb_doublewrite",
+            "innodb_random_read_ahead",
+            "innodb_read_ahead_threshold",
+            "innodb_flushing_avg_loops",
+            "innodb_change_buffering",
+            "binlog_cache_size_kb",
+            "innodb_old_blocks_pct",
+            "innodb_lru_scan_depth",
+            "innodb_page_cleaners",
+        ])
+    }
+
+    /// The paper's 6-knob memory tuning set (buffer pool size is a knob here).
+    pub fn memory() -> Self {
+        KnobSet::new(&[
+            "innodb_buffer_pool_frac",
+            "sort_buffer_size_kb",
+            "join_buffer_size_kb",
+            "read_buffer_size_kb",
+            "tmp_table_size_mb",
+            "key_buffer_size_mb",
+        ])
+    }
+
+    /// The 3-knob CPU case-study set of §7.3 (Twitter workload).
+    pub fn case_study() -> Self {
+        KnobSet::new(&[
+            "innodb_thread_concurrency",
+            "innodb_spin_wait_delay",
+            "innodb_lru_scan_depth",
+        ])
+    }
+
+    /// The Figure-1 motivation pair: `innodb_sync_spin_loops` × `table_open_cache`.
+    pub fn figure1() -> Self {
+        KnobSet::new(&["innodb_sync_spin_loops", "table_open_cache"])
+    }
+
+    /// Dimensionality of the search space.
+    pub fn dim(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Knob names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Knob definitions in order.
+    pub fn defs(&self) -> Vec<&'static KnobDef> {
+        let reg = KnobRegistry::mysql();
+        self.indices.iter().map(|&i| reg.knob(i)).collect()
+    }
+
+    /// Encodes the knob-set slice of a configuration to `[0,1]^m`.
+    pub fn normalize(&self, config: &Configuration) -> Vec<f64> {
+        let reg = KnobRegistry::mysql();
+        self.indices.iter().map(|&i| reg.knob(i).normalize(config.values[i])).collect()
+    }
+
+    /// Decodes a `[0,1]^m` point into a full configuration, leaving knobs
+    /// outside this set at the values of `base`.
+    pub fn to_configuration(&self, point: &[f64], base: &Configuration) -> Configuration {
+        assert_eq!(point.len(), self.dim(), "point dimension mismatch");
+        let reg = KnobRegistry::mysql();
+        let mut config = base.clone();
+        for (pos, &i) in self.indices.iter().enumerate() {
+            config.values[i] = reg.knob(i).denormalize(point[pos]);
+        }
+        config
+    }
+
+    /// The default configuration's normalized coordinates in this set.
+    pub fn default_point(&self) -> Vec<f64> {
+        self.normalize(&Configuration::dba_default())
+    }
+}
+
+/// The MySQL/InnoDB knob catalogue (38 knobs).
+fn mysql_knob_defs() -> Vec<KnobDef> {
+    use KnobKind::*;
+    let k = |name, min: f64, max: f64, default: f64, kind, log_scale, description| KnobDef {
+        name,
+        min,
+        max,
+        default,
+        kind,
+        log_scale,
+        description,
+    };
+    vec![
+        // --- concurrency / CPU ------------------------------------------
+        k("innodb_thread_concurrency", 0.0, 128.0, 0.0, Integer, false,
+          "InnoDB admission limit on concurrently running threads (0 = unlimited)"),
+        k("innodb_spin_wait_delay", 0.0, 128.0, 6.0, Integer, false,
+          "maximum delay between spinlock polls; busy polling burns CPU"),
+        k("innodb_sync_spin_loops", 0.0, 100.0, 30.0, Integer, false,
+          "times a thread spins on a mutex before suspending"),
+        k("table_open_cache", 1.0, 10240.0, 2000.0, Integer, false,
+          "number of cached open table handles"),
+        k("innodb_lru_scan_depth", 100.0, 8192.0, 1024.0, Integer, true,
+          "how far down the LRU list each page-cleaner scan goes"),
+        k("innodb_page_cleaners", 1.0, 8.0, 4.0, Integer, false,
+          "number of background page-cleaner threads"),
+        k("innodb_purge_threads", 1.0, 8.0, 4.0, Integer, false,
+          "number of background purge threads"),
+        k("innodb_read_io_threads", 1.0, 16.0, 4.0, Integer, false,
+          "background read I/O threads"),
+        k("innodb_write_io_threads", 1.0, 16.0, 4.0, Integer, false,
+          "background write I/O threads"),
+        k("innodb_adaptive_hash_index", 0.0, 1.0, 1.0, Boolean, false,
+          "adaptive hash index: speeds hot reads, costs maintenance + mutexes"),
+        k("innodb_buffer_pool_instances", 1.0, 16.0, 8.0, Integer, false,
+          "buffer pool partitions; too few contend under high concurrency"),
+        k("thread_cache_size", 0.0, 512.0, 32.0, Integer, false,
+          "server threads kept cached for connection reuse"),
+        k("innodb_concurrency_tickets", 1.0, 10000.0, 5000.0, Integer, true,
+          "tickets a thread gets per admission before re-queuing"),
+        k("innodb_sync_array_size", 1.0, 64.0, 1.0, Integer, false,
+          "sync wait array partitions"),
+        // --- I/O ----------------------------------------------------------
+        k("innodb_io_capacity", 100.0, 20000.0, 2000.0, Integer, true,
+          "background flush IOPS budget; overshoot wastes I/O, undershoot stalls"),
+        k("innodb_io_capacity_max", 200.0, 40000.0, 4000.0, Integer, true,
+          "emergency flush IOPS ceiling"),
+        k("innodb_flush_log_at_trx_commit", 0.0, 3.0, 1.0, Enum(3), false,
+          "redo durability: 0 = lazy, 1 = fsync/commit, 2 = write/commit"),
+        k("sync_binlog", 0.0, 1000.0, 1.0, Integer, false,
+          "binlog fsync period in commits (0 = OS-buffered)"),
+        k("innodb_flush_neighbors", 0.0, 3.0, 1.0, Enum(3), false,
+          "flush neighbor pages in the same extent (HDD-era write amplification)"),
+        k("innodb_log_file_size_mb", 64.0, 4096.0, 512.0, Integer, true,
+          "redo log file size; small logs force frequent checkpoints"),
+        k("innodb_log_buffer_size_mb", 1.0, 256.0, 16.0, Integer, true,
+          "redo log buffer size"),
+        k("innodb_max_dirty_pages_pct", 5.0, 99.0, 75.0, Float, false,
+          "dirty-page percentage that triggers aggressive flushing"),
+        k("innodb_max_dirty_pages_pct_lwm", 0.0, 50.0, 10.0, Float, false,
+          "dirty-page low-water mark enabling pre-flushing"),
+        k("innodb_adaptive_flushing", 0.0, 1.0, 1.0, Boolean, false,
+          "adapt flush rate to redo production instead of flushing at capacity"),
+        k("innodb_adaptive_flushing_lwm", 0.0, 70.0, 10.0, Float, false,
+          "redo-fill percentage that enables adaptive flushing"),
+        k("innodb_doublewrite", 0.0, 1.0, 1.0, Boolean, false,
+          "doublewrite buffer: torn-page protection at 2x page-write bytes"),
+        k("innodb_random_read_ahead", 0.0, 1.0, 0.0, Boolean, false,
+          "random read-ahead prefetching (wasteful for OLTP)"),
+        k("innodb_read_ahead_threshold", 0.0, 64.0, 56.0, Integer, false,
+          "sequential pages before linear read-ahead kicks in (low = eager)"),
+        k("innodb_flushing_avg_loops", 1.0, 1000.0, 30.0, Integer, true,
+          "iterations flush heuristics average over (low = twitchy)"),
+        k("innodb_change_buffering", 0.0, 1.0, 1.0, Boolean, false,
+          "buffer secondary-index changes to defer read-modify-write I/O"),
+        k("binlog_cache_size_kb", 4.0, 16384.0, 32.0, Integer, true,
+          "per-session binlog cache; spills to disk when exceeded"),
+        k("innodb_old_blocks_pct", 5.0, 95.0, 37.0, Float, false,
+          "LRU old-sublist share (scan resistance)"),
+        // --- memory -------------------------------------------------------
+        k("innodb_buffer_pool_frac", 0.10, 0.85, 0.50, Float, false,
+          "buffer pool size as a fraction of instance RAM"),
+        k("sort_buffer_size_kb", 32.0, 65536.0, 2048.0, Integer, true,
+          "per-sort buffer; undersizing spills sorts to disk"),
+        k("join_buffer_size_kb", 128.0, 65536.0, 4096.0, Integer, true,
+          "per-join buffer for un-indexed joins"),
+        k("read_buffer_size_kb", 8.0, 16384.0, 1024.0, Integer, true,
+          "sequential scan read buffer per thread"),
+        k("tmp_table_size_mb", 1.0, 512.0, 256.0, Integer, true,
+          "in-memory temp table ceiling; exceeding it goes to disk"),
+        k("key_buffer_size_mb", 8.0, 1024.0, 256.0, Integer, true,
+          "MyISAM key cache (wasted for InnoDB-only workloads)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_38_unique_knobs() {
+        let reg = KnobRegistry::mysql();
+        assert_eq!(reg.len(), 38);
+        assert!(reg.get("innodb_io_capacity").is_some());
+        assert!(reg.get("no_such_knob").is_none());
+    }
+
+    #[test]
+    fn paper_knob_set_sizes() {
+        assert_eq!(KnobSet::cpu().dim(), 14);
+        assert_eq!(KnobSet::io().dim(), 20);
+        assert_eq!(KnobSet::memory().dim(), 6);
+        assert_eq!(KnobSet::case_study().dim(), 3);
+        assert_eq!(KnobSet::figure1().dim(), 2);
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip_for_floats() {
+        let reg = KnobRegistry::mysql();
+        let knob = reg.get("innodb_max_dirty_pages_pct").unwrap();
+        for v in [5.0, 37.5, 75.0, 99.0] {
+            let u = knob.normalize(v);
+            assert!((knob.denormalize(u) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn integer_knobs_round() {
+        let reg = KnobRegistry::mysql();
+        let knob = reg.get("innodb_page_cleaners").unwrap();
+        let v = knob.denormalize(0.5);
+        assert_eq!(v, v.round());
+        assert!(v >= knob.min && v <= knob.max);
+    }
+
+    #[test]
+    fn boolean_knobs_threshold() {
+        let reg = KnobRegistry::mysql();
+        let knob = reg.get("innodb_doublewrite").unwrap();
+        assert_eq!(knob.denormalize(0.2), 0.0);
+        assert_eq!(knob.denormalize(0.8), 1.0);
+    }
+
+    #[test]
+    fn enum_knobs_bin() {
+        let reg = KnobRegistry::mysql();
+        let knob = reg.get("innodb_flush_log_at_trx_commit").unwrap();
+        assert_eq!(knob.denormalize(0.1), 0.0);
+        assert_eq!(knob.denormalize(0.5), 1.0);
+        assert_eq!(knob.denormalize(0.95), 2.0);
+    }
+
+    #[test]
+    fn log_scale_knobs_are_monotone() {
+        let reg = KnobRegistry::mysql();
+        let knob = reg.get("innodb_io_capacity").unwrap();
+        assert!(knob.log_scale);
+        let lo = knob.denormalize(0.1);
+        let mid = knob.denormalize(0.5);
+        let hi = knob.denormalize(0.9);
+        assert!(lo < mid && mid < hi);
+        assert!((knob.normalize(knob.denormalize(0.37)) - 0.37).abs() < 0.02);
+    }
+
+    #[test]
+    fn configuration_get_set() {
+        let mut c = Configuration::dba_default();
+        assert_eq!(c.get("innodb_thread_concurrency"), 0.0);
+        c.set("innodb_thread_concurrency", 13.0);
+        assert_eq!(c.get("innodb_thread_concurrency"), 13.0);
+        // Clamped to range.
+        c.set("innodb_thread_concurrency", 1e9);
+        assert_eq!(c.get("innodb_thread_concurrency"), 128.0);
+    }
+
+    #[test]
+    fn knobset_roundtrip_preserves_outside_knobs() {
+        let set = KnobSet::case_study();
+        let base = Configuration::dba_default().with("innodb_io_capacity", 5000.0);
+        let point = vec![0.25, 0.5, 0.75];
+        let config = set.to_configuration(&point, &base);
+        assert_eq!(config.get("innodb_io_capacity"), 5000.0);
+        let back = set.normalize(&config);
+        for (a, b) in back.iter().zip(&point) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn default_point_matches_defaults() {
+        let set = KnobSet::cpu();
+        let point = set.default_point();
+        let config = set.to_configuration(&point, &Configuration::dba_default());
+        for name in set.names() {
+            let def = KnobRegistry::mysql().get(name).unwrap();
+            assert!(
+                (config.get(name) - def.default).abs() < 1e-6,
+                "{name}: {} vs {}",
+                config.get(name),
+                def.default
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! An analytic, InnoDB-style DBMS performance simulator.
+//!
+//! The ResTune paper evaluates against MySQL 5.7 RDS instances in Alibaba's
+//! cloud; that testbed is not reproducible offline, so this crate plays the
+//! role of the *database under test*. A tuning algorithm only ever observes
+//! the black-box map
+//!
+//! ```text
+//! configuration θ  →  (resource utilization, throughput, p99 latency)
+//! ```
+//!
+//! and what matters for reproducing the paper's results is the *shape* of that
+//! map, which this simulator models explicitly:
+//!
+//! * throughput of rate-bounded workloads plateaus at the client request rate
+//!   while CPU varies widely across configurations (the paper's Figure 1
+//!   motivation — headroom for resource-oriented tuning),
+//! * unconstrained resource minimisation collapses throughput (throttling
+//!   concurrency/flushing below what the SLA needs), which is why constrained
+//!   EI is required,
+//! * concurrency admission (`innodb_thread_concurrency`), spin-wait knobs,
+//!   background flushing (`innodb_io_capacity`, `innodb_lru_scan_depth`,
+//!   page cleaners) and buffer sizing trade resource against performance with
+//!   workload-dependent optima,
+//! * similar workloads have similar response surfaces; different hardware
+//!   rescales those surfaces (the property ResTune's rank-based transfer
+//!   exploits and OtterTune's distance-based mapping trips over).
+//!
+//! The model is deterministic given a seed; every evaluation applies a small
+//! multiplicative observation noise (~1.5 %), mirroring the paper's 5 %
+//! measurement tolerance.
+
+pub mod dbms;
+pub mod instance;
+pub mod knobs;
+pub mod metrics;
+pub mod model;
+pub mod workload;
+
+pub use dbms::{Observation, SimulatedDbms};
+pub use instance::InstanceType;
+pub use knobs::{Configuration, KnobDef, KnobKind, KnobRegistry, KnobSet};
+pub use metrics::{InternalMetrics, ResourceUsage};
+pub use workload::{WorkloadKind, WorkloadSpec};

@@ -1,0 +1,197 @@
+//! Evaluation outputs: external resource/performance metrics and the internal
+//! runtime metrics OtterTune-style mapping and CDBTune's RL state consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Externally observable resource utilization for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Database-wide CPU utilization in percent of the instance (0–100).
+    pub cpu_pct: f64,
+    /// Resident memory in GB.
+    pub mem_gb: f64,
+    /// Total I/O bandwidth (reads + writes) in MB/s.
+    pub io_mbps: f64,
+    /// Total I/O operations per second.
+    pub iops: f64,
+}
+
+impl ResourceUsage {
+    /// Selects one scalar by resource kind name ("cpu", "mem", "io_bps",
+    /// "iops"). Used by generic harness code; typed callers should read the
+    /// fields directly.
+    pub fn by_name(&self, name: &str) -> Option<f64> {
+        match name {
+            "cpu" => Some(self.cpu_pct),
+            "mem" => Some(self.mem_gb),
+            "io_bps" => Some(self.io_mbps),
+            "iops" => Some(self.iops),
+            _ => None,
+        }
+    }
+}
+
+/// Internal DBMS runtime metrics, the kind `SHOW GLOBAL STATUS` exposes.
+///
+/// OtterTune's workload mapping measures Euclidean distances between these
+/// vectors; CDBTune uses them as the RL state. Their scales depend on the
+/// hardware and request rate — which is exactly why distance-based mapping
+/// fails to transfer across hardware (§7.2.3) while ResTune's rank-based
+/// weighting does not.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InternalMetrics {
+    /// Buffer pool hit ratio (0–1).
+    pub hit_ratio: f64,
+    /// Dirty page percentage of the buffer pool (0–100).
+    pub dirty_pct: f64,
+    /// Lock/mutex waits per second.
+    pub lock_waits_per_s: f64,
+    /// Spin rounds per second.
+    pub spin_rounds_per_s: f64,
+    /// OS context switches per second attributable to the DBMS.
+    pub ctx_switches_per_s: f64,
+    /// Pages read from storage per second.
+    pub pages_read_per_s: f64,
+    /// Pages written to storage per second.
+    pub pages_written_per_s: f64,
+    /// Redo log writes per second.
+    pub log_writes_per_s: f64,
+    /// Threads running inside InnoDB.
+    pub threads_running: f64,
+    /// Threads held in the server thread cache.
+    pub threads_cached: f64,
+    /// On-disk temporary tables created per second.
+    pub tmp_disk_tables_per_s: f64,
+    /// Table-open-cache misses per second.
+    pub table_open_misses_per_s: f64,
+    /// Redo checkpoint age as a fraction of log capacity (0–1).
+    pub checkpoint_age_ratio: f64,
+    /// Pending asynchronous reads.
+    pub pending_reads: f64,
+    /// Pending asynchronous writes.
+    pub pending_writes: f64,
+    /// Buffer pool fill fraction (0–1).
+    pub buffer_pool_util: f64,
+    /// User-space CPU share (0–100).
+    pub cpu_user_pct: f64,
+    /// Kernel CPU share (0–100).
+    pub cpu_sys_pct: f64,
+    /// CPU time stalled on I/O (0–100).
+    pub io_wait_pct: f64,
+    /// Queries per second.
+    pub qps: f64,
+}
+
+impl InternalMetrics {
+    /// Flattens to a fixed-order vector (for distance computations and RL
+    /// state). Order is stable across the workspace.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.hit_ratio,
+            self.dirty_pct,
+            self.lock_waits_per_s,
+            self.spin_rounds_per_s,
+            self.ctx_switches_per_s,
+            self.pages_read_per_s,
+            self.pages_written_per_s,
+            self.log_writes_per_s,
+            self.threads_running,
+            self.threads_cached,
+            self.tmp_disk_tables_per_s,
+            self.table_open_misses_per_s,
+            self.checkpoint_age_ratio,
+            self.pending_reads,
+            self.pending_writes,
+            self.buffer_pool_util,
+            self.cpu_user_pct,
+            self.cpu_sys_pct,
+            self.io_wait_pct,
+            self.qps,
+        ]
+    }
+
+    /// Number of metrics in [`InternalMetrics::to_vec`].
+    pub const DIM: usize = 20;
+
+    /// Metric names aligned with [`InternalMetrics::to_vec`].
+    pub fn names() -> [&'static str; Self::DIM] {
+        [
+            "hit_ratio",
+            "dirty_pct",
+            "lock_waits_per_s",
+            "spin_rounds_per_s",
+            "ctx_switches_per_s",
+            "pages_read_per_s",
+            "pages_written_per_s",
+            "log_writes_per_s",
+            "threads_running",
+            "threads_cached",
+            "tmp_disk_tables_per_s",
+            "table_open_misses_per_s",
+            "checkpoint_age_ratio",
+            "pending_reads",
+            "pending_writes",
+            "buffer_pool_util",
+            "cpu_user_pct",
+            "cpu_sys_pct",
+            "io_wait_pct",
+            "qps",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InternalMetrics {
+        InternalMetrics {
+            hit_ratio: 0.99,
+            dirty_pct: 20.0,
+            lock_waits_per_s: 10.0,
+            spin_rounds_per_s: 100.0,
+            ctx_switches_per_s: 50.0,
+            pages_read_per_s: 200.0,
+            pages_written_per_s: 300.0,
+            log_writes_per_s: 400.0,
+            threads_running: 8.0,
+            threads_cached: 32.0,
+            tmp_disk_tables_per_s: 1.0,
+            table_open_misses_per_s: 2.0,
+            checkpoint_age_ratio: 0.3,
+            pending_reads: 0.5,
+            pending_writes: 0.8,
+            buffer_pool_util: 0.95,
+            cpu_user_pct: 60.0,
+            cpu_sys_pct: 10.0,
+            io_wait_pct: 5.0,
+            qps: 100_000.0,
+        }
+    }
+
+    #[test]
+    fn to_vec_has_stable_dimension() {
+        assert_eq!(sample().to_vec().len(), InternalMetrics::DIM);
+        assert_eq!(InternalMetrics::names().len(), InternalMetrics::DIM);
+    }
+
+    #[test]
+    fn to_vec_order_matches_names() {
+        let v = sample().to_vec();
+        let names = InternalMetrics::names();
+        assert_eq!(v[0], 0.99);
+        assert_eq!(names[0], "hit_ratio");
+        assert_eq!(v[19], 100_000.0);
+        assert_eq!(names[19], "qps");
+    }
+
+    #[test]
+    fn resource_usage_by_name() {
+        let r = ResourceUsage { cpu_pct: 50.0, mem_gb: 8.0, io_mbps: 100.0, iops: 5000.0 };
+        assert_eq!(r.by_name("cpu"), Some(50.0));
+        assert_eq!(r.by_name("mem"), Some(8.0));
+        assert_eq!(r.by_name("io_bps"), Some(100.0));
+        assert_eq!(r.by_name("iops"), Some(5000.0));
+        assert_eq!(r.by_name("gpu"), None);
+    }
+}

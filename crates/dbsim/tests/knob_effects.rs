@@ -1,0 +1,189 @@
+//! One pinning test per modeled knob mechanism: if a knob stops doing what
+//! the model docs claim, these fail. (The tuning results in `bench` all rest
+//! on these effect directions.)
+
+use dbsim::{Configuration, InstanceType, SimulatedDbms, WorkloadSpec};
+
+fn eval(w: &WorkloadSpec, config: &Configuration) -> dbsim::Observation {
+    SimulatedDbms::new(InstanceType::A, w.clone(), 0).with_noise(0.0).evaluate_noiseless(config)
+}
+
+fn base() -> Configuration {
+    Configuration::dba_default()
+}
+
+#[test]
+fn table_open_cache_too_small_burns_cpu() {
+    let w = WorkloadSpec::sysbench(); // 150 tables
+    let starved = base().with("table_open_cache", 1.0);
+    let ample = base().with("table_open_cache", 4000.0);
+    assert!(
+        eval(&w, &starved).resources.cpu_pct > eval(&w, &ample).resources.cpu_pct + 1.0,
+        "cache starvation must cost CPU"
+    );
+}
+
+#[test]
+fn thread_concurrency_has_an_interior_optimum() {
+    let w = WorkloadSpec::twitter(); // 512 threads on 48 cores
+    let throttled = eval(&w, &base().with("innodb_thread_concurrency", 2.0));
+    let moderate = eval(&w, &base().with("innodb_thread_concurrency", 24.0));
+    let unlimited = eval(&w, &base().with("innodb_thread_concurrency", 0.0));
+    // Throttled: cheap but breaks throughput. Unlimited: meets tps but burns
+    // CPU. Moderate: meets tps at a fraction of the CPU.
+    assert!(throttled.tps < 0.5 * moderate.tps);
+    assert!(moderate.tps > 0.99 * unlimited.tps);
+    assert!(moderate.resources.cpu_pct < 0.5 * unlimited.resources.cpu_pct);
+}
+
+#[test]
+fn adaptive_hash_index_helps_reads_hurts_writes() {
+    let read_heavy = WorkloadSpec::twitter();
+    let write_heavy = WorkloadSpec::sysbench().with_rw_ratio(1.0, 1.0);
+    let on = base().with("innodb_adaptive_hash_index", 1.0);
+    let off = base().with("innodb_adaptive_hash_index", 0.0);
+    // For write-heavy mixes, AHI maintenance costs CPU.
+    let w_on = eval(&write_heavy, &on).resources.cpu_pct;
+    let w_off = eval(&write_heavy, &off).resources.cpu_pct;
+    assert!(w_off < w_on, "AHI off should save CPU on write-heavy ({w_off} vs {w_on})");
+    // For read-heavy mixes the lookup saving dominates or at least offsets.
+    let dbms = SimulatedDbms::new(InstanceType::A, read_heavy, 0).with_noise(0.0);
+    let r_on = dbms.breakdown(&on);
+    let r_off = dbms.breakdown(&off);
+    // Compare foreground work excluding lock-probability interactions: the
+    // read-side saving shows up in per-transaction CPU.
+    assert!(
+        r_on.cpu_us_per_txn < r_off.cpu_us_per_txn * 1.25,
+        "AHI must not be purely harmful for read-heavy mixes"
+    );
+}
+
+#[test]
+fn page_cleaner_depth_trades_background_cpu() {
+    let w = WorkloadSpec::twitter();
+    let deep = eval(&w, &base().with("innodb_lru_scan_depth", 8192.0));
+    let shallow = eval(&w, &base().with("innodb_lru_scan_depth", 100.0));
+    assert!(deep.resources.cpu_pct > shallow.resources.cpu_pct + 2.0);
+}
+
+#[test]
+fn purge_and_io_threads_cost_background_cpu() {
+    let w = WorkloadSpec::twitter();
+    let many = eval(
+        &w,
+        &base()
+            .with("innodb_purge_threads", 8.0)
+            .with("innodb_read_io_threads", 16.0)
+            .with("innodb_write_io_threads", 16.0),
+    );
+    let few = eval(
+        &w,
+        &base()
+            .with("innodb_purge_threads", 1.0)
+            .with("innodb_read_io_threads", 2.0)
+            .with("innodb_write_io_threads", 2.0),
+    );
+    assert!(many.resources.cpu_pct > few.resources.cpu_pct + 1.0);
+}
+
+#[test]
+fn thread_cache_misses_cost_cpu_on_high_connection_counts() {
+    let w = WorkloadSpec::twitter(); // 512 connections
+    let cold = eval(&w, &base().with("thread_cache_size", 0.0));
+    let warm = eval(&w, &base().with("thread_cache_size", 512.0));
+    assert!(cold.resources.cpu_pct > warm.resources.cpu_pct + 1.0);
+}
+
+#[test]
+fn low_concurrency_tickets_cost_requeue_cpu() {
+    let w = WorkloadSpec::tpcc();
+    let low =
+        eval(&w, &base().with("innodb_thread_concurrency", 32.0).with("innodb_concurrency_tickets", 1.0));
+    let high = eval(
+        &w,
+        &base().with("innodb_thread_concurrency", 32.0).with("innodb_concurrency_tickets", 8000.0),
+    );
+    assert!(low.resources.cpu_pct > high.resources.cpu_pct);
+}
+
+#[test]
+fn read_ahead_knobs_inflate_read_io() {
+    let w = WorkloadSpec::tpcc().with_data_gb(100.0);
+    let eager = eval(
+        &w,
+        &base().with("innodb_random_read_ahead", 1.0).with("innodb_read_ahead_threshold", 0.0),
+    );
+    let off = eval(
+        &w,
+        &base().with("innodb_random_read_ahead", 0.0).with("innodb_read_ahead_threshold", 64.0),
+    );
+    assert!(eager.resources.iops > off.resources.iops * 1.1);
+}
+
+#[test]
+fn doublewrite_and_neighbors_amplify_write_bandwidth() {
+    let w = WorkloadSpec::sysbench().with_data_gb(30.0);
+    let amplified = eval(
+        &w,
+        &base().with("innodb_doublewrite", 1.0).with("innodb_flush_neighbors", 2.0),
+    );
+    let lean = eval(
+        &w,
+        &base().with("innodb_doublewrite", 0.0).with("innodb_flush_neighbors", 0.0),
+    );
+    assert!(amplified.resources.io_mbps > lean.resources.io_mbps * 1.2);
+}
+
+#[test]
+fn relaxed_durability_cuts_log_iops_but_raises_no_latency() {
+    let w = WorkloadSpec::tpcc();
+    let strict = eval(&w, &base().with("innodb_flush_log_at_trx_commit", 1.0).with("sync_binlog", 1.0));
+    let relaxed =
+        eval(&w, &base().with("innodb_flush_log_at_trx_commit", 0.0).with("sync_binlog", 0.0));
+    assert!(relaxed.resources.iops < strict.resources.iops);
+    assert!(relaxed.p99_ms <= strict.p99_ms);
+}
+
+#[test]
+fn bigger_redo_log_reduces_write_io() {
+    let w = WorkloadSpec::sysbench();
+    let small = eval(&w, &base().with("innodb_log_file_size_mb", 64.0));
+    let large = eval(&w, &base().with("innodb_log_file_size_mb", 4096.0));
+    assert!(small.resources.io_mbps > large.resources.io_mbps * 1.05);
+}
+
+#[test]
+fn per_connection_buffers_dominate_memory_at_high_thread_counts() {
+    let w = WorkloadSpec::twitter(); // 512 connections
+    let fat = eval(
+        &w,
+        &base()
+            .with("sort_buffer_size_kb", 65536.0)
+            .with("join_buffer_size_kb", 65536.0)
+            .with("read_buffer_size_kb", 16384.0),
+    );
+    let slim = eval(
+        &w,
+        &base()
+            .with("sort_buffer_size_kb", 64.0)
+            .with("join_buffer_size_kb", 128.0)
+            .with("read_buffer_size_kb", 8.0),
+    );
+    assert!(fat.resources.mem_gb > slim.resources.mem_gb + 10.0);
+}
+
+#[test]
+fn old_blocks_pct_has_a_workload_dependent_optimum() {
+    // Scan-heavy Sales prefers a larger old sublist than point-read Twitter.
+    let probe = |w: &WorkloadSpec, pct: f64| {
+        SimulatedDbms::new(InstanceType::A, w.clone(), 0)
+            .with_noise(0.0)
+            .breakdown(&base().with("innodb_old_blocks_pct", pct))
+            .miss_ratio
+    };
+    let sales = WorkloadSpec::sales();
+    let twitter = WorkloadSpec::twitter();
+    // Twitter's optimum sits low; Sales' higher.
+    assert!(probe(&twitter, 10.0) <= probe(&twitter, 70.0));
+    assert!(probe(&sales, 35.0) <= probe(&sales, 5.0));
+}

@@ -1,0 +1,644 @@
+//! Exact Gaussian-process regression with marginal-likelihood hyperparameter
+//! fitting.
+
+use crate::kernel::{Kernel, Matern52};
+use crate::rand_util;
+use linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Errors from GP construction and prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Observation matrix and target vector lengths disagree.
+    DataMismatch { n_x: usize, n_y: usize },
+    /// A point had the wrong dimensionality.
+    DimensionMismatch { expected: usize, found: usize },
+    /// Input data contained NaN/inf.
+    NonFinite,
+    /// The kernel matrix could not be factored even with jitter.
+    Factorization(String),
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::DataMismatch { n_x, n_y } => {
+                write!(f, "got {n_x} inputs but {n_y} targets")
+            }
+            GpError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected}-dimensional points, found {found}")
+            }
+            GpError::NonFinite => write!(f, "training data contains non-finite values"),
+            GpError::Factorization(e) => write!(f, "kernel factorization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// Posterior prediction at a single point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior variance of the latent function (non-negative).
+    pub variance: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// Configuration for GP fitting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpConfig {
+    /// Whether to optimize kernel + noise hyperparameters by maximizing the
+    /// log marginal likelihood. When `false`, the kernel's current values and
+    /// `initial_noise` are used as-is.
+    pub optimize_hypers: bool,
+    /// Number of random restarts for the hyperparameter search (the first
+    /// start is always the kernel's current values — a warm start).
+    pub restarts: usize,
+    /// Adam iterations per restart.
+    pub adam_iters: usize,
+    /// Adam learning rate (log-parameter space).
+    pub learning_rate: f64,
+    /// Initial observation-noise *standard deviation*.
+    pub initial_noise: f64,
+    /// Lower bound on the noise standard deviation (keeps kernels invertible).
+    pub min_noise: f64,
+    /// Seed for restart perturbations.
+    pub seed: u64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            optimize_hypers: true,
+            restarts: 2,
+            adam_iters: 40,
+            learning_rate: 0.1,
+            initial_noise: 0.1,
+            min_noise: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+impl GpConfig {
+    /// A configuration that skips hyperparameter optimization entirely.
+    pub fn fixed() -> Self {
+        GpConfig { optimize_hypers: false, ..Default::default() }
+    }
+}
+
+/// Exact GP regression with a constant (empirical-mean) mean function, a
+/// Matérn-5/2 ARD kernel, and Gaussian observation noise.
+///
+/// The generic-kernel machinery lives in [`Kernel`]; the concrete model is
+/// fixed to [`Matern52`] because that is what ResTune (via BoTorch) uses and
+/// it keeps the serialized repository format simple.
+///
+/// # Examples
+///
+/// ```
+/// use gp::{GaussianProcess, GpConfig};
+///
+/// let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin()).collect();
+/// let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+/// let pred = gp.predict(&[0.5]).unwrap();
+/// assert!(pred.variance >= 0.0);
+/// assert!((pred.mean - (0.5f64 * 3.0).sin()).abs() < 0.3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianProcess {
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    y_centered: Vec<f64>,
+    mean_offset: f64,
+    kernel: Matern52,
+    log_noise_variance: f64,
+    /// alpha = K_y^{-1} (y - mean)
+    alpha: Vec<f64>,
+    /// Lower Cholesky factor of K_y, flattened row-major.
+    chol_l: Matrix,
+    dim: usize,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to `(x, y)`.
+    ///
+    /// `x` rows must share a common dimensionality `d > 0`; an empty training
+    /// set is allowed (the GP then returns its prior).
+    pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>, config: &GpConfig) -> Result<Self, GpError> {
+        let dim = x.first().map(|p| p.len()).unwrap_or(1);
+        Self::fit_with_kernel(x, y, Matern52::new(dim), config)
+    }
+
+    /// Fits a GP starting from an explicit kernel (used for warm starts).
+    pub fn fit_with_kernel(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        kernel: Matern52,
+        config: &GpConfig,
+    ) -> Result<Self, GpError> {
+        if x.len() != y.len() {
+            return Err(GpError::DataMismatch { n_x: x.len(), n_y: y.len() });
+        }
+        let dim = kernel.dim();
+        for p in &x {
+            if p.len() != dim {
+                return Err(GpError::DimensionMismatch { expected: dim, found: p.len() });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::NonFinite);
+            }
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite);
+        }
+
+        let mean_offset = linalg::vector::mean(&y);
+        let y_centered: Vec<f64> = y.iter().map(|v| v - mean_offset).collect();
+
+        let mut gp = GaussianProcess {
+            x,
+            y,
+            y_centered,
+            mean_offset,
+            kernel,
+            log_noise_variance: (config.initial_noise.max(config.min_noise).powi(2)).ln(),
+            alpha: Vec::new(),
+            chol_l: Matrix::zeros(0, 0),
+            dim,
+        };
+
+        if config.optimize_hypers && gp.x.len() >= 3 {
+            gp.optimize_hyperparameters(config);
+        }
+        gp.refactor(config.min_noise)?;
+        Ok(gp)
+    }
+
+    /// Number of training observations.
+    pub fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Training inputs.
+    pub fn train_x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Training targets (original scale as provided).
+    pub fn train_y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> &Matern52 {
+        &self.kernel
+    }
+
+    /// Fitted observation-noise standard deviation.
+    pub fn noise_std(&self) -> f64 {
+        (self.log_noise_variance.exp()).sqrt()
+    }
+
+    fn kernel_matrix(&self) -> Matrix {
+        let n = self.x.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel.value(&self.x[i], &self.x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    fn refactor(&mut self, min_noise: f64) -> Result<(), GpError> {
+        let n = self.x.len();
+        if n == 0 {
+            self.alpha.clear();
+            self.chol_l = Matrix::zeros(0, 0);
+            return Ok(());
+        }
+        let noise_var = self.log_noise_variance.exp().max(min_noise * min_noise);
+        let mut k = self.kernel_matrix();
+        k.add_diagonal(noise_var);
+        let chol =
+            Cholesky::factor_with_jitter(&k).map_err(|e| GpError::Factorization(e.to_string()))?;
+        self.alpha = chol
+            .solve(&self.y_centered)
+            .map_err(|e| GpError::Factorization(e.to_string()))?;
+        self.chol_l = chol.l().clone();
+        Ok(())
+    }
+
+    fn chol(&self) -> Cholesky {
+        Cholesky::from_factor(self.chol_l.clone())
+    }
+
+    /// Log marginal likelihood of the current hyperparameters.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.x.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let chol = self.chol();
+        let data_fit = -0.5 * linalg::vector::dot(&self.y_centered, &self.alpha);
+        let complexity = -0.5 * chol.log_determinant();
+        data_fit + complexity - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Posterior prediction at one point.
+    pub fn predict(&self, point: &[f64]) -> Result<Prediction, GpError> {
+        if point.len() != self.dim {
+            return Err(GpError::DimensionMismatch { expected: self.dim, found: point.len() });
+        }
+        let n = self.x.len();
+        let prior_var = self.kernel.prior_variance();
+        if n == 0 {
+            return Ok(Prediction { mean: self.mean_offset, variance: prior_var });
+        }
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.value(xi, point)).collect();
+        let mean = self.mean_offset + linalg::vector::dot(&kstar, &self.alpha);
+        let chol = self.chol();
+        let v = chol.solve_lower(&kstar).expect("factor dims match training set");
+        let variance = (prior_var - linalg::vector::dot(&v, &v)).max(0.0);
+        Ok(Prediction { mean, variance })
+    }
+
+    /// Posterior predictions at many points.
+    pub fn predict_batch(&self, points: &[Vec<f64>]) -> Result<Vec<Prediction>, GpError> {
+        points.iter().map(|p| self.predict(p)).collect()
+    }
+
+    /// Joint posterior samples of the latent function at `points`.
+    ///
+    /// Returns `n_samples` vectors, each of length `points.len()`. Used by the
+    /// RGPE-style dynamic weighting to estimate the probability that a
+    /// base-learner has the lowest ranking loss (§6.4.2).
+    pub fn sample_joint(
+        &self,
+        points: &[Vec<f64>],
+        n_samples: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<f64>>, GpError> {
+        let m = points.len();
+        if m == 0 {
+            return Ok(vec![Vec::new(); n_samples]);
+        }
+        for p in points {
+            if p.len() != self.dim {
+                return Err(GpError::DimensionMismatch { expected: self.dim, found: p.len() });
+            }
+        }
+        // Posterior mean vector and covariance matrix at the query points.
+        let mut mean = vec![self.mean_offset; m];
+        let mut cov = Matrix::from_fn(m, m, |i, j| self.kernel.value(&points[i], &points[j]));
+        if self.n() > 0 {
+            let chol = self.chol();
+            // V = L^{-1} K(X, P)  (n x m), assembled column-wise.
+            let n = self.n();
+            let mut v_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+            for (c, p) in points.iter().enumerate() {
+                let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.value(xi, p)).collect();
+                mean[c] += linalg::vector::dot(&kstar, &self.alpha);
+                let v = chol.solve_lower(&kstar).expect("dims");
+                debug_assert_eq!(v.len(), n);
+                v_cols.push(v);
+            }
+            for i in 0..m {
+                for j in 0..=i {
+                    let reduce = linalg::vector::dot(&v_cols[i], &v_cols[j]);
+                    cov[(i, j)] -= reduce;
+                    cov[(j, i)] = cov[(i, j)];
+                }
+            }
+        }
+        // Regularize: posterior covariances can be numerically indefinite.
+        cov.symmetrize();
+        cov.add_diagonal(1e-9 + 1e-6 * self.kernel.prior_variance());
+        let cov_chol = Cholesky::factor_with_jitter(&cov)
+            .map_err(|e| GpError::Factorization(e.to_string()))?;
+        let l = cov_chol.l();
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let z = rand_util::standard_normal_vec(rng, m);
+            let mut s = mean.clone();
+            for i in 0..m {
+                let mut acc = 0.0;
+                let row = l.row(i);
+                for k in 0..=i {
+                    acc += row[k] * z[k];
+                }
+                s[i] += acc;
+            }
+            samples.push(s);
+        }
+        Ok(samples)
+    }
+
+    /// Closed-form leave-one-out posterior predictions (Rasmussen & Williams
+    /// Eqs. 5.10–5.12): for each training index `i`, the prediction at `x_i`
+    /// from the GP trained on all other points, *without* refitting
+    /// hyperparameters.
+    pub fn loo_predictions(&self) -> Result<Vec<Prediction>, GpError> {
+        let n = self.n();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let chol = self.chol();
+        let kinv = chol.inverse().map_err(|e| GpError::Factorization(e.to_string()))?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let kii = kinv[(i, i)];
+            let variance = (1.0 / kii).max(0.0);
+            let mean = self.y[i] - self.alpha[i] / kii;
+            out.push(Prediction { mean, variance });
+        }
+        Ok(out)
+    }
+
+    // ---- hyperparameter optimization ------------------------------------
+
+    /// Negative log marginal likelihood and its gradient for flat parameters
+    /// `[kernel params..., log noise variance]`.
+    fn nll_and_grad(&self, params: &[f64], min_noise: f64) -> Option<(f64, Vec<f64>)> {
+        let n = self.x.len();
+        let kp = self.kernel.n_params();
+        let mut kernel = self.kernel.clone();
+        kernel.set_params(&params[..kp]);
+        let noise_var = params[kp].exp().max(min_noise * min_noise);
+
+        // Assemble K_y and per-parameter gradient matrices.
+        let mut k = Matrix::zeros(n, n);
+        let mut grads: Vec<Matrix> = (0..kp).map(|_| Matrix::zeros(n, n)).collect();
+        let mut gbuf = vec![0.0; kp];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.value_and_grad(&self.x[i], &self.x[j], &mut gbuf);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+                for (p, g) in gbuf.iter().enumerate() {
+                    grads[p][(i, j)] = *g;
+                    grads[p][(j, i)] = *g;
+                }
+            }
+            k[(i, i)] += noise_var;
+        }
+        let chol = Cholesky::factor_with_jitter(&k).ok()?;
+        let alpha = chol.solve(&self.y_centered).ok()?;
+        let kinv = chol.inverse().ok()?;
+        let nll = 0.5 * linalg::vector::dot(&self.y_centered, &alpha)
+            + 0.5 * chol.log_determinant()
+            + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        // dNLL/dtheta = -0.5 tr((alpha alpha^T - K^{-1}) dK/dtheta)
+        let mut grad = vec![0.0; kp + 1];
+        for (p, dk) in grads.iter().enumerate() {
+            let mut tr = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    tr += (alpha[i] * alpha[j] - kinv[(i, j)]) * dk[(i, j)];
+                }
+            }
+            grad[p] = -0.5 * tr;
+        }
+        // Noise gradient: dK/dlog(sigma_n^2) = sigma_n^2 I.
+        let mut tr = 0.0;
+        for i in 0..n {
+            tr += alpha[i] * alpha[i] - kinv[(i, i)];
+        }
+        grad[kp] = -0.5 * tr * noise_var;
+        Some((nll, grad))
+    }
+
+    fn optimize_hyperparameters(&mut self, config: &GpConfig) {
+        let kp = self.kernel.n_params();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(self.x.len() as u64));
+        let noise_bounds = ((config.min_noise * config.min_noise).ln(), (1.0_f64).ln());
+
+        let mut start = self.kernel.params();
+        start.push(self.log_noise_variance);
+
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for restart in 0..config.restarts.max(1) {
+            let mut params = if restart == 0 {
+                start.clone()
+            } else {
+                // Perturbed restart around sensible defaults.
+                let mut p = vec![0.0; kp + 1];
+                for v in p.iter_mut().take(kp) {
+                    *v = rand_util::normal(&mut rng, 0.0, 1.0);
+                }
+                p[kp] = rand_util::normal(&mut rng, (0.01_f64).ln(), 1.0);
+                p
+            };
+            // Adam ascent on LML == descent on NLL.
+            let mut m = vec![0.0; kp + 1];
+            let mut v = vec![0.0; kp + 1];
+            let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+            let mut current_nll = f64::INFINITY;
+            for t in 1..=config.adam_iters {
+                let Some((nll, grad)) = self.nll_and_grad(&params, config.min_noise) else {
+                    break;
+                };
+                current_nll = nll;
+                for i in 0..params.len() {
+                    m[i] = b1 * m[i] + (1.0 - b1) * grad[i];
+                    v[i] = b2 * v[i] + (1.0 - b2) * grad[i] * grad[i];
+                    let mhat = m[i] / (1.0 - b1.powi(t as i32));
+                    let vhat = v[i] / (1.0 - b2.powi(t as i32));
+                    params[i] -= config.learning_rate * mhat / (vhat.sqrt() + eps);
+                }
+                // Clamp: kernel bounds + noise bounds.
+                let kb = self.kernel.bounds();
+                for i in 0..kp {
+                    params[i] = params[i].clamp(kb[i].0, kb[i].1);
+                }
+                params[kp] = params[kp].clamp(noise_bounds.0, noise_bounds.1);
+            }
+            if let Some((final_nll, _)) = self.nll_and_grad(&params, config.min_noise) {
+                current_nll = final_nll;
+            }
+            if best.as_ref().map(|(b, _)| current_nll < *b).unwrap_or(true)
+                && current_nll.is_finite()
+            {
+                best = Some((current_nll, params.clone()));
+            }
+        }
+        if let Some((_, params)) = best {
+            self.kernel.set_params(&params[..kp]);
+            self.log_noise_variance = params[kp].clamp(noise_bounds.0, noise_bounds.1);
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = sin(2 pi x) observed on a grid.
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| (2.0 * std::f64::consts::PI * x[0]).sin()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_data_with_low_noise() {
+        let (xs, ys) = toy_data();
+        let cfg = GpConfig { seed: 3, ..Default::default() };
+        let gp = GaussianProcess::fit(xs.clone(), ys.clone(), &cfg).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x).unwrap();
+            assert!((p.mean - y).abs() < 0.15, "pred {} vs {}", p.mean, y);
+        }
+    }
+
+    #[test]
+    fn prior_prediction_without_data() {
+        let gp = GaussianProcess::fit(Vec::new(), Vec::new(), &GpConfig::fixed()).unwrap();
+        let p = gp.predict(&[0.5]).unwrap();
+        assert_eq!(p.mean, 0.0);
+        assert!(p.variance > 0.0);
+    }
+
+    #[test]
+    fn variance_shrinks_near_observations() {
+        let (xs, ys) = toy_data();
+        let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+        let near = gp.predict(&[0.0]).unwrap();
+        let far = gp.predict(&[3.0]).unwrap();
+        assert!(near.variance < far.variance);
+    }
+
+    #[test]
+    fn hyperopt_improves_marginal_likelihood() {
+        let (xs, ys) = toy_data();
+        let fixed = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
+        let cfg = GpConfig { adam_iters: 60, ..Default::default() };
+        let fitted = GaussianProcess::fit(xs, ys, &cfg).unwrap();
+        assert!(
+            fitted.log_marginal_likelihood() >= fixed.log_marginal_likelihood() - 1e-6,
+            "fitted {} < fixed {}",
+            fitted.log_marginal_likelihood(),
+            fixed.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn mismatched_data_is_rejected() {
+        let err = GaussianProcess::fit(vec![vec![0.0]], vec![1.0, 2.0], &GpConfig::fixed());
+        assert!(matches!(err, Err(GpError::DataMismatch { .. })));
+        let err =
+            GaussianProcess::fit(vec![vec![0.0], vec![0.0, 1.0]], vec![1.0, 2.0], &GpConfig::fixed());
+        assert!(matches!(err, Err(GpError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn non_finite_data_is_rejected() {
+        let err =
+            GaussianProcess::fit(vec![vec![f64::NAN]], vec![1.0], &GpConfig::fixed());
+        assert!(matches!(err, Err(GpError::NonFinite)));
+        let err = GaussianProcess::fit(vec![vec![0.0]], vec![f64::INFINITY], &GpConfig::fixed());
+        assert!(matches!(err, Err(GpError::NonFinite)));
+    }
+
+    #[test]
+    fn sample_joint_matches_posterior_moments() {
+        let (xs, ys) = toy_data();
+        let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+        let pts = vec![vec![0.25], vec![0.8]];
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = gp.sample_joint(&pts, 4000, &mut rng).unwrap();
+        for (j, pt) in pts.iter().enumerate() {
+            let pred = gp.predict(pt).unwrap();
+            let vals: Vec<f64> = samples.iter().map(|s| s[j]).collect();
+            let mean = linalg::vector::mean(&vals);
+            assert!(
+                (mean - pred.mean).abs() < 0.08,
+                "point {j}: sample mean {mean} vs posterior {}",
+                pred.mean
+            );
+        }
+    }
+
+    #[test]
+    fn loo_predictions_match_explicit_refit() {
+        let (xs, ys) = toy_data();
+        let gp = GaussianProcess::fit_with_kernel(
+            xs.clone(),
+            ys.clone(),
+            Matern52::with_hyperparameters(&[0.3], 1.0),
+            &GpConfig::fixed(),
+        )
+        .unwrap();
+        let loo = gp.loo_predictions().unwrap();
+        // Explicitly refit without point 5 and compare prediction at x_5.
+        let hold = 5;
+        let mut xs2 = xs.clone();
+        let mut ys2 = ys.clone();
+        xs2.remove(hold);
+        ys2.remove(hold);
+        let gp2 = GaussianProcess::fit_with_kernel(
+            xs2,
+            ys2,
+            Matern52::with_hyperparameters(&[0.3], 1.0),
+            &GpConfig::fixed(),
+        )
+        .unwrap();
+        let direct = gp2.predict(&xs[hold]).unwrap();
+        // The closed-form LOO centers on the full-data mean, so allow a small
+        // tolerance rather than exact agreement.
+        assert!(
+            (loo[hold].mean - direct.mean).abs() < 0.05,
+            "loo {} vs refit {}",
+            loo[hold].mean,
+            direct.mean
+        );
+    }
+
+    #[test]
+    fn fitted_gp_survives_serde_roundtrip() {
+        // The data repository persists fitted task models as JSON; the
+        // reconstructed GP must predict identically.
+        let (xs, ys) = toy_data();
+        let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+        let json = serde_json::to_string(&gp).unwrap();
+        let back: GaussianProcess = serde_json::from_str(&json).unwrap();
+        let p = gp.predict(&[0.41]).unwrap();
+        let q = back.predict(&[0.41]).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let (xs, ys) = toy_data();
+        let cfg = GpConfig { seed: 9, ..Default::default() };
+        let a = GaussianProcess::fit(xs.clone(), ys.clone(), &cfg).unwrap();
+        let b = GaussianProcess::fit(xs, ys, &cfg).unwrap();
+        let pa = a.predict(&[0.37]).unwrap();
+        let pb = b.predict(&[0.37]).unwrap();
+        assert_eq!(pa, pb);
+    }
+}

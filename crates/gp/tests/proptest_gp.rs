@@ -1,0 +1,71 @@
+//! Property-based tests on Gaussian-process invariants.
+
+use gp::{GaussianProcess, GpConfig};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (2usize..12, 1usize..4).prop_flat_map(|(n, d)| {
+        (
+            prop::collection::vec(prop::collection::vec(0.0..1.0f64, d), n),
+            prop::collection::vec(-2.0..2.0f64, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn posterior_variance_is_nonnegative((xs, ys) in dataset()) {
+        let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+        for i in 0..20 {
+            let p: Vec<f64> = (0..gp.dim()).map(|j| ((i * 7 + j * 3) % 11) as f64 / 10.0).collect();
+            let pred = gp.predict(&p).unwrap();
+            prop_assert!(pred.variance >= 0.0);
+            prop_assert!(pred.mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn adding_data_never_increases_variance_at_new_point((xs, ys) in dataset()) {
+        // Fit on a prefix, then the full set; variance at any point must not grow.
+        let half = xs.len() / 2;
+        let gp_small = GaussianProcess::fit(
+            xs[..half].to_vec(), ys[..half].to_vec(), &GpConfig::fixed()).unwrap();
+        let gp_full = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
+        let probe: Vec<f64> = vec![0.5; gp_full.dim()];
+        let vs = gp_small.predict(&probe).unwrap().variance;
+        let vf = gp_full.predict(&probe).unwrap().variance;
+        prop_assert!(vf <= vs + 1e-6, "variance grew from {vs} to {vf} with more data");
+    }
+
+    #[test]
+    fn log_marginal_likelihood_is_finite((xs, ys) in dataset()) {
+        let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+        prop_assert!(gp.log_marginal_likelihood().is_finite());
+    }
+
+    #[test]
+    fn loo_has_one_prediction_per_observation((xs, ys) in dataset()) {
+        let n = xs.len();
+        let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+        let loo = gp.loo_predictions().unwrap();
+        prop_assert_eq!(loo.len(), n);
+        for p in &loo {
+            prop_assert!(p.variance >= 0.0);
+            prop_assert!(p.mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn constant_shift_moves_predictions_by_the_shift((xs, ys) in dataset(), shift in -10.0..10.0f64) {
+        let gp_a = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
+        let shifted: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+        let gp_b = GaussianProcess::fit(xs, shifted, &GpConfig::fixed()).unwrap();
+        let probe: Vec<f64> = vec![0.3; gp_a.dim()];
+        let pa = gp_a.predict(&probe).unwrap();
+        let pb = gp_b.predict(&probe).unwrap();
+        prop_assert!((pb.mean - pa.mean - shift).abs() < 1e-8);
+        prop_assert!((pb.variance - pa.variance).abs() < 1e-8);
+    }
+}

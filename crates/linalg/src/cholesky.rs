@@ -1,0 +1,272 @@
+//! Cholesky factorization of symmetric positive-definite matrices, and the
+//! solves the Gaussian-process stack builds on.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L L^T`.
+///
+/// Produced by [`Cholesky::factor`] (strict) or
+/// [`Cholesky::factor_with_jitter`] (adds an escalating diagonal jitter, the
+/// standard trick for kernel matrices that are positive definite only up to
+/// floating-point error).
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that was added to the diagonal before the factorization
+    /// succeeded (0.0 for a strict factorization).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factors `a` without jitter. Fails on non-square, non-finite, or
+    /// non-positive-definite input.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        Self::factor_impl(a, 0.0)
+    }
+
+    /// Factors `a`, escalating diagonal jitter from `1e-10 * mean(diag)` by
+    /// factors of 10 until the factorization succeeds or the jitter exceeds
+    /// `1e-2 * mean(diag)`.
+    pub fn factor_with_jitter(a: &Matrix) -> Result<Self> {
+        if let Ok(c) = Self::factor_impl(a, 0.0) {
+            return Ok(c);
+        }
+        let n = a.rows();
+        let mean_diag =
+            (0..n).map(|i| a[(i, i)].abs()).sum::<f64>().max(f64::MIN_POSITIVE) / n as f64;
+        let mut jitter = 1e-10 * mean_diag;
+        let max_jitter = 1e-2 * mean_diag;
+        loop {
+            match Self::factor_impl(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if jitter >= max_jitter {
+                        return Err(e);
+                    }
+                    jitter *= 10.0;
+                }
+            }
+        }
+    }
+
+    fn factor_impl(a: &Matrix, jitter: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // Row prefixes of `l` are contiguous: the dot is sequential.
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                let (li, lj) = (l.row(i), l.row(j));
+                let mut acc = 0.0;
+                for k in 0..j {
+                    acc += li[k] * lj[k];
+                }
+                sum -= acc;
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// Wraps an existing lower-triangular factor `L` (as produced by a prior
+    /// factorization) so the solve routines can be reused without refactoring.
+    ///
+    /// The caller is responsible for `l` actually being a valid lower
+    /// Cholesky factor (square, positive diagonal); this is checked with a
+    /// debug assertion only.
+    pub fn from_factor(l: Matrix) -> Self {
+        debug_assert!(l.is_square());
+        debug_assert!((0..l.rows()).all(|i| l[(i, i)] > 0.0));
+        Cholesky { l, jitter: 0.0 }
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Jitter added to succeed (0.0 if none).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: b.len() });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut acc = 0.0;
+            for k in 0..i {
+                acc += row[k] * y[k];
+            }
+            y[i] = (y[i] - acc) / row[i];
+        }
+        Ok(y)
+    }
+
+    /// Solves `L^T x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: b.len() });
+        }
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            let mut acc = 0.0;
+            for k in (i + 1)..n {
+                acc += self.l[(k, i)] * x[k];
+            }
+            x[i] = (x[i] - acc) / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve_upper(&self.solve_lower(b)?)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: b.rows() });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The inverse `A^{-1}` (used by leave-one-out formulas; O(n^3)).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// `log |A| = 2 * sum_i log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `b^T A^{-1} b` computed stably as `||L^{-1} b||^2`.
+    pub fn quadratic_form(&self, b: &[f64]) -> Result<f64> {
+        let y = self.solve_lower(b)?;
+        Ok(crate::vector::dot(&y, &y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B B^T + I for B = [[1,2],[3,4],[5,6]] is SPD.
+        Matrix::from_vec(3, 3, vec![6.0, 11.0, 17.0, 11.0, 26.0, 39.0, 17.0, 39.0, 62.0])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let c = Cholesky::factor(&a).unwrap();
+        let x = c.solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-9, "x[{i}]={} vs {}", x[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_2x2_formula() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let c = Cholesky::factor(&a).unwrap();
+        // det = 4*3 - 2*2 = 8
+        assert!((c.log_determinant() - 8.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite_matrix() {
+        // Rank-1 matrix: strictly semidefinite, strict factorization fails.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        assert!(Cholesky::factor(&a).is_err());
+        let c = Cholesky::factor_with_jitter(&a).unwrap();
+        assert!(c.jitter() > 0.0);
+    }
+
+    #[test]
+    fn non_finite_is_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, f64::NAN, f64::NAN, 1.0]);
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_direct_computation() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = c.solve(&b).unwrap();
+        let direct = crate::vector::dot(&b, &x);
+        assert!((c.quadratic_form(&b).unwrap() - direct).abs() < 1e-9);
+    }
+}

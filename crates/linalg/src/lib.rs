@@ -1,0 +1,65 @@
+//! Minimal dense linear algebra for Gaussian-process surrogate models.
+//!
+//! The ResTune reproduction rebuilds all surrogate math from scratch (there is
+//! no BoTorch equivalent available offline), so this crate provides exactly the
+//! primitives the Gaussian-process stack needs:
+//!
+//! * a column-owning dense [`Matrix`] with row-major storage,
+//! * [`Cholesky`] factorization of symmetric positive-definite matrices with
+//!   adaptive jitter,
+//! * forward/backward triangular solves, SPD solves and inverses,
+//!   log-determinants,
+//! * small vector helpers ([`vector`] module) used throughout the workspace.
+//!
+//! Everything is `f64`; sizes in this project are small (a few hundred
+//! observations, a few dozen dimensions), so clarity and numerical robustness
+//! are prioritized over blocked/SIMD kernels. Operations that matter for the
+//! O(n^3) GP hot path (`Cholesky::factor`, the triangular solves) are written
+//! cache-friendly over contiguous rows.
+
+// Indexed loops are intentional in the numeric kernels below: they mirror
+// the textbook formulations and keep bounds explicit.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod matrix;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+
+/// Errors produced by factorizations and solves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The matrix is not square where a square matrix is required.
+    NotSquare { rows: usize, cols: usize },
+    /// Dimension mismatch between operands.
+    DimensionMismatch { expected: usize, found: usize },
+    /// Cholesky failed even after the maximum jitter was added.
+    NotPositiveDefinite { pivot: usize, value: f64 },
+    /// A numeric argument was invalid (NaN/inf where finite required).
+    NonFinite,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite at pivot {pivot} (value {value:.3e}) even with jitter"
+            ),
+            LinalgError::NonFinite => write!(f, "non-finite value encountered"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

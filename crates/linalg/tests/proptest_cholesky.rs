@@ -1,0 +1,78 @@
+//! Property-based tests for the Cholesky factorization and solves.
+
+use linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Builds a random SPD matrix `A = B B^T + n*I` from a flat coefficient vector.
+fn spd_from_coeffs(n: usize, coeffs: &[f64]) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| coeffs[i * n + j]);
+    let mut a = b.matmul(&b.transpose()).unwrap();
+    a.add_diagonal(n as f64);
+    a
+}
+
+fn coeff_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-3.0..3.0f64, n * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn factor_reconstructs_spd((n, coeffs) in (2usize..8).prop_flat_map(|n| (Just(n), coeff_vec(n)))) {
+        let a = spd_from_coeffs(n, &coeffs);
+        let c = Cholesky::factor(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() <= 1e-8 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual_is_small((n, coeffs, x) in (2usize..8).prop_flat_map(|n| {
+        (Just(n), coeff_vec(n), prop::collection::vec(-5.0..5.0f64, n))
+    })) {
+        let a = spd_from_coeffs(n, &coeffs);
+        let b = a.matvec(&x).unwrap();
+        let c = Cholesky::factor(&a).unwrap();
+        let solved = c.solve(&b).unwrap();
+        for i in 0..n {
+            prop_assert!((solved[i] - x[i]).abs() <= 1e-6 * (1.0 + x[i].abs()));
+        }
+    }
+
+    #[test]
+    fn quadratic_form_is_nonnegative((n, coeffs, b) in (2usize..8).prop_flat_map(|n| {
+        (Just(n), coeff_vec(n), prop::collection::vec(-5.0..5.0f64, n))
+    })) {
+        let a = spd_from_coeffs(n, &coeffs);
+        let c = Cholesky::factor(&a).unwrap();
+        prop_assert!(c.quadratic_form(&b).unwrap() >= -1e-12);
+    }
+
+    #[test]
+    fn log_determinant_is_finite_for_spd((n, coeffs) in (2usize..8).prop_flat_map(|n| (Just(n), coeff_vec(n)))) {
+        let a = spd_from_coeffs(n, &coeffs);
+        let c = Cholesky::factor(&a).unwrap();
+        prop_assert!(c.log_determinant().is_finite());
+    }
+
+    #[test]
+    fn matvec_linearity((n, coeffs, x, y) in (2usize..6).prop_flat_map(|n| {
+        (Just(n), coeff_vec(n),
+         prop::collection::vec(-5.0..5.0f64, n),
+         prop::collection::vec(-5.0..5.0f64, n))
+    })) {
+        let a = spd_from_coeffs(n, &coeffs);
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + q).collect();
+        let lhs = a.matvec(&sum).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let ay = a.matvec(&y).unwrap();
+        for i in 0..n {
+            prop_assert!((lhs[i] - (ax[i] + ay[i])).abs() <= 1e-8 * (1.0 + lhs[i].abs()));
+        }
+    }
+}

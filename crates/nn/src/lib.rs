@@ -1,0 +1,21 @@
+//! Minimal neural-network substrate: dense MLPs with backprop, Adam, a replay
+//! buffer, and a DDPG actor-critic agent.
+//!
+//! Built from scratch to support the **CDBTune-w-Con** baseline of the paper's
+//! evaluation: CDBTune (SIGMOD 2019) tunes knobs with the deep deterministic
+//! policy gradient, mapping internal DBMS metrics (state) to knob settings
+//! (action). The paper modifies its reward for resource-oriented tuning
+//! (§7, "CDBTune-w-Con"); that reward shaping lives in the `baselines` crate —
+//! this crate is the generic learning machinery.
+
+// Indexed loops are intentional in the numeric kernels below: they mirror
+// the textbook formulations and keep bounds explicit.
+#![allow(clippy::needless_range_loop)]
+
+pub mod ddpg;
+pub mod mlp;
+pub mod replay;
+
+pub use ddpg::{Ddpg, DdpgConfig};
+pub use mlp::{Activation, AdamOptimizer, Mlp};
+pub use replay::{ReplayBuffer, Transition};

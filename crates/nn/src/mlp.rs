@@ -1,0 +1,392 @@
+//! Dense multilayer perceptrons with explicit backpropagation and Adam.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (useful for `[0,1]` knob actions).
+    Sigmoid,
+    /// Identity (linear output).
+    Identity,
+}
+
+impl Activation {
+    fn apply(&self, z: f64) -> f64 {
+        match self {
+            Activation::Tanh => z.tanh(),
+            Activation::Relu => z.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Identity => z,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `a = f(z)`.
+    fn derivative_from_output(&self, a: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense layer: `a = f(W x + b)` with `W` stored row-major (out × in).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    activation: Activation,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        // Xavier/Glorot uniform initialization.
+        let limit = (6.0 / (n_in + n_out) as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * limit).collect();
+        Layer { w, b: vec![0.0; n_out], n_in, n_out, activation }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut z = self.b[o];
+            for i in 0..self.n_in {
+                z += row[i] * x[i];
+            }
+            out.push(self.activation.apply(z));
+        }
+    }
+}
+
+/// Per-layer parameter gradients.
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    dw: Vec<f64>,
+    db: Vec<f64>,
+}
+
+/// Gradients for a whole network.
+pub type Grads = Vec<LayerGrads>;
+
+/// A dense feed-forward network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a network with layer sizes `sizes` (length ≥ 2); hidden layers
+    /// use `hidden`, the output layer uses `output`.
+    pub fn new(sizes: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let act = if i + 2 == sizes.len() { output } else { hidden };
+            layers.push(Layer::new(sizes[i], sizes[i + 1], act, &mut rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn n_inputs(&self) -> usize {
+        self.layers[0].n_in
+    }
+
+    /// Output dimensionality.
+    pub fn n_outputs(&self) -> usize {
+        self.layers.last().unwrap().n_out
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.n_inputs());
+        let mut a = x.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&a, &mut next);
+            std::mem::swap(&mut a, &mut next);
+        }
+        a
+    }
+
+    /// Forward pass caching every layer's activation (input first).
+    fn forward_cached(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for layer in &self.layers {
+            let mut out = Vec::new();
+            layer.forward(acts.last().unwrap(), &mut out);
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Backpropagates `grad_out = dL/d(output)` for input `x`.
+    ///
+    /// Returns parameter gradients and `dL/d(input)` (the input gradient is
+    /// what DDPG's actor update needs from the critic).
+    pub fn backward(&self, x: &[f64], grad_out: &[f64]) -> (Grads, Vec<f64>) {
+        let acts = self.forward_cached(x);
+        let mut grads: Grads = self
+            .layers
+            .iter()
+            .map(|l| LayerGrads { dw: vec![0.0; l.w.len()], db: vec![0.0; l.b.len()] })
+            .collect();
+        // delta = dL/dz at the current layer.
+        let mut delta: Vec<f64> = grad_out
+            .iter()
+            .zip(acts.last().unwrap())
+            .map(|(g, a)| g * self.layers.last().unwrap().activation.derivative_from_output(*a))
+            .collect();
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let input = &acts[li];
+            let g = &mut grads[li];
+            for o in 0..layer.n_out {
+                g.db[o] += delta[o];
+                let row = &mut g.dw[o * layer.n_in..(o + 1) * layer.n_in];
+                for i in 0..layer.n_in {
+                    row[i] += delta[o] * input[i];
+                }
+            }
+            if li == 0 {
+                // Input gradient.
+                let mut dx = vec![0.0; layer.n_in];
+                for o in 0..layer.n_out {
+                    let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                    for i in 0..layer.n_in {
+                        dx[i] += delta[o] * row[i];
+                    }
+                }
+                return (grads, dx);
+            }
+            // Propagate delta to the previous layer.
+            let prev = &self.layers[li - 1];
+            let mut new_delta = vec![0.0; layer.n_in];
+            for o in 0..layer.n_out {
+                let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                for i in 0..layer.n_in {
+                    new_delta[i] += delta[o] * row[i];
+                }
+            }
+            for (i, nd) in new_delta.iter_mut().enumerate() {
+                *nd *= prev.activation.derivative_from_output(acts[li][i]);
+            }
+            delta = new_delta;
+        }
+        unreachable!("loop returns at li == 0");
+    }
+
+    /// Gradient of the scalar first output with respect to the inputs,
+    /// convenience for critics (`dQ/da`).
+    pub fn input_gradient(&self, x: &[f64]) -> Vec<f64> {
+        let mut grad_out = vec![0.0; self.n_outputs()];
+        grad_out[0] = 1.0;
+        self.backward(x, &grad_out).1
+    }
+
+    /// Zero-initialized gradient accumulator matching this network.
+    pub fn zero_grads(&self) -> Grads {
+        self.layers
+            .iter()
+            .map(|l| LayerGrads { dw: vec![0.0; l.w.len()], db: vec![0.0; l.b.len()] })
+            .collect()
+    }
+
+    /// Accumulates `other` into `acc` (for minibatch averaging).
+    pub fn accumulate(acc: &mut Grads, other: &Grads) {
+        for (a, o) in acc.iter_mut().zip(other) {
+            for (x, y) in a.dw.iter_mut().zip(&o.dw) {
+                *x += y;
+            }
+            for (x, y) in a.db.iter_mut().zip(&o.db) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales gradients in place.
+    pub fn scale_grads(grads: &mut Grads, s: f64) {
+        for g in grads {
+            for v in &mut g.dw {
+                *v *= s;
+            }
+            for v in &mut g.db {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Soft-updates parameters toward `source`: `p ← (1 - tau) p + tau p_src`.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        for (l, s) in self.layers.iter_mut().zip(&source.layers) {
+            for (w, ws) in l.w.iter_mut().zip(&s.w) {
+                *w += tau * (ws - *w);
+            }
+            for (b, bs) in l.b.iter_mut().zip(&s.b) {
+                *b += tau * (bs - *b);
+            }
+        }
+    }
+}
+
+/// Adam optimizer holding per-parameter first/second moment estimates.
+#[derive(Debug, Clone)]
+pub struct AdamOptimizer {
+    m: Vec<LayerGrads>,
+    v: Vec<LayerGrads>,
+    t: i32,
+    lr: f64,
+}
+
+impl AdamOptimizer {
+    /// Creates an optimizer for `net` with learning rate `lr`.
+    pub fn new(net: &Mlp, lr: f64) -> Self {
+        AdamOptimizer { m: net.zero_grads(), v: net.zero_grads(), t: 0, lr }
+    }
+
+    /// Applies one descent step along `grads`.
+    pub fn step(&mut self, net: &mut Mlp, grads: &Grads) {
+        self.t += 1;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let bc1 = 1.0 - b1.powi(self.t);
+        let bc2 = 1.0 - b2.powi(self.t);
+        for (li, layer) in net.layers.iter_mut().enumerate() {
+            let g = &grads[li];
+            let m = &mut self.m[li];
+            let v = &mut self.v[li];
+            for (i, w) in layer.w.iter_mut().enumerate() {
+                m.dw[i] = b1 * m.dw[i] + (1.0 - b1) * g.dw[i];
+                v.dw[i] = b2 * v.dw[i] + (1.0 - b2) * g.dw[i] * g.dw[i];
+                *w -= self.lr * (m.dw[i] / bc1) / ((v.dw[i] / bc2).sqrt() + eps);
+            }
+            for (i, b) in layer.b.iter_mut().enumerate() {
+                m.db[i] = b1 * m.db[i] + (1.0 - b1) * g.db[i];
+                v.db[i] = b2 * v.db[i] + (1.0 - b2) * g.db[i] * g.db[i];
+                *b -= self.lr * (m.db[i] / bc1) / ((v.db[i] / bc2).sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(&[3, 8, 2], Activation::Tanh, Activation::Identity, 1);
+        assert_eq!(net.n_inputs(), 3);
+        assert_eq!(net.n_outputs(), 2);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let net = Mlp::new(&[2, 5, 1], Activation::Tanh, Activation::Identity, 7);
+        let x = [0.3, -0.6];
+        // L = output[0]; dL/dw via backprop vs finite differences.
+        let (grads, dx) = net.backward(&x, &[1.0]);
+        let eps = 1e-6;
+        // Check a few weight entries of each layer.
+        for li in 0..net.layers.len() {
+            for wi in [0usize, net.layers[li].w.len() / 2] {
+                let mut plus = net.clone();
+                plus.layers[li].w[wi] += eps;
+                let mut minus = net.clone();
+                minus.layers[li].w[wi] -= eps;
+                let fd = (plus.forward(&x)[0] - minus.forward(&x)[0]) / (2.0 * eps);
+                assert!(
+                    (grads[li].dw[wi] - fd).abs() < 1e-6,
+                    "layer {li} w[{wi}]: {} vs {}",
+                    grads[li].dw[wi],
+                    fd
+                );
+            }
+        }
+        // Input gradient check.
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let fd = (net.forward(&xp)[0] - net.forward(&xm)[0]) / (2.0 * eps);
+            assert!((dx[i] - fd).abs() < 1e-6, "input {i}: {} vs {}", dx[i], fd);
+        }
+    }
+
+    #[test]
+    fn learns_a_simple_regression() {
+        // y = sin(3x) on [-1, 1].
+        let mut net = Mlp::new(&[1, 16, 16, 1], Activation::Tanh, Activation::Identity, 3);
+        let mut opt = AdamOptimizer::new(&net, 0.01);
+        let xs: Vec<f64> = (0..64).map(|i| -1.0 + 2.0 * i as f64 / 63.0).collect();
+        for _ in 0..800 {
+            let mut grads = net.zero_grads();
+            for &x in &xs {
+                let pred = net.forward(&[x])[0];
+                let err = pred - (3.0 * x).sin();
+                let (g, _) = net.backward(&[x], &[2.0 * err]);
+                Mlp::accumulate(&mut grads, &g);
+            }
+            Mlp::scale_grads(&mut grads, 1.0 / xs.len() as f64);
+            opt.step(&mut net, &grads);
+        }
+        let mse: f64 = xs
+            .iter()
+            .map(|&x| {
+                let e = net.forward(&[x])[0] - (3.0 * x).sin();
+                e * e
+            })
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mse < 0.02, "mse {mse}");
+    }
+
+    #[test]
+    fn sigmoid_outputs_stay_in_unit_interval() {
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Sigmoid, 5);
+        for s in 0..20 {
+            let x: Vec<f64> = (0..4).map(|i| ((s * 4 + i) as f64).sin() * 3.0).collect();
+            for v in net.forward(&x) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn soft_update_converges_to_source() {
+        let mut target = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 1);
+        let source = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 2);
+        for _ in 0..2000 {
+            target.soft_update_from(&source, 0.01);
+        }
+        let x = [0.5, -0.5];
+        assert!((target.forward(&x)[0] - source.forward(&x)[0]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic_construction_per_seed() {
+        let a = Mlp::new(&[3, 6, 2], Activation::Tanh, Activation::Identity, 9);
+        let b = Mlp::new(&[3, 6, 2], Activation::Tanh, Activation::Identity, 9);
+        assert_eq!(a.forward(&[0.1, 0.2, 0.3]), b.forward(&[0.1, 0.2, 0.3]));
+    }
+}

@@ -1,0 +1,110 @@
+//! Experience replay buffer for off-policy RL.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One `(s, a, r, s')` transition. The configuration-tuning "episode" is a
+/// single step (the paper notes the problem is not really an MDP — the
+/// optimal configuration is the same whatever the state), so no terminal
+/// flag is needed beyond `done`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State (normalized internal metrics).
+    pub state: Vec<f64>,
+    /// Action (normalized knob vector).
+    pub action: Vec<f64>,
+    /// Reward.
+    pub reward: f64,
+    /// Next state.
+    pub next_state: Vec<f64>,
+    /// Whether the episode ended with this transition.
+    pub done: bool,
+}
+
+/// Fixed-capacity ring buffer with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    buf: Vec<Transition>,
+    capacity: usize,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        ReplayBuffer { buf: Vec::with_capacity(capacity), capacity, write: 0 }
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.write] = t;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<&Transition> {
+        assert!(!self.buf.is_empty());
+        (0..n).map(|_| &self.buf[rng.random_range(0..self.buf.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition {
+            state: vec![r],
+            action: vec![r],
+            reward: r,
+            next_state: vec![r],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_fifo_eviction() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        // 0 and 1 were evicted.
+        let rewards: Vec<f64> = buf.buf.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_returns_requested_count() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..4 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(buf.sample(16, &mut rng).len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sampling_empty_buffer_panics() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = buf.sample(1, &mut rng);
+    }
+}

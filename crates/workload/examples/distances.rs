@@ -1,0 +1,19 @@
+//! Developer aid: prints meta-feature distances from two target workloads to
+//! every repository-catalogue workload (the raw material for the static
+//! weights of §6.4.1).
+//!
+//! Run with `cargo run -p restune-workload --example distances --release`.
+
+use dbsim::WorkloadSpec;
+use workload::WorkloadCharacterizer;
+fn main() {
+    let c = WorkloadCharacterizer::train_default(42);
+    let suite = WorkloadSpec::repository_catalog();
+    let embeds: Vec<_> = suite.iter().map(|w| (w.name.clone(), c.embed_workload(w, 42))).collect();
+    let target = c.embed_workload(&WorkloadSpec::sysbench(), 99);
+    println!("distances to SYSBENCH target:");
+    for (n, e) in &embeds { println!("  {:<24} {:.4}", n, target.distance(e)); }
+    let t2 = c.embed_workload(&WorkloadSpec::twitter(), 99);
+    println!("distances to Twitter target:");
+    for (n, e) in &embeds { println!("  {:<24} {:.4}", n, t2.distance(e)); }
+}

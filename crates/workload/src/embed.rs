@@ -1,0 +1,191 @@
+//! The workload-embedding pipeline: reserved words → TF-IDF → random forest
+//! class probabilities → averaged distribution = meta-feature (§6.2).
+
+use crate::forest::RandomForest;
+use crate::sql::{generate_queries, SqlQuery};
+use crate::tfidf::TfIdfVectorizer;
+use crate::tokenizer::extract_reserved_words;
+use dbsim::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// A workload meta-feature: the averaged class-probability distribution of
+/// its queries' resource-cost classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEmbedding {
+    /// Probability mass per resource-cost class (sums to 1).
+    pub probs: Vec<f64>,
+}
+
+impl WorkloadEmbedding {
+    /// Euclidean distance between two embeddings, the quantity Table 5
+    /// reports as "Distance to Wt".
+    pub fn distance(&self, other: &WorkloadEmbedding) -> f64 {
+        debug_assert_eq!(self.probs.len(), other.probs.len());
+        self.probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Dimensionality (number of cost classes).
+    pub fn dim(&self) -> usize {
+        self.probs.len()
+    }
+}
+
+/// The trained characterization pipeline: TF-IDF vectorizer + random forest.
+///
+/// Training labels are log-scaled, discretized query costs — the paper
+/// applies a logarithmic transformation because raw costs are highly skewed
+/// and then discretizes for classification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadCharacterizer {
+    vectorizer: TfIdfVectorizer,
+    forest: RandomForest,
+    /// Log-cost bin edges (length = n_classes - 1).
+    bin_edges: Vec<f64>,
+}
+
+/// Number of resource-cost classes.
+pub const N_COST_CLASSES: usize = 5;
+
+/// Queries sampled per workload when training and embedding.
+const QUERIES_PER_WORKLOAD: usize = 400;
+
+impl WorkloadCharacterizer {
+    /// Trains the pipeline on a corpus of labelled queries.
+    pub fn train_on(queries: &[SqlQuery], n_trees: usize, seed: u64) -> Self {
+        assert!(!queries.is_empty());
+        let token_lists: Vec<Vec<&'static str>> =
+            queries.iter().map(|q| extract_reserved_words(&q.text)).collect();
+        let vectorizer = TfIdfVectorizer::fit(&token_lists);
+        let x: Vec<Vec<f64>> =
+            token_lists.iter().map(|toks| vectorizer.transform(toks)).collect();
+
+        // Log-transform the skewed cost labels, then bin into equal-width
+        // classes over the observed range.
+        let logs: Vec<f64> = queries.iter().map(|q| (1.0 + q.cost).ln()).collect();
+        let lo = logs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / N_COST_CLASSES as f64).max(1e-9);
+        let bin_edges: Vec<f64> =
+            (1..N_COST_CLASSES).map(|i| lo + width * i as f64).collect();
+        let y: Vec<usize> = logs.iter().map(|&l| Self::bin(&bin_edges, l)).collect();
+
+        let forest = RandomForest::fit(&x, &y, N_COST_CLASSES, n_trees, seed);
+        WorkloadCharacterizer { vectorizer, forest, bin_edges }
+    }
+
+    /// Trains on queries generated from the standard workload families —
+    /// the cloud provider's offline training corpus.
+    pub fn train_default(seed: u64) -> Self {
+        let mut corpus = Vec::new();
+        for (i, spec) in WorkloadSpec::evaluation_suite().iter().enumerate() {
+            corpus.extend(generate_queries(spec, QUERIES_PER_WORKLOAD, seed + i as u64));
+        }
+        Self::train_on(&corpus, 20, seed)
+    }
+
+    fn bin(edges: &[f64], v: f64) -> usize {
+        edges.iter().take_while(|e| v > **e).count()
+    }
+
+    /// Classifies one query into a cost-class distribution.
+    pub fn classify(&self, sql: &str) -> Vec<f64> {
+        let toks = extract_reserved_words(sql);
+        let x = self.vectorizer.transform(&toks);
+        self.forest.predict_proba(&x)
+    }
+
+    /// Embeds a query stream: the averaged class distribution.
+    pub fn embed_queries<'a>(&self, sqls: impl IntoIterator<Item = &'a str>) -> WorkloadEmbedding {
+        let mut acc = vec![0.0; N_COST_CLASSES];
+        let mut n = 0usize;
+        for sql in sqls {
+            let p = self.classify(sql);
+            for (a, v) in acc.iter_mut().zip(&p) {
+                *a += v;
+            }
+            n += 1;
+        }
+        if n > 0 {
+            for a in &mut acc {
+                *a /= n as f64;
+            }
+        }
+        WorkloadEmbedding { probs: acc }
+    }
+
+    /// Embeds a workload spec by generating its query stream first.
+    pub fn embed_workload(&self, spec: &WorkloadSpec, seed: u64) -> WorkloadEmbedding {
+        let queries = generate_queries(spec, QUERIES_PER_WORKLOAD, seed);
+        self.embed_queries(queries.iter().map(|q| q.text.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn characterizer() -> WorkloadCharacterizer {
+        WorkloadCharacterizer::train_default(42)
+    }
+
+    #[test]
+    fn embedding_is_a_probability_distribution() {
+        let c = characterizer();
+        let e = c.embed_workload(&WorkloadSpec::sysbench(), 1);
+        assert_eq!(e.dim(), N_COST_CLASSES);
+        assert!((e.probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(e.probs.iter().all(|p| *p >= 0.0));
+    }
+
+    #[test]
+    fn same_workload_embeds_near_itself_across_windows() {
+        let c = characterizer();
+        let a = c.embed_workload(&WorkloadSpec::twitter(), 1);
+        let b = c.embed_workload(&WorkloadSpec::twitter(), 2);
+        assert!(a.distance(&b) < 0.05, "self-distance {}", a.distance(&b));
+    }
+
+    #[test]
+    fn twitter_variations_order_by_insert_ratio() {
+        // Table 5: W1 (closest R/W mix to the target) must be nearer than W5.
+        let c = characterizer();
+        let target = c.embed_workload(&WorkloadSpec::twitter(), 7);
+        let vars = WorkloadSpec::twitter_variations();
+        let d1 = target.distance(&c.embed_workload(&vars[0], 7));
+        let d5 = target.distance(&c.embed_workload(&vars[4], 7));
+        assert!(d1 < d5, "W1 distance {d1} should be < W5 distance {d5}");
+    }
+
+    #[test]
+    fn different_families_are_farther_than_variations() {
+        let c = characterizer();
+        let twitter = c.embed_workload(&WorkloadSpec::twitter(), 3);
+        let w1 = c.embed_workload(&WorkloadSpec::twitter_variations()[0], 3);
+        let sales = c.embed_workload(&WorkloadSpec::sales(), 3);
+        assert!(twitter.distance(&w1) < twitter.distance(&sales));
+    }
+
+    #[test]
+    fn classify_outputs_distribution_per_query() {
+        let c = characterizer();
+        let p = c.classify("SELECT region, SUM(amount) FROM sales GROUP BY region");
+        assert_eq!(p.len(), N_COST_CLASSES);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_aggregations_classify_costlier_than_point_reads() {
+        let c = characterizer();
+        let point = c.classify("SELECT * FROM tweets WHERE id = 5");
+        let agg = c.classify(
+            "SELECT region, SUM(amount) AS total FROM sales WHERE day BETWEEN 1 AND 30 GROUP BY region ORDER BY total DESC",
+        );
+        let ev = |p: &[f64]| p.iter().enumerate().map(|(i, v)| i as f64 * v).sum::<f64>();
+        assert!(ev(&agg) > ev(&point), "agg {:?} point {:?}", agg, point);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload characterization (§6.2 of the paper).
+//!
+//! ResTune's static weights need a *meta-feature* per workload that can be
+//! computed from SQL text alone, before any tuning observations exist. The
+//! paper's pipeline, reproduced here end to end:
+//!
+//! 1. **SQL generation** ([`sql`]) — each workload family (SYSBENCH, TPC-C,
+//!    Twitter, Hotel, Sales) has realistic query templates; a seeded generator
+//!    samples a query stream whose read/write mix follows the workload spec.
+//!    (In production this is the captured workload window; here the generator
+//!    plays that role.)
+//! 2. **Reserved-word extraction** ([`tokenizer`]) — variable names and
+//!    literals are unbounded and hurt generalization, so only SQL reserved
+//!    words survive tokenization.
+//! 3. **TF-IDF** ([`tfidf`]) — each query becomes a term-frequency /
+//!    inverse-document-frequency vector over the small reserved-word
+//!    vocabulary.
+//! 4. **Random forest** ([`forest`]) — a from-scratch CART forest classifies
+//!    each query into a (log-scaled, discretized) resource-cost class.
+//! 5. **Embedding** ([`embed`]) — the workload meta-feature is the average of
+//!    the predicted class-probability distributions over the whole stream.
+//!
+//! Similar workloads (e.g. the Twitter variations W1–W5 of Table 5) produce
+//! nearby meta-features; the distances feed the Epanechnikov static weights in
+//! `restune-core`.
+
+pub mod embed;
+pub mod forest;
+pub mod sql;
+pub mod tfidf;
+pub mod tokenizer;
+
+pub use embed::{WorkloadCharacterizer, WorkloadEmbedding};
+pub use forest::{DecisionTree, RandomForest};
+pub use sql::{generate_queries, SqlQuery};
+pub use tfidf::TfIdfVectorizer;
+pub use tokenizer::extract_reserved_words;

@@ -1,0 +1,127 @@
+//! TF-IDF vectorization over the reserved-word vocabulary.
+
+use crate::tokenizer::{reserved_word_index, RESERVED_WORDS};
+use serde::{Deserialize, Serialize};
+
+/// A fitted TF-IDF vectorizer over [`RESERVED_WORDS`].
+///
+/// The vocabulary is fixed and small, so vectors are dense. IDF uses the
+/// smoothed formulation `ln((1 + N) / (1 + df)) + 1`, which never zeroes a
+/// term out entirely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TfIdfVectorizer {
+    idf: Vec<f64>,
+    n_documents: usize,
+}
+
+impl TfIdfVectorizer {
+    /// Vocabulary size.
+    pub const VOCAB: usize = RESERVED_WORDS.len();
+
+    /// Fits IDF weights on a corpus of token lists (one list per query).
+    pub fn fit<S: AsRef<str>>(corpus: &[Vec<S>]) -> Self {
+        let n = corpus.len();
+        let mut df = vec![0usize; Self::VOCAB];
+        for doc in corpus {
+            let mut seen = [false; Self::VOCAB];
+            for tok in doc {
+                if let Some(i) = reserved_word_index(tok.as_ref()) {
+                    seen[i] = true;
+                }
+            }
+            for (i, s) in seen.iter().enumerate() {
+                if *s {
+                    df[i] += 1;
+                }
+            }
+        }
+        let idf = df
+            .iter()
+            .map(|&d| ((1.0 + n as f64) / (1.0 + d as f64)).ln() + 1.0)
+            .collect();
+        TfIdfVectorizer { idf, n_documents: n }
+    }
+
+    /// Number of documents the vectorizer was fitted on.
+    pub fn n_documents(&self) -> usize {
+        self.n_documents
+    }
+
+    /// Transforms a token list into an L2-normalized TF-IDF vector.
+    pub fn transform<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<f64> {
+        let mut tf = vec![0.0; Self::VOCAB];
+        for tok in tokens {
+            if let Some(i) = reserved_word_index(tok.as_ref()) {
+                tf[i] += 1.0;
+            }
+        }
+        let total: f64 = tf.iter().sum();
+        if total > 0.0 {
+            for (v, idf) in tf.iter_mut().zip(&self.idf) {
+                *v = (*v / total) * idf;
+            }
+        }
+        let norm = tf.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for v in &mut tf {
+                *v /= norm;
+            }
+        }
+        tf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::extract_reserved_words;
+
+    fn corpus() -> Vec<Vec<&'static str>> {
+        vec![
+            extract_reserved_words("SELECT a FROM t WHERE x = 1"),
+            extract_reserved_words("SELECT b FROM t WHERE y = 2 ORDER BY b"),
+            extract_reserved_words("INSERT INTO t VALUES (1)"),
+            extract_reserved_words("UPDATE t SET a = 1 WHERE x = 2"),
+        ]
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let x = v.transform(&extract_reserved_words("SELECT a FROM t"));
+        let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rare_terms_get_higher_weight_than_common_terms() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        // SELECT appears in 2/4 docs, ORDER in 1/4: a doc containing both once
+        // should weight ORDER higher.
+        let x = v.transform(&["SELECT", "ORDER"]);
+        let i_select = crate::tokenizer::reserved_word_index("SELECT").unwrap();
+        let i_order = crate::tokenizer::reserved_word_index("ORDER").unwrap();
+        assert!(x[i_order] > x[i_select]);
+    }
+
+    #[test]
+    fn empty_document_transforms_to_zero_vector() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let x = v.transform::<&str>(&[]);
+        assert!(x.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn unknown_tokens_are_ignored() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        let a = v.transform(&["SELECT", "FROM"]);
+        let b = v.transform(&["SELECT", "FROM", "sbtest1", "xyz"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dimension_is_vocab_size() {
+        let v = TfIdfVectorizer::fit(&corpus());
+        assert_eq!(v.transform(&["SELECT"]).len(), TfIdfVectorizer::VOCAB);
+    }
+}

@@ -1,0 +1,112 @@
+//! Reserved-word tokenization of SQL text.
+//!
+//! Variable names and literals are unbounded across schemas, which makes
+//! generalization hard (§6.2); the paper therefore keeps only SQL reserved
+//! words, giving a small, schema-independent vocabulary.
+
+/// The reserved-word vocabulary, ordered; indices are stable across the
+/// workspace (TF-IDF vectors use this order).
+pub const RESERVED_WORDS: [&str; 40] = [
+    "SELECT", "INSERT", "UPDATE", "DELETE", "REPLACE", "FROM", "WHERE", "AND", "OR", "NOT",
+    "JOIN", "INNER", "LEFT", "OUTER", "ON", "GROUP", "ORDER", "BY", "HAVING", "LIMIT",
+    "OFFSET", "DISTINCT", "COUNT", "SUM", "AVG", "MIN", "MAX", "BETWEEN", "IN", "LIKE",
+    "VALUES", "SET", "INTO", "AS", "ASC", "DESC", "UNION", "EXISTS", "NULL", "FOR",
+];
+
+/// Index of a reserved word in [`RESERVED_WORDS`], if present.
+pub fn reserved_word_index(word: &str) -> Option<usize> {
+    RESERVED_WORDS.iter().position(|w| w.eq_ignore_ascii_case(word))
+}
+
+/// Extracts the reserved words of a SQL query, in order of appearance
+/// (duplicates preserved — term frequency matters).
+///
+/// Identifiers, literals, and punctuation are filtered out, exactly the
+/// "filter out the specific variables" step of the paper's pipeline.
+pub fn extract_reserved_words(sql: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut in_string = false;
+    for ch in sql.chars() {
+        if in_string {
+            if ch == '\'' {
+                in_string = false;
+            }
+            continue;
+        }
+        if ch == '\'' {
+            in_string = true;
+            flush_word(&mut word, &mut out);
+            continue;
+        }
+        if ch.is_ascii_alphabetic() || ch == '_' {
+            word.push(ch);
+        } else {
+            flush_word(&mut word, &mut out);
+        }
+    }
+    flush_word(&mut word, &mut out);
+    out
+}
+
+fn flush_word(word: &mut String, out: &mut Vec<&'static str>) {
+    if !word.is_empty() {
+        if let Some(idx) = reserved_word_index(word) {
+            out.push(RESERVED_WORDS[idx]);
+        }
+        word.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_keywords_and_drops_identifiers() {
+        let sql = "SELECT c FROM sbtest1 WHERE id BETWEEN 42 AND 141";
+        assert_eq!(
+            extract_reserved_words(sql),
+            vec!["SELECT", "FROM", "WHERE", "BETWEEN", "AND"]
+        );
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let sql = "select * from t where a like '%x%'";
+        assert_eq!(extract_reserved_words(sql), vec!["SELECT", "FROM", "WHERE", "LIKE"]);
+    }
+
+    #[test]
+    fn string_literals_are_ignored_even_with_keywords_inside() {
+        let sql = "INSERT INTO t VALUES ('SELECT FROM WHERE')";
+        assert_eq!(extract_reserved_words(sql), vec!["INSERT", "INTO", "VALUES"]);
+    }
+
+    #[test]
+    fn duplicates_are_preserved_for_term_frequency() {
+        let sql = "SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3";
+        let toks = extract_reserved_words(sql);
+        assert_eq!(toks.iter().filter(|t| **t == "AND").count(), 2);
+    }
+
+    #[test]
+    fn identifiers_resembling_keywords_with_underscores_do_not_match() {
+        let sql = "SELECT order_id FROM orders_table";
+        // order_id / orders_table are single tokens (underscore keeps them
+        // whole) and are not reserved words.
+        assert_eq!(extract_reserved_words(sql), vec!["SELECT", "FROM"]);
+    }
+
+    #[test]
+    fn vocabulary_has_no_duplicates() {
+        let set: std::collections::HashSet<_> = RESERVED_WORDS.iter().collect();
+        assert_eq!(set.len(), RESERVED_WORDS.len());
+    }
+
+    #[test]
+    fn empty_and_keywordless_inputs() {
+        assert!(extract_reserved_words("").is_empty());
+        assert!(extract_reserved_words("1 + 2, foo bar").is_empty());
+    }
+}

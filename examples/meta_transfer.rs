@@ -1,0 +1,97 @@
+//! Meta-learning transfer: build a data repository from historical tuning
+//! tasks, then tune a new workload on *different hardware* and watch the
+//! meta-learner accelerate convergence (the paper's §6 / Figure 4 story).
+//!
+//! ```text
+//! cargo run --release --example meta_transfer
+//! ```
+
+use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune::core::repository::TaskRecord;
+use restune::prelude::*;
+
+fn main() {
+    // 1. Train the workload characterizer (TF-IDF + random forest) — the
+    //    cloud provider does this once, offline.
+    println!("training workload characterizer ...");
+    let characterizer = workload::WorkloadCharacterizer::train_default(42);
+
+    // 2. Build a repository of historical tuning tasks collected on the
+    //    small instance B (8 cores). Each task stores (θ, res, tps, lat)
+    //    observations plus the workload's meta-feature.
+    println!("collecting historical tasks on instance B ...");
+    let mut repository = DataRepository::new();
+    let knob_set = KnobSet::cpu();
+    for (i, spec) in [
+        WorkloadSpec::twitter(),
+        WorkloadSpec::twitter_variations()[0].clone(),
+        WorkloadSpec::sysbench(),
+        WorkloadSpec::hotel(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Scale the rate to what the 8-core instance B sustains — a
+        // production deployment on a small box runs at its own rate.
+        let spec = match spec.request_rate {
+            Some(rate) => {
+                let name = spec.name.clone();
+                spec.with_request_rate(rate / 6.0).named(&name)
+            }
+            None => spec,
+        };
+        let mut dbms = SimulatedDbms::new(InstanceType::B, spec, 100 + i as u64);
+        repository.add(TaskRecord::collect(
+            &mut dbms,
+            &knob_set,
+            ResourceKind::Cpu,
+            &characterizer,
+            60,
+            200 + i as u64,
+        ));
+    }
+    println!(
+        "repository: {} tasks, {} observations",
+        repository.len(),
+        repository.n_observations()
+    );
+
+    // 3. Fit frozen base-learners (one multi-output GP per task).
+    let gp_config = gp::GpConfig { restarts: 1, adam_iters: 25, ..Default::default() };
+    let learners = repository.base_learners(&gp_config, |_| true);
+
+    // 4. Tune Twitter on the *large* instance A. Ranking-loss weights
+    //    transfer shape knowledge even though every absolute metric differs.
+    let target = WorkloadSpec::twitter();
+    let meta_feature = characterizer.embed_workload(&target, 7).probs;
+    let env = || {
+        TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(target.clone())
+            .resource(ResourceKind::Cpu)
+            .seed(7)
+            .build()
+    };
+
+    println!("\ntuning Twitter on instance A (B -> A transfer) ...");
+    let mut boosted =
+        TuningSession::with_base_learners(env(), RestuneConfig::default(), learners, meta_feature);
+    let boosted_outcome = boosted.run(30);
+
+    println!("tuning the same task from scratch ...");
+    let mut scratch = TuningSession::new(env(), RestuneConfig::default());
+    let scratch_outcome = scratch.run(30);
+
+    println!("\n{:<12} {:>14} {:>14}", "iteration", "ResTune", "ResTune-w/o-ML");
+    let b = boosted_outcome.best_curve();
+    let s = scratch_outcome.best_curve();
+    for i in (0..b.len()).step_by(5) {
+        println!("{:<12} {:>13.1}% {:>13.1}%", i, b[i], s[i]);
+    }
+    println!(
+        "\nbest CPU: boosted {:.1}% vs scratch {:.1}% (default {:.1}%)",
+        boosted_outcome.best_objective.unwrap_or(f64::NAN),
+        scratch_outcome.best_objective.unwrap_or(f64::NAN),
+        boosted_outcome.default_objective()
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: tune CPU usage of a SYSBENCH-style workload in a few lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use restune::prelude::*;
+
+fn main() {
+    // A copy instance of the target DBMS: SYSBENCH on a 48-core cloud box.
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::sysbench())
+        .resource(ResourceKind::Cpu)
+        .seed(7)
+        .build();
+
+    // ResTune without history: constrained Bayesian optimization with the
+    // CEI acquisition. The SLA (throughput floor, latency ceiling) is fixed
+    // automatically from the default configuration's performance.
+    let mut session = TuningSession::new(env, RestuneConfig::default());
+    let outcome = session.run(40);
+
+    println!("SLA: tps >= {:.0} txn/s, p99 <= {:.1} ms", outcome.sla.min_tps, outcome.sla.max_p99_ms);
+    println!("default CPU: {:.1}%", outcome.default_objective());
+    println!(
+        "best feasible CPU: {:.1}% (found at iteration {:?})",
+        outcome.best_objective.unwrap_or(f64::NAN),
+        outcome.best_iteration
+    );
+    println!("improvement: {:.1}%", outcome.improvement() * 100.0);
+
+    // What changed? The knobs whose values moved away from the defaults.
+    println!("\nrecommended configuration (changed knobs):");
+    let default = dbsim::Configuration::dba_default();
+    for knob in dbsim::KnobRegistry::mysql().iter() {
+        let (d, b) = (default.get(knob.name), outcome.best_config.get(knob.name));
+        if (d - b).abs() > 1e-9 {
+            println!("  {:<34} {:>10} -> {:>10}", knob.name, d, b);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Resource-oriented tuning across all three resource kinds: CPU, I/O, and
+//! memory — the paper's §7.1 + §7.5 scenarios in one program, with an SLA
+//! compliance report per run.
+//!
+//! ```text
+//! cargo run --release --example resource_tuning
+//! ```
+
+use restune::prelude::*;
+
+fn tune(resource: ResourceKind, workload: WorkloadSpec, iterations: usize) {
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::E)
+        .workload(workload.clone())
+        .resource(resource)
+        .seed(11)
+        .build();
+    let knobs = env.knob_set.dim();
+    let mut session = TuningSession::new(env, RestuneConfig::default());
+    let outcome = session.run(iterations);
+
+    println!(
+        "\n## {} tuning on {} ({} knobs)",
+        resource.name(),
+        workload.name,
+        knobs
+    );
+    println!(
+        "   default: {:.1} {}   SLA: tps >= {:.0}, p99 <= {:.1} ms",
+        outcome.default_objective(),
+        resource.unit(),
+        outcome.sla.tps_floor(),
+        outcome.sla.lat_ceiling()
+    );
+    match outcome.best_objective {
+        Some(best) => {
+            println!(
+                "   tuned:   {:.1} {}  (-{:.0}%)  found at iteration {:?}",
+                best,
+                resource.unit(),
+                outcome.improvement() * 100.0,
+                outcome.best_iteration
+            );
+        }
+        None => println!("   no feasible improvement found"),
+    }
+    // SLA audit: the incumbent must never be infeasible.
+    let violations = outcome.history.iter().filter(|r| !r.feasible).count();
+    println!(
+        "   explored {} configs, {} violated the SLA (never adopted), converged at {:?}",
+        outcome.history.len(),
+        violations,
+        outcome.converged_at
+    );
+}
+
+fn main() {
+    // CPU on the 14-knob set.
+    tune(ResourceKind::Cpu, WorkloadSpec::twitter(), 35);
+    // I/O bandwidth on the 20-knob set (I/O-heavy: data >> buffer pool).
+    tune(ResourceKind::IoBps, WorkloadSpec::sysbench().with_data_gb(30.0), 35);
+    // IOPS on the same setup.
+    tune(ResourceKind::Iops, WorkloadSpec::tpcc().with_data_gb(100.0), 35);
+    // Memory on the 6-knob set (buffer pool size becomes a knob).
+    tune(ResourceKind::Memory, WorkloadSpec::sysbench().with_data_gb(30.0), 35);
+}

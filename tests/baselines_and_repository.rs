@@ -1,0 +1,139 @@
+//! Cross-crate integration: the baseline dispatcher, the grid-search ground
+//! truth, and data-repository persistence.
+
+use baselines::method::Setting;
+use baselines::{grid_search, run_method, Method, MethodContext};
+use dbsim::{Configuration, InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune::core::acquisition::AcquisitionOptimizer;
+use restune::core::repository::{DataRepository, TaskRecord};
+use restune::prelude::*;
+
+fn quick_config(seed: u64) -> RestuneConfig {
+    RestuneConfig {
+        optimizer: AcquisitionOptimizer { n_candidates: 300, n_local: 60, local_sigma: 0.1 },
+        gp: gp::GpConfig { restarts: 1, adam_iters: 15, ..Default::default() },
+        dynamic_samples: 10,
+        init_iters: 6,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn case_env(seed: u64) -> TuningEnvironment {
+    TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(seed)
+        .build()
+}
+
+fn small_repo(seed: u64) -> DataRepository {
+    let characterizer = workload::WorkloadCharacterizer::train_default(seed);
+    let mut repo = DataRepository::new();
+    for (i, spec) in WorkloadSpec::twitter_variations().into_iter().take(2).enumerate() {
+        let mut dbms = SimulatedDbms::new(InstanceType::A, spec, seed + i as u64);
+        repo.add(TaskRecord::collect(
+            &mut dbms,
+            &KnobSet::case_study(),
+            ResourceKind::Cpu,
+            &characterizer,
+            25,
+            seed + 10 + i as u64,
+        ));
+    }
+    repo
+}
+
+#[test]
+fn restune_approaches_the_grid_search_ground_truth() {
+    let dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0).with_noise(0.0);
+    let grid = grid_search(&dbms, &KnobSet::case_study(), ResourceKind::Cpu, 8);
+
+    let mut session = TuningSession::new(case_env(9), quick_config(9));
+    let outcome = session.run(30);
+    let best = outcome.best_objective.unwrap();
+    assert!(
+        best <= grid.best_objective * 1.35,
+        "ResTune best {best:.2}% vs grid ground truth {:.2}%",
+        grid.best_objective
+    );
+}
+
+#[test]
+fn all_methods_run_through_the_dispatcher_with_history() {
+    let repo = small_repo(33);
+    let ctx = MethodContext {
+        config: quick_config(33),
+        repository: Some(&repo),
+        prepared_learners: None,
+        setting: Setting::Original,
+        target_meta_feature: vec![0.2; 5],
+    };
+    for method in [
+        Method::Restune,
+        Method::RestuneWithoutML,
+        Method::RestuneWithoutWorkload,
+        Method::ITuned,
+        Method::OtterTuneWithConstraints,
+        Method::CdbTuneWithConstraints,
+    ] {
+        let outcome = run_method(method, case_env(11), 8, &ctx);
+        assert_eq!(outcome.history.len(), 8, "{}", method.name());
+        assert!(outcome.best_objective.unwrap() <= outcome.default_obj_value + 1e-9);
+    }
+}
+
+#[test]
+fn varying_workloads_setting_hides_target_history() {
+    let mut repo = small_repo(44);
+    // Add a record for the exact target workload name.
+    let characterizer = workload::WorkloadCharacterizer::train_default(44);
+    let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 44);
+    repo.add(TaskRecord::collect(
+        &mut dbms,
+        &KnobSet::case_study(),
+        ResourceKind::Cpu,
+        &characterizer,
+        20,
+        45,
+    ));
+    let learners_all = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
+    assert_eq!(learners_all.len(), 3);
+    // Under VaryingWorkloads the Twitter task must be filtered out.
+    let kept = repo.base_learners(&gp::GpConfig::fixed(), |t| t.workload != "Twitter");
+    assert_eq!(kept.len(), 2);
+}
+
+#[test]
+fn repository_persists_to_disk_and_back() {
+    let repo = small_repo(55);
+    let path = std::env::temp_dir().join("restune_it_repo.json");
+    repo.save(&path).unwrap();
+    let loaded = DataRepository::load(&path).unwrap();
+    assert_eq!(loaded.len(), repo.len());
+    assert_eq!(loaded.n_observations(), repo.n_observations());
+    // Base learners built from the loaded repo predict identically.
+    let a = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
+    let b = loaded.base_learners(&gp::GpConfig::fixed(), |_| true);
+    let p = vec![0.3, 0.5, 0.7];
+    let pa = a[0].model.res.predict(&p).unwrap();
+    let pb = b[0].model.res.predict(&p).unwrap();
+    assert!((pa.mean - pb.mean).abs() < 1e-9);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn grid_search_best_is_reproducible_and_feasible() {
+    let dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0).with_noise(0.0);
+    let a = grid_search(&dbms, &KnobSet::case_study(), ResourceKind::Cpu, 6);
+    let b = grid_search(&dbms, &KnobSet::case_study(), ResourceKind::Cpu, 6);
+    assert_eq!(a.best_point, b.best_point);
+    // The winning config beats the default and satisfies the SLA.
+    let default_obs = dbms.evaluate_noiseless(&Configuration::dba_default());
+    let sla = SlaConstraints::from_default_observation(&default_obs);
+    let obs = dbms.evaluate_noiseless(&a.best_config);
+    assert!(sla.is_feasible(&obs));
+    assert!(a.best_objective < default_obs.resources.cpu_pct);
+}
