@@ -42,7 +42,7 @@ mod tests {
         RestuneConfig {
             optimizer: AcquisitionOptimizer { n_candidates: 300, n_local: 50, local_sigma: 0.1 },
             gp: gp::GpConfig { restarts: 1, adam_iters: 15, ..Default::default() },
-            seed: 2,
+            seed: 3,
             ..Default::default()
         }
     }
@@ -54,12 +54,12 @@ mod tests {
             .workload(WorkloadSpec::twitter())
             .resource(ResourceKind::Cpu)
             .knob_set(KnobSet::case_study())
-            .seed(2)
+            .seed(3)
             .build();
         let config = RestuneConfig {
             optimizer: AcquisitionOptimizer { n_candidates: 300, n_local: 50, local_sigma: 0.1 },
             gp: gp::GpConfig { restarts: 1, adam_iters: 15, ..Default::default() },
-            seed: 2,
+            seed: 3,
             ..Default::default()
         };
         let mut ituned = ITuned::new(env, config);
@@ -80,7 +80,7 @@ mod tests {
                 .workload(WorkloadSpec::twitter())
                 .resource(ResourceKind::Cpu)
                 .knob_set(KnobSet::case_study())
-                .seed(2)
+                .seed(3)
                 .build(),
             25,
             &crate::MethodContext {

@@ -8,10 +8,9 @@ use restune_core::repository::DataRepository;
 use restune_core::tuner::{
     InitStrategy, RestuneConfig, TuningEnvironment, TuningOutcome, TuningSession,
 };
-use serde::{Deserialize, Serialize};
 
 /// Every method compared in §7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Full ResTune (CEI + meta-learning).
     Restune,
@@ -53,7 +52,7 @@ impl Method {
 
 /// Which historical tasks a transfer-learning method may use — the paper's
 /// three evaluation settings (§7 "Data Repository").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Setting {
     /// All 34 historical tasks, target's own included.
     Original,

@@ -2,43 +2,41 @@
 //! meta-data-processing column): tokenization, TF-IDF, forest inference, and
 //! whole-workload embedding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dbsim::WorkloadSpec;
-use std::hint::black_box;
+use restune_bench::microbench::{black_box, suite, Bencher};
 use workload::{extract_reserved_words, generate_queries, TfIdfVectorizer, WorkloadCharacterizer};
 
-fn bench_characterization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("characterization");
+fn main() {
+    let b = Bencher::from_env();
+    suite("characterization");
+
     let queries = generate_queries(&WorkloadSpec::tpcc(), 400, 7);
     let sql = &queries[0].text;
 
-    group.bench_function("tokenize_one_query", |b| {
-        b.iter(|| black_box(extract_reserved_words(black_box(sql))))
+    b.bench("tokenize_one_query", || {
+        black_box(extract_reserved_words(black_box(sql)));
     });
 
     let corpus: Vec<Vec<&'static str>> =
         queries.iter().map(|q| extract_reserved_words(&q.text)).collect();
-    group.bench_function("tfidf_fit_400_queries", |b| {
-        b.iter(|| black_box(TfIdfVectorizer::fit(black_box(&corpus))))
+    b.bench("tfidf_fit_400_queries", || {
+        black_box(TfIdfVectorizer::fit(black_box(&corpus)));
     });
+
     let vectorizer = TfIdfVectorizer::fit(&corpus);
-    group.bench_function("tfidf_transform", |b| {
-        b.iter(|| black_box(vectorizer.transform(black_box(&corpus[0]))))
+    b.bench("tfidf_transform", || {
+        black_box(vectorizer.transform(black_box(&corpus[0])));
     });
 
-    group.sample_size(10);
-    group.bench_function("train_characterizer", |b| {
-        b.iter(|| black_box(WorkloadCharacterizer::train_default(9)))
+    b.bench("train_characterizer", || {
+        black_box(WorkloadCharacterizer::train_default(9));
     });
+
     let characterizer = WorkloadCharacterizer::train_default(9);
-    group.bench_function("classify_one_query", |b| {
-        b.iter(|| black_box(characterizer.classify(black_box(sql))))
+    b.bench("classify_one_query", || {
+        black_box(characterizer.classify(black_box(sql)));
     });
-    group.bench_function("embed_workload_400_queries", |b| {
-        b.iter(|| black_box(characterizer.embed_workload(&WorkloadSpec::hotel(), 3)))
+    b.bench("embed_workload_400_queries", || {
+        black_box(characterizer.embed_workload(&WorkloadSpec::hotel(), 3));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_characterization);
-criterion_main!(benches);

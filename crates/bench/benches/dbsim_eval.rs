@@ -2,31 +2,27 @@
 //! stand-in) and grid sweeps (the Table 6 ground truth).
 
 use baselines::grid_search;
-use criterion::{criterion_group, criterion_main, Criterion};
 use dbsim::{Configuration, InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune_bench::microbench::{black_box, suite, Bencher};
 use restune_core::problem::ResourceKind;
-use std::hint::black_box;
 
-fn bench_dbsim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dbsim");
+fn main() {
+    let b = Bencher::from_env();
+    suite("dbsim");
+
     let dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::sysbench(), 0);
     let config = Configuration::dba_default().with("innodb_io_capacity", 8000.0);
-    group.bench_function("evaluate_noiseless", |b| {
-        b.iter(|| black_box(dbms.evaluate_noiseless(black_box(&config))))
+    b.bench("evaluate_noiseless", || {
+        black_box(dbms.evaluate_noiseless(black_box(&config)));
     });
+
     let mut noisy = SimulatedDbms::new(InstanceType::E, WorkloadSpec::tpcc(), 1);
-    group.bench_function("evaluate_noisy", |b| b.iter(|| black_box(noisy.evaluate(&config))));
-
-    group.sample_size(10);
-    let grid_dbms =
-        SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0).with_noise(0.0);
-    group.bench_function("grid_search_8x8x8", |b| {
-        b.iter(|| {
-            black_box(grid_search(&grid_dbms, &KnobSet::case_study(), ResourceKind::Cpu, 8))
-        })
+    b.bench("evaluate_noisy", || {
+        black_box(noisy.evaluate(&config));
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_dbsim);
-criterion_main!(benches);
+    let grid_dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0).with_noise(0.0);
+    b.bench("grid_search_8x8x8", || {
+        black_box(grid_search(&grid_dbms, &KnobSet::case_study(), ResourceKind::Cpu, 8));
+    });
+}

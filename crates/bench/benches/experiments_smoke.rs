@@ -4,11 +4,10 @@
 
 use baselines::method::Setting;
 use baselines::Method;
-use criterion::{criterion_group, criterion_main, Criterion};
 use dbsim::{InstanceType, WorkloadSpec};
 use restune_bench::context::{standard_config, ExperimentContext, Scale};
 use restune_bench::experiments::{efficiency, fig1};
-use std::hint::black_box;
+use restune_bench::microbench::{black_box, suite, Bencher};
 use std::sync::OnceLock;
 
 /// A miniature shared context: 4 historical tasks, tiny budgets.
@@ -36,94 +35,81 @@ fn mini_context() -> &'static ExperimentContext {
     })
 }
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments_smoke");
-    group.sample_size(10);
+fn main() {
+    let b = Bencher::from_env();
+    suite("experiments_smoke");
 
-    group.bench_function("fig1_heatmap_6x6", |b| b.iter(|| black_box(fig1::run(6))));
+    b.bench("fig1_heatmap_6x6", || {
+        black_box(fig1::run(6));
+    });
 
-    group.bench_function("fig3_one_panel_restune_8_iters", |b| {
+    b.bench("fig3_one_panel_restune_8_iters", || {
         let ctx = mini_context();
-        b.iter(|| {
-            black_box(ctx.run(
-                Method::Restune,
-                InstanceType::A,
-                &WorkloadSpec::twitter(),
-                Setting::Original,
-                8,
-                7,
-            ))
-        })
+        black_box(ctx.run(
+            Method::Restune,
+            InstanceType::A,
+            &WorkloadSpec::twitter(),
+            Setting::Original,
+            8,
+            7,
+        ));
     });
 
-    group.bench_function("fig4_transfer_varying_hardware_8_iters", |b| {
+    b.bench("fig4_transfer_varying_hardware_8_iters", || {
         let ctx = mini_context();
-        b.iter(|| {
-            black_box(ctx.run(
-                Method::Restune,
-                InstanceType::A,
-                &WorkloadSpec::twitter(),
-                Setting::VaryingHardware,
-                8,
-                7,
-            ))
-        })
+        black_box(ctx.run(
+            Method::Restune,
+            InstanceType::A,
+            &WorkloadSpec::twitter(),
+            Setting::VaryingHardware,
+            8,
+            7,
+        ));
     });
 
-    group.bench_function("fig5_varying_workloads_ottertune_8_iters", |b| {
+    b.bench("fig5_varying_workloads_ottertune_8_iters", || {
         let ctx = mini_context();
-        b.iter(|| {
-            black_box(ctx.run(
-                Method::OtterTuneWithConstraints,
-                InstanceType::A,
-                &WorkloadSpec::twitter(),
-                Setting::VaryingWorkloads,
-                8,
-                7,
-            ))
-        })
+        black_box(ctx.run(
+            Method::OtterTuneWithConstraints,
+            InstanceType::A,
+            &WorkloadSpec::twitter(),
+            Setting::VaryingWorkloads,
+            8,
+            7,
+        ));
     });
 
-    group.bench_function("cdbtune_ddpg_8_iters", |b| {
+    b.bench("cdbtune_ddpg_8_iters", || {
         let ctx = mini_context();
-        b.iter(|| {
-            black_box(ctx.run(
-                Method::CdbTuneWithConstraints,
-                InstanceType::A,
-                &WorkloadSpec::twitter(),
-                Setting::Original,
-                8,
-                7,
-            ))
-        })
+        black_box(ctx.run(
+            Method::CdbTuneWithConstraints,
+            InstanceType::A,
+            &WorkloadSpec::twitter(),
+            Setting::Original,
+            8,
+            7,
+        ));
     });
 
-    group.bench_function("iterations_to_best_metric", |b| {
-        let curve: Vec<f64> = (0..200).map(|i| 100.0 / (1.0 + i as f64)).collect();
-        b.iter(|| black_box(efficiency::iterations_to_best(black_box(&curve))))
+    let curve: Vec<f64> = (0..200).map(|i| 100.0 / (1.0 + i as f64)).collect();
+    b.bench("iterations_to_best_metric", || {
+        black_box(efficiency::iterations_to_best(black_box(&curve)));
     });
 
-    group.bench_function("shap_path_3_knobs", |b| {
-        let dbms = dbsim::SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0)
-            .with_noise(0.0);
-        let rec = dbsim::Configuration::dba_default()
-            .with("innodb_thread_concurrency", 13.0)
-            .with("innodb_spin_wait_delay", 0.0)
-            .with("innodb_lru_scan_depth", 356.0);
-        let knobs: Vec<String> = dbsim::KnobSet::case_study()
-            .names()
-            .iter()
-            .map(|n| n.to_string())
-            .collect();
-        b.iter(|| black_box(restune_core::shap::shap_path(&dbms, &rec, &knobs, 0)))
+    let dbms =
+        dbsim::SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0).with_noise(0.0);
+    let rec = dbsim::Configuration::dba_default()
+        .with("innodb_thread_concurrency", 13.0)
+        .with("innodb_spin_wait_delay", 0.0)
+        .with("innodb_lru_scan_depth", 356.0);
+    let knobs: Vec<String> =
+        dbsim::KnobSet::case_study().names().iter().map(|n| n.to_string()).collect();
+    b.bench("shap_path_3_knobs", || {
+        black_box(restune_core::shap::shap_path(&dbms, &rec, &knobs, 0));
     });
 
     // Keep the config constructor honest (cheap, but it pins the API).
-    group.bench_function("standard_config", |b| {
-        b.iter(|| black_box(standard_config(Scale::Quick, 3)))
+    b.bench("standard_config", || {
+        black_box(standard_config(Scale::Quick, 3));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

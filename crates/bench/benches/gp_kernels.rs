@@ -1,11 +1,10 @@
 //! Microbenchmarks of the Gaussian-process surrogate stack — the
 //! computational kernels behind every "Model Update" row of Table 3.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gp::{GaussianProcess, GpConfig};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::hint::black_box;
+use restune_bench::microbench::{black_box, suite, Bencher};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 fn dataset(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -14,43 +13,41 @@ fn dataset(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     (xs, ys)
 }
 
-fn bench_gp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gp");
+fn main() {
+    let b = Bencher::from_env();
+    suite("gp");
+
     for &n in &[50usize, 100, 200] {
         let (xs, ys) = dataset(n, 14, 1);
-        group.bench_with_input(BenchmarkId::new("fit_fixed_hypers", n), &n, |b, _| {
-            b.iter(|| {
+        b.bench(&format!("fit_fixed_hypers/{n}"), || {
+            black_box(
                 GaussianProcess::fit(black_box(xs.clone()), black_box(ys.clone()), &GpConfig::fixed())
-                    .unwrap()
-            })
+                    .unwrap(),
+            );
         });
     }
+
     let (xs, ys) = dataset(100, 14, 2);
     let opt_cfg = GpConfig { restarts: 1, adam_iters: 25, ..Default::default() };
-    group.sample_size(10);
-    group.bench_function("fit_optimized_hypers_n100", |b| {
-        b.iter(|| GaussianProcess::fit(black_box(xs.clone()), black_box(ys.clone()), &opt_cfg))
+    b.bench("fit_optimized_hypers_n100", || {
+        black_box(GaussianProcess::fit(black_box(xs.clone()), black_box(ys.clone()), &opt_cfg).ok());
     });
 
     let model = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
     let probes = dataset(500, 14, 3).0;
-    group.bench_function("predict_500_points_n100", |b| {
-        b.iter(|| {
-            for p in &probes {
-                black_box(model.predict(p).unwrap());
-            }
-        })
+    b.bench("predict_500_points_n100", || {
+        for p in &probes {
+            black_box(model.predict(p).unwrap());
+        }
     });
-    let sample_points = dataset(40, 14, 4).0;
-    group.bench_function("sample_joint_30x40_n100", |b| {
-        let mut rng = StdRng::seed_from_u64(9);
-        b.iter(|| black_box(model.sample_joint(&sample_points, 30, &mut rng).unwrap()))
-    });
-    group.bench_function("loo_predictions_n100", |b| {
-        b.iter(|| black_box(model.loo_predictions().unwrap()))
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_gp);
-criterion_main!(benches);
+    let sample_points = dataset(40, 14, 4).0;
+    let mut rng = StdRng::seed_from_u64(9);
+    b.bench("sample_joint_30x40_n100", || {
+        black_box(model.sample_joint(&sample_points, 30, &mut rng).unwrap());
+    });
+
+    b.bench("loo_predictions_n100", || {
+        black_box(model.loo_predictions().unwrap());
+    });
+}

@@ -2,13 +2,12 @@
 //! iteration for ResTune with and without meta-learning (Table 3's
 //! model-update + recommendation columns).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune_bench::microbench::{black_box, suite, Bencher};
 use restune_core::acquisition::AcquisitionOptimizer;
 use restune_core::problem::ResourceKind;
 use restune_core::repository::{DataRepository, TaskRecord};
 use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningSession};
-use std::hint::black_box;
 use workload::WorkloadCharacterizer;
 
 fn quick_config(seed: u64) -> RestuneConfig {
@@ -31,24 +30,23 @@ fn env(seed: u64) -> TuningEnvironment {
         .build()
 }
 
-fn bench_tuning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tuning_iteration");
-    group.sample_size(10);
+fn main() {
+    let b = Bencher::from_env();
+    suite("tuning_iteration");
 
-    group.bench_function("restune_without_ml_step", |b| {
-        b.iter_batched(
-            || {
-                let mut s = TuningSession::new(env(1), quick_config(1));
-                // Warm past the LHS bootstrap so the GP path is exercised.
-                for _ in 0..12 {
-                    s.step();
-                }
-                s
-            },
-            |mut s| black_box(s.step()),
-            criterion::BatchSize::LargeInput,
-        )
-    });
+    // Each sample rebuilds a session warmed past the LHS bootstrap so the
+    // timed step always exercises the GP path at the same history size.
+    b.bench_with_setup(
+        "restune_without_ml_step",
+        || {
+            let mut s = TuningSession::new(env(1), quick_config(1));
+            for _ in 0..12 {
+                s.step();
+            }
+            s
+        },
+        |mut s| black_box(s.step()),
+    );
 
     // Meta-boosted step (dynamic ranking-loss weights over 6 base learners).
     let characterizer = WorkloadCharacterizer::train_default(2);
@@ -68,26 +66,20 @@ fn bench_tuning(c: &mut Criterion) {
     }
     let learners = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
     let mf = characterizer.embed_workload(&WorkloadSpec::twitter(), 1).probs;
-    group.bench_function("restune_meta_step_6_learners", |b| {
-        b.iter_batched(
-            || {
-                let mut s = TuningSession::with_base_learners(
-                    env(2),
-                    quick_config(2),
-                    learners.clone(),
-                    mf.clone(),
-                );
-                for _ in 0..12 {
-                    s.step();
-                }
-                s
-            },
-            |mut s| black_box(s.step()),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    b.bench_with_setup(
+        "restune_meta_step_6_learners",
+        || {
+            let mut s = TuningSession::with_base_learners(
+                env(2),
+                quick_config(2),
+                learners.clone(),
+                mf.clone(),
+            );
+            for _ in 0..12 {
+                s.step();
+            }
+            s
+        },
+        |mut s| black_box(s.step()),
+    );
 }
-
-criterion_group!(benches, bench_tuning);
-criterion_main!(benches);

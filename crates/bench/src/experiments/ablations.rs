@@ -15,10 +15,9 @@ use dbsim::{InstanceType, WorkloadSpec};
 use restune_core::acquisition::AcquisitionKind;
 use restune_core::problem::ResourceKind;
 use restune_core::tuner::{TuningEnvironment, TuningSession};
-use serde::{Deserialize, Serialize};
 
 /// One ablation arm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Arm {
     /// Arm label.
     pub label: String,
@@ -31,7 +30,7 @@ pub struct Arm {
 }
 
 /// All three ablations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationResult {
     /// Default CPU baseline.
     pub default_cpu: f64,
@@ -160,3 +159,6 @@ pub fn render(r: &AblationResult) {
     show("Ablation 2 — RGPE weight-dilution guard", &r.dilution);
     show("Ablation 3 — static-phase constraint sourcing (DESIGN.md §5b)", &r.static_constraints);
 }
+
+minjson::json_struct!(Arm { label, curve, final_best, violations });
+minjson::json_struct!(AblationResult { default_cpu, acquisition, dilution, static_constraints });

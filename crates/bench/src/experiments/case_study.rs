@@ -19,10 +19,9 @@ use restune_core::meta::{ranking_loss, static_weights};
 use restune_core::problem::ResourceKind;
 use restune_core::shap::{shap_path, ShapPath};
 use restune_core::tuner::TuningEnvironment;
-use serde::{Deserialize, Serialize};
 
 /// Table 5 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VariationRow {
     /// Variation name (W1–W5).
     pub name: String,
@@ -37,7 +36,7 @@ pub struct VariationRow {
 }
 
 /// Table 6 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BestConfigRow {
     /// Method name.
     pub method: String,
@@ -54,7 +53,7 @@ pub struct BestConfigRow {
 }
 
 /// A labelled tuning curve.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NamedCurve {
     /// Legend label.
     pub label: String,
@@ -63,7 +62,7 @@ pub struct NamedCurve {
 }
 
 /// The whole case study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CaseStudyResult {
     /// Default CPU (flat line in Fig. 6a).
     pub default_cpu: f64,
@@ -384,3 +383,25 @@ pub fn render(r: &CaseStudyResult) {
         );
     }
 }
+
+minjson::json_struct!(VariationRow { name, rw_ratio, distance, static_weight, ranking_loss_pct });
+minjson::json_struct!(BestConfigRow {
+    method,
+    thread_concurrency,
+    spin_wait_delay,
+    lru_scan_depth,
+    cpu,
+    feasible,
+});
+minjson::json_struct!(NamedCurve { label, values });
+minjson::json_struct!(CaseStudyResult {
+    default_cpu,
+    fig6a,
+    fig6b,
+    fig6c,
+    surface_target,
+    surface_w1,
+    table5,
+    table6,
+    fig7,
+});

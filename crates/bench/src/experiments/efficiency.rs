@@ -12,10 +12,9 @@ use crate::report;
 use baselines::method::Setting;
 use baselines::Method;
 use dbsim::{InstanceType, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// One method's averaged curve on one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Curve {
     /// Method legend name.
     pub method: String,
@@ -28,7 +27,7 @@ pub struct Curve {
 }
 
 /// One workload's panel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Workload name.
     pub workload: String,
@@ -39,7 +38,7 @@ pub struct Panel {
 }
 
 /// A full figure: one panel per workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EfficiencyResult {
     /// Figure id ("fig3", "fig4", "fig5").
     pub figure: String,
@@ -77,11 +76,11 @@ pub fn run(
         eprintln!("[{figure}] {} on {instance:?} ...", workload.name);
         // Methods are independent: run them on scoped threads (seeds are
         // fixed per run, so parallelism never changes the results).
-        let results: Vec<(Curve, f64)> = crossbeam::thread::scope(|scope| {
+        let results: Vec<(Curve, f64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = methods
                 .iter()
                 .map(|&method| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut acc: Vec<f64> = vec![0.0; iterations];
                         let mut itb = 0.0;
                         let mut final_best = 0.0;
@@ -115,8 +114,7 @@ pub fn run(
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("method run panicked")).collect()
-        })
-        .expect("crossbeam scope");
+        });
         let default_cpu = results.last().map(|(_, d)| *d).unwrap_or(0.0);
         let curves = results.into_iter().map(|(c, _)| c).collect();
         panels.push(Panel { workload: workload.name.clone(), default_cpu, curves });
@@ -170,3 +168,7 @@ pub fn render(r: &EfficiencyResult) {
         }
     }
 }
+
+minjson::json_struct!(Curve { method, best_cpu, iterations_to_best, final_best });
+minjson::json_struct!(Panel { workload, default_cpu, curves });
+minjson::json_struct!(EfficiencyResult { figure, setting, instance, panels });

@@ -7,10 +7,9 @@
 
 use crate::report;
 use dbsim::{Configuration, InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// Grid sweep result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Result {
     /// Grid resolution per axis.
     pub levels: usize,
@@ -123,3 +122,5 @@ mod tests {
         );
     }
 }
+
+minjson::json_struct!(Fig1Result { levels, spin_values, toc_values, tps, cpu });

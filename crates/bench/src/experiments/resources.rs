@@ -14,10 +14,9 @@ use baselines::{run_method, Method, MethodContext};
 use dbsim::{InstanceType, WorkloadSpec};
 use restune_core::problem::ResourceKind;
 use restune_core::tuner::TuningEnvironment;
-use serde::{Deserialize, Serialize};
 
 /// One panel of Figure 9: one (workload, resource) pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResourcePanel {
     /// Target workload.
     pub workload: String,
@@ -32,7 +31,7 @@ pub struct ResourcePanel {
 }
 
 /// All six panels of Figure 9.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Result {
     /// Panels in paper order: BPS (SYSBENCH, TPC-C), IOPS (SYSBENCH, TPC-C),
     /// Memory (SYSBENCH, TPC-C).
@@ -57,11 +56,11 @@ pub fn run(ctx: &ExperimentContext, iterations: usize) -> Fig9Result {
             .into_iter()
             .flat_map(|r| [(r, &sysbench, &tpcc), (r, &tpcc, &sysbench)])
             .collect();
-    let panels: Vec<ResourcePanel> = crossbeam::thread::scope(|scope| {
+    let panels: Vec<ResourcePanel> = std::thread::scope(|scope| {
         let handles: Vec<_> = combos
             .iter()
             .map(|&(resource, target, source)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     eprintln!("[fig9] {} / {} ...", resource.name(), target.name);
                     // Repository from the *other* workload on the same instance.
                     let repo = build_repository_from(
@@ -105,8 +104,7 @@ pub fn run(ctx: &ExperimentContext, iterations: usize) -> Fig9Result {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("fig9 panel panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     Fig9Result { panels }
 }
 
@@ -132,3 +130,6 @@ pub fn render(r: &Fig9Result) {
         }
     }
 }
+
+minjson::json_struct!(ResourcePanel { workload, resource, unit, default_value, curves });
+minjson::json_struct!(Fig9Result { panels });

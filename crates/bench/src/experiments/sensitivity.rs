@@ -6,10 +6,9 @@ use crate::report;
 use baselines::method::Setting;
 use baselines::Method;
 use dbsim::{Configuration, InstanceType, SimulatedDbms, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// One request-rate point of Figure 8.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RatePoint {
     /// Client request rate (txn/s).
     pub rate: f64,
@@ -25,7 +24,7 @@ pub struct RatePoint {
 }
 
 /// Figure 8 for one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Panel {
     /// Workload name.
     pub workload: String,
@@ -36,7 +35,7 @@ pub struct Fig8Panel {
 }
 
 /// Figure 8: both panels.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Result {
     /// TPC-C panel (1.5 K – 2.2 K txn/s).
     pub tpcc: Fig8Panel,
@@ -137,7 +136,7 @@ pub fn render_fig8(r: &Fig8Result) {
 }
 
 /// One Table 7 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table7Row {
     /// TPC-C warehouses.
     pub warehouses: u32,
@@ -154,7 +153,7 @@ pub struct Table7Row {
 }
 
 /// Table 7 result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table7Result {
     /// Instance the sweep ran on.
     pub instance: String,
@@ -225,3 +224,9 @@ pub fn render_table7(r: &Table7Result) {
     }
     println!("\nPaper shape: hit ratio falls with data size; CPU drops sharply after tuning.");
 }
+
+minjson::json_struct!(RatePoint { rate, default_cpu, tuned_cpu, transferred_cpu, transferred_feasible });
+minjson::json_struct!(Fig8Panel { workload, reference_rate, points });
+minjson::json_struct!(Fig8Result { tpcc, sysbench });
+minjson::json_struct!(Table7Row { warehouses, size_gb, hit_ratio, default_cpu, best_cpu, improvement });
+minjson::json_struct!(Table7Result { instance, rows });

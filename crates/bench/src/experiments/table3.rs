@@ -12,10 +12,9 @@ use crate::report;
 use baselines::method::Setting;
 use baselines::Method;
 use dbsim::{InstanceType, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// Per-method mean phase durations (seconds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MethodBreakdown {
     /// Method legend name.
     pub method: String,
@@ -32,7 +31,7 @@ pub struct MethodBreakdown {
 }
 
 /// The full table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Result {
     /// One row per method.
     pub rows: Vec<MethodBreakdown>,
@@ -105,3 +104,13 @@ pub fn render(r: &Table3Result) {
     }
     println!("\nPaper shape: replay dominates every method (92–99.7% of each iteration).");
 }
+
+minjson::json_struct!(MethodBreakdown {
+    method,
+    meta_data_processing_s,
+    model_update_s,
+    recommendation_s,
+    replay_s,
+    replay_share,
+});
+minjson::json_struct!(Table3Result { rows });

@@ -9,10 +9,9 @@ use crate::report;
 use baselines::method::Setting;
 use baselines::Method;
 use dbsim::{InstanceType, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// One (workload, instance) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Cell {
     /// Workload name.
     pub workload: String,
@@ -31,7 +30,7 @@ pub struct Table4Cell {
 }
 
 /// The full table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Result {
     /// Cells in (workload, instance) order.
     pub cells: Vec<Table4Cell>,
@@ -124,3 +123,14 @@ pub fn render(r: &Table4Result) {
     }
     println!("\nPaper shape: ResTune matches or beats w/o-ML improvement and finds it faster.");
 }
+
+minjson::json_struct!(Table4Cell {
+    workload,
+    instance,
+    restune_improvement,
+    no_ml_improvement,
+    restune_iterations,
+    no_ml_iterations,
+    speed_up,
+});
+minjson::json_struct!(Table4Result { cells });

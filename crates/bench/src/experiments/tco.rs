@@ -8,10 +8,9 @@ use dbsim::{InstanceType, WorkloadSpec};
 use restune_core::problem::ResourceKind;
 use restune_core::tco::{cpu_tco_reduction, memory_tco_reduction, providers, used_cores};
 use restune_core::tuner::TuningEnvironment;
-use serde::{Deserialize, Serialize};
 
 /// One Table 8 cell (workload × instance).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table8Cell {
     /// Workload name.
     pub workload: String,
@@ -26,14 +25,14 @@ pub struct Table8Cell {
 }
 
 /// Table 8 result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table8Result {
     /// Cells per (workload, instance).
     pub cells: Vec<Table8Cell>,
 }
 
 /// One Table 9 row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table9Row {
     /// Workload name.
     pub workload: String,
@@ -46,7 +45,7 @@ pub struct Table9Row {
 }
 
 /// Table 9 result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table9Result {
     /// Rows per workload.
     pub rows: Vec<Table9Row>,
@@ -179,3 +178,8 @@ pub fn render_table9(r: &Table9Result) {
         );
     }
 }
+
+minjson::json_struct!(Table8Cell { workload, instance, original_cores, optimized_cores, avg_tco_reduction });
+minjson::json_struct!(Table8Result { cells });
+minjson::json_struct!(Table9Row { workload, original_gb, optimized_gb, per_provider });
+minjson::json_struct!(Table9Result { rows });

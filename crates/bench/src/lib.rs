@@ -13,6 +13,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 
 pub use context::{ExperimentContext, Scale};

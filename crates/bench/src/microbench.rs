@@ -1,0 +1,172 @@
+//! A small `std::time` microbenchmark harness replacing criterion.
+//!
+//! Each bench target (`benches/*.rs`, `harness = false`) is a plain
+//! `fn main()` that builds a [`Bencher`] and times closures with
+//! [`Bencher::bench`]. The harness warms up, picks a batch size so one
+//! batch costs roughly a millisecond, then samples batches until the time
+//! budget is spent and reports min/median/mean per-iteration time.
+//!
+//! The default budget keeps a full `cargo bench` pass quick; set
+//! `RESTUNE_BENCH_BUDGET_MS` for steadier numbers (e.g. 2000 for ~2 s of
+//! sampling per benchmark).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sampled batch (per-iteration).
+    pub min_ns: f64,
+    /// Median over sampled batches.
+    pub median_ns: f64,
+    /// Mean over sampled batches.
+    pub mean_ns: f64,
+    /// Number of timed batches.
+    pub samples: usize,
+    /// Iterations per batch.
+    pub batch: u32,
+}
+
+/// Runs and reports microbenchmarks with a fixed per-benchmark time budget.
+pub struct Bencher {
+    budget: Duration,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher::from_env()
+    }
+}
+
+impl Bencher {
+    /// A bencher with an explicit per-benchmark sampling budget.
+    pub fn new(budget: Duration) -> Self {
+        Bencher { budget }
+    }
+
+    /// Reads the budget from `RESTUNE_BENCH_BUDGET_MS` (default 200 ms).
+    pub fn from_env() -> Self {
+        let ms = std::env::var("RESTUNE_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Bencher::new(Duration::from_millis(ms))
+    }
+
+    /// Times `f`, prints one aligned report line, and returns the stats.
+    pub fn bench(&self, label: &str, mut f: impl FnMut()) -> Stats {
+        // Warm-up doubles as the cost estimate for batch sizing.
+        let start = Instant::now();
+        f();
+        let first = start.elapsed().as_nanos().max(1);
+
+        // Aim for ~1 ms per batch so Instant overhead stays negligible,
+        // capped to keep at least a handful of batches inside the budget.
+        let target_batch_ns = 1_000_000u128;
+        let batch = (target_batch_ns / first).clamp(1, 1_000_000) as u32;
+
+        let deadline = Instant::now() + self.budget;
+        let mut samples: Vec<f64> = Vec::new();
+        while samples.len() < 3 || Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / f64::from(batch));
+            if samples.len() >= 5_000 {
+                break;
+            }
+        }
+
+        report(label, samples, batch)
+    }
+
+    /// Times `routine` on a fresh `setup()` value per sample, excluding the
+    /// setup cost — the replacement for criterion's `iter_batched`.
+    pub fn bench_with_setup<S, T>(
+        &self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) -> Stats {
+        let deadline = Instant::now() + self.budget;
+        let mut samples: Vec<f64> = Vec::new();
+        while samples.len() < 3 || (Instant::now() < deadline && samples.len() < 5_000) {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            samples.push(t.elapsed().as_nanos() as f64);
+            black_box(out);
+        }
+        report(label, samples, 1)
+    }
+}
+
+fn report(label: &str, mut samples: Vec<f64>, batch: u32) -> Stats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let min_ns = samples[0];
+    let median_ns = samples[samples.len() / 2];
+    let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+    let stats = Stats { min_ns, median_ns, mean_ns, samples: samples.len(), batch };
+    println!(
+        "{label:<44} median {:>10}  mean {:>10}  min {:>10}  ({} x {} iters)",
+        format_ns(median_ns),
+        format_ns(mean_ns),
+        format_ns(min_ns),
+        stats.samples,
+        stats.batch,
+    );
+    stats
+}
+
+/// Prints a bench-suite header.
+pub fn suite(name: &str) {
+    println!("\n## {name}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_stats() {
+        let b = Bencher::new(Duration::from_millis(20));
+        let mut acc = 0u64;
+        let stats = b.bench("noop_add", || {
+            acc = black_box(acc.wrapping_add(1));
+        });
+        assert!(stats.samples >= 3);
+        assert!(stats.min_ns > 0.0);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns.is_finite() && stats.mean_ns.is_finite());
+    }
+
+    #[test]
+    fn slow_bodies_get_small_batches() {
+        let b = Bencher::new(Duration::from_millis(10));
+        let stats = b.bench("sleepy", || std::thread::sleep(Duration::from_millis(2)));
+        assert_eq!(stats.batch, 1, "a >1ms body must not be batched");
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(512.0), "512 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 µs");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(format_ns(1_500_000_000.0), "1.50 s");
+    }
+}

@@ -1,6 +1,5 @@
 //! Rendering and persistence helpers shared by the experiment binaries.
 
-use serde::Serialize;
 use std::path::PathBuf;
 
 /// Prints a section header.
@@ -45,9 +44,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Saves an experiment result as pretty JSON under `results/<id>.json`.
-pub fn save_json<T: Serialize>(id: &str, value: &T) {
+pub fn save_json<T: minjson::ToJson>(id: &str, value: &T) {
     let path = results_dir().join(format!("{id}.json"));
-    match serde_json::to_string_pretty(value) {
+    match minjson::to_string_pretty(value) {
         Ok(json) => {
             if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("warning: could not write {}: {e}", path.display());

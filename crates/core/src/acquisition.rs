@@ -4,12 +4,11 @@
 
 use crate::surrogate::SurrogatePrediction;
 use gp::{normal_cdf, normal_pdf};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// Which acquisition the tuner optimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AcquisitionKind {
     /// Plain EI on the objective (iTuned — ignores the SLA).
     ExpectedImprovement,
@@ -86,7 +85,7 @@ impl ConstrainedExpectedImprovement {
 }
 
 /// Configuration for the acquisition optimizer.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AcquisitionOptimizer {
     /// Uniform random candidates per round.
     pub n_candidates: usize,

@@ -4,8 +4,8 @@
 //! OtterTune-w-Con) with 10 LHS samples before switching to model-guided
 //! search (§7 "Setting").
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// Draws `n` Latin-hypercube samples in `[0,1]^d`.
 ///

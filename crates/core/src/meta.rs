@@ -20,12 +20,11 @@
 
 use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
 use gp::{GaussianProcess, Prediction};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::rngs::StdRng;
+use xrand::{Rng, SeedableRng};
 
 /// A historical task's frozen surrogate plus its meta-feature.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BaseLearner {
     /// Task label (workload @ instance).
     pub task_id: String,
@@ -44,7 +43,7 @@ pub struct BaseLearner {
 }
 
 /// How ensemble weights are assigned.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WeightStrategy {
     /// Meta-feature distances through the Epanechnikov kernel (Eq. 8).
     Static {

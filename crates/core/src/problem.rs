@@ -7,10 +7,9 @@
 //! with λ set from the performance under the DBA default configuration.
 
 use dbsim::{KnobSet, Observation};
-use serde::{Deserialize, Serialize};
 
 /// Which resource the objective minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// CPU utilization (percent of instance).
     Cpu,
@@ -64,9 +63,11 @@ impl ResourceKind {
     }
 }
 
+minjson::json_enum!(ResourceKind { Cpu, Memory, IoBps, Iops });
+
 /// SLA bounds: the throughput floor and latency ceiling (§3). The paper
 /// accepts a 5 % measurement deviation; `tolerance` implements that.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlaConstraints {
     /// Lower bound λ_tps on throughput (txn/s).
     pub min_tps: f64,
@@ -101,7 +102,7 @@ impl SlaConstraints {
 }
 
 /// A fully specified tuning problem: search space + objective + constraints.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TuningProblem {
     /// The knob subspace being tuned, `[0,1]^m` after normalization.
     pub knob_set: KnobSet,

@@ -10,11 +10,10 @@ use crate::problem::ResourceKind;
 use crate::surrogate::GpTaskModel;
 use dbsim::{Configuration, InstanceType, KnobSet, SimulatedDbms};
 use gp::GpConfig;
-use serde::{Deserialize, Serialize};
 use workload::WorkloadCharacterizer;
 
 /// One stored observation of a historical task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskObservation {
     /// Normalized knob point.
     pub point: Vec<f64>,
@@ -29,7 +28,7 @@ pub struct TaskObservation {
 }
 
 /// A complete historical tuning task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskRecord {
     /// Unique label, conventionally `workload@instance`.
     pub task_id: String,
@@ -140,7 +139,7 @@ impl TaskRecord {
 }
 
 /// The repository of historical tasks.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DataRepository {
     tasks: Vec<TaskRecord>,
 }
@@ -193,14 +192,17 @@ impl DataRepository {
             .collect()
     }
 
-    /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    /// Serializes to pretty JSON. The output is byte-stable: identical
+    /// repositories always render to identical text (insertion-ordered
+    /// fields, shortest round-trip floats), which the end-to-end
+    /// determinism test relies on.
+    pub fn to_json(&self) -> Result<String, minjson::JsonError> {
+        minjson::to_string_pretty(self)
     }
 
     /// Deserializes from JSON.
-    pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, minjson::JsonError> {
+        minjson::from_str(json)
     }
 
     /// Saves to a file.
@@ -215,6 +217,18 @@ impl DataRepository {
         Self::from_json(&json).map_err(std::io::Error::other)
     }
 }
+
+minjson::json_struct!(TaskObservation { point, res, tps, lat, metrics });
+minjson::json_struct!(TaskRecord {
+    task_id,
+    workload,
+    instance,
+    resource,
+    knob_names,
+    meta_feature,
+    observations,
+});
+minjson::json_struct!(DataRepository { tasks });
 
 #[cfg(test)]
 mod tests {
@@ -261,6 +275,45 @@ mod tests {
         let json = repo.to_json().unwrap();
         let back = DataRepository::from_json(&json).unwrap();
         assert_eq!(back.len(), 1);
+        assert_eq!(back.tasks()[0], repo.tasks()[0]);
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_at_serialization() {
+        // JSON has no NaN/Infinity; the serializer must fail loudly rather
+        // than write an unparseable repository.
+        let mut rec = sample_record();
+        rec.observations[0].tps = f64::NAN;
+        let mut repo = DataRepository::new();
+        repo.add(rec);
+        assert!(repo.to_json().is_err(), "NaN must not serialize");
+
+        let mut rec2 = sample_record();
+        rec2.observations[1].res = f64::INFINITY;
+        let mut repo2 = DataRepository::new();
+        repo2.add(rec2);
+        assert!(repo2.to_json().is_err(), "infinity must not serialize");
+    }
+
+    #[test]
+    fn non_finite_tokens_are_rejected_at_parse() {
+        for bad in ["{\"tasks\": [NaN]}", "{\"tasks\": Infinity}", "{\"tasks\": [-Infinity]}"] {
+            assert!(DataRepository::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_floats_roundtrip_exactly() {
+        // Knob bounds and observations span many orders of magnitude; the
+        // shortest-round-trip float formatting must preserve every bit.
+        let mut rec = sample_record();
+        rec.observations[0].point = vec![0.1, 2.0 / 3.0, 1e-17, 1.0 - f64::EPSILON, 4e18];
+        rec.observations[0].res = f64::MIN_POSITIVE;
+        rec.observations[0].tps = 1e308;
+        rec.observations[0].lat = 0.000_123_456_789_012_345_6;
+        let mut repo = DataRepository::new();
+        repo.add(rec);
+        let back = DataRepository::from_json(&repo.to_json().unwrap()).unwrap();
         assert_eq!(back.tasks()[0], repo.tasks()[0]);
     }
 

@@ -8,10 +8,9 @@
 //! that with the meta-learner, the re-scaled bound can simply be the
 //! meta-learner's prediction at the default configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// An affine standardizer `z = (x - mean) / std`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Standardizer {
     /// Empirical mean.
     pub mean: f64,
@@ -49,7 +48,7 @@ impl Standardizer {
 }
 
 /// The per-task scalers for the three modeled outputs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskScalers {
     /// Resource-objective scaler.
     pub res: Standardizer,

@@ -8,16 +8,15 @@
 //! estimate is used instead.
 
 use dbsim::{Configuration, Observation, SimulatedDbms};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// Maximum knob count for exact enumeration (2^12 = 4096 evaluations per
 /// metric is still instant on the simulator).
 pub const EXACT_LIMIT: usize = 12;
 
 /// Per-knob attribution for one output metric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapAttribution {
     /// Knob name.
     pub knob: String,
@@ -34,7 +33,7 @@ pub struct ShapAttribution {
 }
 
 /// The full explanation: per-knob contributions plus the endpoint values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapPath {
     /// One attribution per changed knob, ordered by |CPU contribution|.
     pub attributions: Vec<ShapAttribution>,
@@ -249,3 +248,6 @@ mod tests {
         }
     }
 }
+
+minjson::json_struct!(ShapAttribution { knob, default_value, current_value, cpu, tps, p99_ms });
+minjson::json_struct!(ShapPath { attributions, default_metrics, current_metrics });

@@ -5,7 +5,6 @@
 
 use crate::scale::TaskScalers;
 use gp::{GaussianProcess, GpConfig, GpError, Prediction};
-use serde::{Deserialize, Serialize};
 
 /// Joint prediction of the three modeled outputs, in standardized units.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,7 +25,7 @@ pub trait TaskSurrogate {
 }
 
 /// A single task's surrogate: three GPs on standardized outputs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpTaskModel {
     /// GP over the standardized resource objective.
     pub res: GaussianProcess,

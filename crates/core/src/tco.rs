@@ -6,10 +6,9 @@
 //! achieves. Those calculators are live web tools; this module carries static
 //! price tables in the same ballpark, documented as synthetic stand-ins.
 
-use serde::{Deserialize, Serialize};
 
 /// A cloud provider's derived RDS-MySQL unit prices (1-year commitments).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProviderPricing {
     /// Display name.
     pub name: &'static str,
@@ -30,7 +29,7 @@ pub fn providers() -> [ProviderPricing; 3] {
 }
 
 /// One row of a TCO reduction report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcoReduction {
     /// Used resource before tuning (cores or GB).
     pub original: f64,

@@ -13,8 +13,7 @@ use crate::problem::{ResourceKind, SlaConstraints, TuningProblem};
 use crate::surrogate::{GpTaskModel, TaskSurrogate};
 use dbsim::{Configuration, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSpec};
 use gp::GpConfig;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::{RngExt, SeedableRng};
 use std::time::Instant;
 
 /// The target DBMS copy plus the search space and objective.
@@ -109,7 +108,7 @@ impl TuningEnvironmentBuilder {
 
 /// How the first `init_iters` iterations pick points when meta-learning is
 /// active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitStrategy {
     /// Suggestions from the static-weight (meta-feature) ensemble — full
     /// ResTune.
@@ -120,7 +119,7 @@ pub enum InitStrategy {
 }
 
 /// ResTune configuration (defaults follow §7 "Setting").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RestuneConfig {
     /// Initialization iterations before switching to dynamic weights / after
     /// which LHS bootstrapping ends (paper: 10).
@@ -179,7 +178,7 @@ impl Default for RestuneConfig {
 }
 
 /// Wall-clock breakdown of a single iteration (Table 3's rows).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationTiming {
     /// Meta-data processing (scale unification, meta-feature handling).
     pub meta_data_processing_s: f64,
@@ -199,7 +198,7 @@ impl IterationTiming {
 }
 
 /// One tuning iteration's record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationRecord {
     /// 0-based iteration index.
     pub iteration: usize,
@@ -221,7 +220,7 @@ pub struct IterationRecord {
 }
 
 /// Result of a tuning run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TuningOutcome {
     /// Per-iteration records.
     pub history: Vec<IterationRecord>,
@@ -509,7 +508,7 @@ impl TuningSession {
             // LHS (§7 Setting).
             self.lhs_plan[iter].clone()
         } else if stagnated {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE5C4);
+            let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xE5C4);
             (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect()
         } else {
             self.optimize_acquisition(&surrogate, constraints_from_target, seed)

@@ -1,107 +1,152 @@
-//! Property-based tests on ResTune's algorithmic invariants.
+//! Property-based tests on ResTune's algorithmic invariants, on the in-tree
+//! `propcheck` harness with fixed suite seeds.
 
-use proptest::prelude::*;
+use gp::Prediction;
+use propcheck::{check, Config};
 use restune_core::acquisition::{expected_improvement, ConstrainedExpectedImprovement};
 use restune_core::lhs::latin_hypercube;
 use restune_core::meta::{epanechnikov, ranking_loss};
 use restune_core::scale::Standardizer;
 use restune_core::surrogate::SurrogatePrediction;
-use gp::Prediction;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+// ---- scale unification (§6.1) ----------------------------------------------
 
-    // ---- scale unification (§6.1) ----------------------------------------
-
-    #[test]
-    fn standardization_preserves_order(values in prop::collection::vec(-1e5..1e5f64, 2..40)) {
+#[test]
+fn standardization_preserves_order() {
+    check("standardization_preserves_order", Config::default().cases(128).seed(0x2E_0001), |g| {
+        let n = g.usize_in(2, 39);
+        let values = g.vec_f64(n, -1e5, 1e5);
         let s = Standardizer::fit(&values);
         let z = s.transform_all(&values);
         for i in 0..values.len() {
             for j in 0..values.len() {
-                prop_assert_eq!(values[i] <= values[j], z[i] <= z[j]);
+                propcheck::prop_assert_eq!(values[i] <= values[j], z[i] <= z[j]);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn standardization_roundtrips(values in prop::collection::vec(-1e5..1e5f64, 2..40), probe in -1e5..1e5f64) {
+#[test]
+fn standardization_roundtrips() {
+    check("standardization_roundtrips", Config::default().cases(128).seed(0x2E_0002), |g| {
+        let n = g.usize_in(2, 39);
+        let values = g.vec_f64(n, -1e5, 1e5);
+        let probe = g.f64_in(-1e5, 1e5);
         let s = Standardizer::fit(&values);
         let back = s.inverse(s.transform(probe));
-        prop_assert!((back - probe).abs() <= 1e-6 * (1.0 + probe.abs()));
-    }
+        propcheck::prop_assert!((back - probe).abs() <= 1e-6 * (1.0 + probe.abs()));
+        Ok(())
+    });
+}
 
-    // ---- ranking loss (Eq. 9) ---------------------------------------------
+// ---- ranking loss (Eq. 9) ---------------------------------------------------
 
-    #[test]
-    fn ranking_loss_bounds(pred in prop::collection::vec(-10.0..10.0f64, 2..20),
-                           actual_seed in 0u64..100) {
-        let n = pred.len();
+#[test]
+fn ranking_loss_bounds() {
+    check("ranking_loss_bounds", Config::default().cases(128).seed(0x2E_0003), |g| {
+        let n = g.usize_in(2, 19);
+        let pred = g.vec_f64(n, -10.0, 10.0);
+        let actual_seed = g.i64_in(0, 99) as u64;
         let actual: Vec<f64> =
             (0..n).map(|i| ((i as u64 * 31 + actual_seed) % 17) as f64).collect();
         let loss = ranking_loss(&pred, &actual);
-        prop_assert!(loss <= n * (n - 1), "loss {} exceeds pair count", loss);
-    }
+        propcheck::prop_assert!(loss <= n * (n - 1), "loss {} exceeds pair count", loss);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ranking_loss_zero_iff_order_preserving(values in prop::collection::vec(-10.0..10.0f64, 2..20)) {
-        // A strictly increasing transform of the actual values has zero loss.
-        let transformed: Vec<f64> = values.iter().map(|v| v * 3.0 + 7.0).collect();
-        prop_assert_eq!(ranking_loss(&transformed, &values), 0);
-        let exp: Vec<f64> = values.iter().map(|v| (v / 10.0).exp()).collect();
-        prop_assert_eq!(ranking_loss(&exp, &values), 0);
-    }
+#[test]
+fn ranking_loss_zero_iff_order_preserving() {
+    check(
+        "ranking_loss_zero_iff_order_preserving",
+        Config::default().cases(128).seed(0x2E_0004),
+        |g| {
+            // A strictly increasing transform of the actual values has zero loss.
+            let n = g.usize_in(2, 19);
+            let values = g.vec_f64(n, -10.0, 10.0);
+            let transformed: Vec<f64> = values.iter().map(|v| v * 3.0 + 7.0).collect();
+            propcheck::prop_assert_eq!(ranking_loss(&transformed, &values), 0);
+            let exp: Vec<f64> = values.iter().map(|v| (v / 10.0).exp()).collect();
+            propcheck::prop_assert_eq!(ranking_loss(&exp, &values), 0);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ranking_loss_is_permutation_consistent(
-        values in prop::collection::vec(-10.0..10.0f64, 3..12),
-        swap_a in 0usize..12,
-        swap_b in 0usize..12,
-    ) {
-        // Applying the same permutation to both pred and actual leaves the
-        // loss unchanged.
-        let n = values.len();
-        let (a, b) = (swap_a % n, swap_b % n);
-        let pred: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
-        let noisy_pred: Vec<f64> = values.iter().rev().cloned().collect();
-        for p in [pred, noisy_pred] {
-            let base = ranking_loss(&p, &values);
-            let mut p2 = p.clone();
-            let mut v2 = values.clone();
-            p2.swap(a, b);
-            v2.swap(a, b);
-            prop_assert_eq!(ranking_loss(&p2, &v2), base);
-        }
-    }
+#[test]
+fn ranking_loss_is_permutation_consistent() {
+    check(
+        "ranking_loss_is_permutation_consistent",
+        Config::default().cases(128).seed(0x2E_0005),
+        |g| {
+            // Applying the same permutation to both pred and actual leaves the
+            // loss unchanged.
+            let n = g.usize_in(3, 11);
+            let values = g.vec_f64(n, -10.0, 10.0);
+            let (a, b) = (g.usize_in(0, 11) % n, g.usize_in(0, 11) % n);
+            let pred: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
+            let noisy_pred: Vec<f64> = values.iter().rev().cloned().collect();
+            for p in [pred, noisy_pred] {
+                let base = ranking_loss(&p, &values);
+                let mut p2 = p.clone();
+                let mut v2 = values.clone();
+                p2.swap(a, b);
+                v2.swap(a, b);
+                propcheck::prop_assert_eq!(ranking_loss(&p2, &v2), base);
+            }
+            Ok(())
+        },
+    );
+}
 
-    // ---- acquisition (Eqs. 2–5) --------------------------------------------
+// ---- acquisition (Eqs. 2–5) -------------------------------------------------
 
-    #[test]
-    fn ei_is_nonnegative_and_bounded(mean in -5.0..5.0f64, std in 0.0..3.0f64, best in -5.0..5.0f64) {
+#[test]
+fn ei_is_nonnegative_and_bounded() {
+    check("ei_is_nonnegative_and_bounded", Config::default().cases(128).seed(0x2E_0006), |g| {
+        let mean = g.f64_in(-5.0, 5.0);
+        let std = g.f64_in(0.0, 3.0);
+        let best = g.f64_in(-5.0, 5.0);
         let ei = expected_improvement(mean, std, best);
-        prop_assert!(ei >= 0.0);
+        propcheck::prop_assert!(ei >= 0.0);
         // EI <= E|best - f| <= |best - mean| + std * sqrt(2/pi) + margin.
-        prop_assert!(ei <= (best - mean).abs() + std + 1e-9);
-    }
+        propcheck::prop_assert!(ei <= (best - mean).abs() + std + 1e-9);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ei_increases_with_uncertainty_when_mean_is_worse(
-        mean in 0.5..3.0f64, s1 in 0.01..1.0f64, extra in 0.1..2.0f64,
-    ) {
-        // With mean above the incumbent (no certain improvement), more
-        // variance means more EI.
-        let best = 0.0;
-        prop_assert!(expected_improvement(mean, s1 + extra, best)
-            >= expected_improvement(mean, s1, best) - 1e-12);
-    }
+#[test]
+fn ei_increases_with_uncertainty_when_mean_is_worse() {
+    check(
+        "ei_increases_with_uncertainty_when_mean_is_worse",
+        Config::default().cases(128).seed(0x2E_0007),
+        |g| {
+            // With mean above the incumbent (no certain improvement), more
+            // variance means more EI.
+            let mean = g.f64_in(0.5, 3.0);
+            let s1 = g.f64_in(0.01, 1.0);
+            let extra = g.f64_in(0.1, 2.0);
+            let best = 0.0;
+            propcheck::prop_assert!(
+                expected_improvement(mean, s1 + extra, best)
+                    >= expected_improvement(mean, s1, best) - 1e-12
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn cei_is_sandwiched(
-        rmean in -3.0..3.0f64, rstd in 0.0..2.0f64,
-        tmean in -3.0..3.0f64, tstd in 0.01..2.0f64,
-        lmean in -3.0..3.0f64, lstd in 0.01..2.0f64,
-        best in -3.0..3.0f64,
-    ) {
+#[test]
+fn cei_is_sandwiched() {
+    check("cei_is_sandwiched", Config::default().cases(128).seed(0x2E_0008), |g| {
+        let rmean = g.f64_in(-3.0, 3.0);
+        let rstd = g.f64_in(0.0, 2.0);
+        let tmean = g.f64_in(-3.0, 3.0);
+        let tstd = g.f64_in(0.01, 2.0);
+        let lmean = g.f64_in(-3.0, 3.0);
+        let lstd = g.f64_in(0.01, 2.0);
+        let best = g.f64_in(-3.0, 3.0);
         let cei = ConstrainedExpectedImprovement {
             best_feasible: Some(best),
             tps_floor: 0.0,
@@ -114,35 +159,48 @@ proptest! {
         };
         let v = cei.value(&pred);
         let ei = expected_improvement(rmean, rstd, best);
-        prop_assert!(v >= -1e-12);
-        prop_assert!(v <= ei + 1e-12);
+        propcheck::prop_assert!(v >= -1e-12);
+        propcheck::prop_assert!(v <= ei + 1e-12);
         let pf = cei.feasibility_probability(&pred);
-        prop_assert!((0.0..=1.0).contains(&pf));
-    }
+        propcheck::prop_assert!((0.0..=1.0).contains(&pf));
+        Ok(())
+    });
+}
 
-    // ---- Epanechnikov kernel (Eq. 8) ----------------------------------------
+// ---- Epanechnikov kernel (Eq. 8) --------------------------------------------
 
-    #[test]
-    fn epanechnikov_properties(t in -3.0..3.0f64) {
+#[test]
+fn epanechnikov_properties() {
+    check("epanechnikov_properties", Config::default().cases(128).seed(0x2E_0009), |g| {
+        let t = g.f64_in(-3.0, 3.0);
         let v = epanechnikov(t);
-        prop_assert!((0.0..=0.75).contains(&v));
-        prop_assert_eq!(v, epanechnikov(-t));
+        propcheck::prop_assert!((0.0..=0.75).contains(&v));
+        propcheck::prop_assert_eq!(v, epanechnikov(-t));
         if t.abs() > 1.0 {
-            prop_assert_eq!(v, 0.0);
+            propcheck::prop_assert_eq!(v, 0.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    // ---- LHS --------------------------------------------------------------
+// ---- LHS --------------------------------------------------------------------
 
-    #[test]
-    fn lhs_stratification_holds(n in 2usize..40, d in 1usize..8, seed in 0u64..50) {
+#[test]
+fn lhs_stratification_holds() {
+    check("lhs_stratification_holds", Config::default().cases(128).seed(0x2E_000A), |g| {
+        let n = g.usize_in(2, 39);
+        let d = g.usize_in(1, 7);
+        let seed = g.i64_in(0, 49) as u64;
         let samples = latin_hypercube(n, d, seed);
-        prop_assert_eq!(samples.len(), n);
+        propcheck::prop_assert_eq!(samples.len(), n);
         for dim in 0..d {
-            let mut strata: Vec<usize> =
-                samples.iter().map(|s| ((s[dim] * n as f64).floor() as usize).min(n - 1)).collect();
+            let mut strata: Vec<usize> = samples
+                .iter()
+                .map(|s| ((s[dim] * n as f64).floor() as usize).min(n - 1))
+                .collect();
             strata.sort_unstable();
-            prop_assert_eq!(&strata, &(0..n).collect::<Vec<_>>());
+            propcheck::prop_assert_eq!(&strata, &(0..n).collect::<Vec<_>>());
         }
-    }
+        Ok(())
+    });
 }

@@ -11,13 +11,12 @@ use crate::knobs::Configuration;
 use crate::metrics::{InternalMetrics, ResourceUsage};
 use crate::model::{evaluate_raw, PerfBreakdown};
 use crate::workload::WorkloadSpec;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// One evaluation of a configuration: what the tuning loop appends to its
 /// observation history `H = {(θ, f_res, f_tps, f_lat)}` (§5.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Observation {
     /// The configuration that was applied.
     pub config: Configuration,

@@ -1,6 +1,5 @@
 //! Cloud instance types from Table 1 of the paper.
 
-use serde::{Deserialize, Serialize};
 
 /// The six hardware configurations used in the paper's evaluation (Table 1).
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// |---|---|---|---|---|---|---|
 /// | CPU | 48 | 8 | 4 | 16 | 32 | 64 |
 /// | RAM (GB) | 12 | 12 | 8 | 32 | 64 | 128 |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstanceType {
     A,
     B,
@@ -75,6 +74,8 @@ impl InstanceType {
         }
     }
 }
+
+minjson::json_enum!(InstanceType { A, B, C, D, E, F });
 
 impl std::fmt::Display for InstanceType {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -7,12 +7,11 @@
 //! safe but resource-wasteful) defaults, and the three pre-selected
 //! [`KnobSet`]s with exactly those sizes.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// Value domain of a knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KnobKind {
     /// Integer-valued within `[min, max]`.
     Integer,
@@ -25,7 +24,7 @@ pub enum KnobKind {
 }
 
 /// Definition of a single tunable knob.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KnobDef {
     /// MySQL-style knob name (units folded into the name where relevant).
     pub name: &'static str,
@@ -148,7 +147,7 @@ impl KnobRegistry {
 
 /// A full knob assignment in natural units, aligned with
 /// [`KnobRegistry::mysql`] order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Configuration {
     values: Vec<f64>,
 }
@@ -194,7 +193,7 @@ impl Default for Configuration {
 }
 
 /// An ordered subset of knobs forming a tuning search space `[0,1]^m`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnobSet {
     names: Vec<String>,
     indices: Vec<usize>,

@@ -1,10 +1,9 @@
 //! Evaluation outputs: external resource/performance metrics and the internal
 //! runtime metrics OtterTune-style mapping and CDBTune's RL state consume.
 
-use serde::{Deserialize, Serialize};
 
 /// Externally observable resource utilization for one evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceUsage {
     /// Database-wide CPU utilization in percent of the instance (0–100).
     pub cpu_pct: f64,
@@ -38,7 +37,7 @@ impl ResourceUsage {
 /// hardware and request rate — which is exactly why distance-based mapping
 /// fails to transfer across hardware (§7.2.3) while ResTune's rank-based
 /// weighting does not.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InternalMetrics {
     /// Buffer pool hit ratio (0–1).
     pub hit_ratio: f64,

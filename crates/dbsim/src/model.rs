@@ -37,7 +37,6 @@ use crate::instance::InstanceType;
 use crate::knobs::Configuration;
 use crate::metrics::{InternalMetrics, ResourceUsage};
 use crate::workload::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 
 /// Page size in KB (InnoDB default 16 KB pages).
 const PAGE_KB: f64 = 16.0;
@@ -87,7 +86,7 @@ pub mod consts {
 }
 
 /// All intermediate and final quantities of one model evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfBreakdown {
     /// Buffer pool size in GB.
     pub buffer_pool_gb: f64,

@@ -1,10 +1,9 @@
 //! Workload specifications matching Table 2 of the paper, plus the knobs the
 //! performance model needs (per-transaction work, contention, skew).
 
-use serde::{Deserialize, Serialize};
 
 /// Workload families used in the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// SYSBENCH oltp_read_write.
     Sysbench,
@@ -37,7 +36,7 @@ impl WorkloadKind {
 /// rate); the remaining fields parameterize the analytic performance model
 /// (see `model.rs`) and are chosen per workload family so the simulated
 /// response surfaces have the qualitative structure the paper reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Human-readable name (also the repository task label).
     pub name: String,

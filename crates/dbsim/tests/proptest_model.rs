@@ -1,126 +1,151 @@
 //! Property-based tests on the simulator: determinism, encoding round-trips,
 //! physical sanity, and the monotonicities the tuning results depend on.
+//!
+//! Runs on the in-tree `propcheck` harness with fixed suite seeds.
 
 use dbsim::{Configuration, InstanceType, KnobRegistry, KnobSet, SimulatedDbms, WorkloadSpec};
-use proptest::prelude::*;
+use propcheck::{check, Config, Gen};
 
-fn arbitrary_config() -> impl Strategy<Value = Configuration> {
-    let n = KnobRegistry::mysql().len();
-    prop::collection::vec(0.0..1.0f64, n).prop_map(|units| {
-        let reg = KnobRegistry::mysql();
-        let mut config = Configuration::dba_default();
-        for (i, u) in units.iter().enumerate() {
-            let k = reg.knob(i);
-            config.set(k.name, k.denormalize(*u));
-        }
-        config
-    })
+/// Draws an arbitrary configuration by denormalizing a uniform unit vector
+/// across every registered knob — the same space the old proptest strategy
+/// covered.
+fn draw_config(g: &mut Gen) -> Configuration {
+    let reg = KnobRegistry::mysql();
+    let mut config = Configuration::dba_default();
+    for i in 0..reg.len() {
+        let k = reg.knob(i);
+        let u = g.unit();
+        config.set(k.name, k.denormalize(u));
+    }
+    config
 }
 
-fn any_instance() -> impl Strategy<Value = InstanceType> {
-    prop::sample::select(InstanceType::ALL.to_vec())
+fn draw_instance(g: &mut Gen) -> InstanceType {
+    InstanceType::ALL[g.usize_in(0, InstanceType::ALL.len() - 1)]
 }
 
-fn any_workload() -> impl Strategy<Value = WorkloadSpec> {
-    prop::sample::select(WorkloadSpec::evaluation_suite())
+fn draw_workload(g: &mut Gen) -> WorkloadSpec {
+    let suite = WorkloadSpec::evaluation_suite();
+    suite[g.usize_in(0, suite.len() - 1)].clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn outputs_are_finite_and_physical(
-        config in arbitrary_config(),
-        instance in any_instance(),
-        workload in any_workload(),
-    ) {
+#[test]
+fn outputs_are_finite_and_physical() {
+    check("outputs_are_finite_and_physical", Config::default().cases(48).seed(0xD_B001), |g| {
+        let config = draw_config(g);
+        let instance = draw_instance(g);
+        let workload = draw_workload(g);
         let dbms = SimulatedDbms::new(instance, workload, 0).with_noise(0.0);
         let obs = dbms.evaluate_noiseless(&config);
-        prop_assert!(obs.tps.is_finite() && obs.tps > 0.0);
-        prop_assert!(obs.p99_ms.is_finite() && obs.p99_ms > 0.0);
-        prop_assert!((0.0..=100.0).contains(&obs.resources.cpu_pct));
-        prop_assert!(obs.resources.mem_gb > 0.0);
-        prop_assert!(obs.resources.io_mbps >= 0.0);
-        prop_assert!(obs.resources.iops >= 0.0);
+        propcheck::prop_assert!(obs.tps.is_finite() && obs.tps > 0.0);
+        propcheck::prop_assert!(obs.p99_ms.is_finite() && obs.p99_ms > 0.0);
+        propcheck::prop_assert!((0.0..=100.0).contains(&obs.resources.cpu_pct));
+        propcheck::prop_assert!(obs.resources.mem_gb > 0.0);
+        propcheck::prop_assert!(obs.resources.io_mbps >= 0.0);
+        propcheck::prop_assert!(obs.resources.iops >= 0.0);
         // Internal metrics are finite too (OtterTune/CDBTune consume them).
-        prop_assert!(obs.internal.to_vec().iter().all(|v| v.is_finite()));
-    }
+        propcheck::prop_assert!(obs.internal.to_vec().iter().all(|v| v.is_finite()));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn model_is_deterministic_per_config(
-        config in arbitrary_config(),
-        instance in any_instance(),
-    ) {
+#[test]
+fn model_is_deterministic_per_config() {
+    check("model_is_deterministic_per_config", Config::default().cases(48).seed(0xD_B002), |g| {
+        let config = draw_config(g);
+        let instance = draw_instance(g);
         let w = WorkloadSpec::tpcc();
         let a = SimulatedDbms::new(instance, w.clone(), 3).with_noise(0.0);
         let b = SimulatedDbms::new(instance, w, 3).with_noise(0.0);
-        prop_assert_eq!(a.evaluate_noiseless(&config), b.evaluate_noiseless(&config));
-    }
+        propcheck::prop_assert_eq!(a.evaluate_noiseless(&config), b.evaluate_noiseless(&config));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn knob_encoding_roundtrips(units in prop::collection::vec(0.0..1.0f64, 14)) {
+#[test]
+fn knob_encoding_roundtrips() {
+    check("knob_encoding_roundtrips", Config::default().cases(48).seed(0xD_B003), |g| {
         // normalize(denormalize(u)) must land in the same discrete cell.
+        let units = g.vec_f64(14, 0.0, 1.0);
         let set = KnobSet::cpu();
         let config = set.to_configuration(&units, &Configuration::dba_default());
         let back = set.normalize(&config);
         let config2 = set.to_configuration(&back, &Configuration::dba_default());
         for name in set.names() {
-            prop_assert_eq!(config.get(name), config2.get(name), "{}", name);
+            propcheck::prop_assert_eq!(config.get(name), config2.get(name));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigger_buffer_pool_never_increases_misses(
-        frac_small in 0.10..0.45f64,
-        delta in 0.05..0.40f64,
-        workload in any_workload(),
-    ) {
-        let small = Configuration::dba_default().with("innodb_buffer_pool_frac", frac_small);
-        let large =
-            Configuration::dba_default().with("innodb_buffer_pool_frac", frac_small + delta);
-        let dbms = SimulatedDbms::new(InstanceType::E, workload, 0).with_noise(0.0);
-        let ms = dbms.breakdown(&small).miss_ratio;
-        let ml = dbms.breakdown(&large).miss_ratio;
-        prop_assert!(ml <= ms + 1e-12, "pool grew but misses rose: {ms} -> {ml}");
-    }
+#[test]
+fn bigger_buffer_pool_never_increases_misses() {
+    check(
+        "bigger_buffer_pool_never_increases_misses",
+        Config::default().cases(48).seed(0xD_B004),
+        |g| {
+            let frac_small = g.f64_in(0.10, 0.45);
+            let delta = g.f64_in(0.05, 0.40);
+            let workload = draw_workload(g);
+            let small = Configuration::dba_default().with("innodb_buffer_pool_frac", frac_small);
+            let large =
+                Configuration::dba_default().with("innodb_buffer_pool_frac", frac_small + delta);
+            let dbms = SimulatedDbms::new(InstanceType::E, workload, 0).with_noise(0.0);
+            let ms = dbms.breakdown(&small).miss_ratio;
+            let ml = dbms.breakdown(&large).miss_ratio;
+            propcheck::prop_assert!(ml <= ms + 1e-12, "pool grew but misses rose: {ms} -> {ml}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn throughput_never_exceeds_offered_rate(
-        config in arbitrary_config(),
-        instance in any_instance(),
-    ) {
+#[test]
+fn throughput_never_exceeds_offered_rate() {
+    check("throughput_never_exceeds_offered_rate", Config::default().cases(48).seed(0xD_B005), |g| {
+        let config = draw_config(g);
+        let instance = draw_instance(g);
         let w = WorkloadSpec::sysbench();
         let dbms = SimulatedDbms::new(instance, w.clone(), 0).with_noise(0.0);
         let obs = dbms.evaluate_noiseless(&config);
-        prop_assert!(obs.tps <= w.request_rate.unwrap() * 1.001);
-    }
+        propcheck::prop_assert!(obs.tps <= w.request_rate.unwrap() * 1.001);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn more_spinning_never_lowers_cpu(
-        spin_lo in 0.0..40.0f64,
-        extra in 10.0..80.0f64,
-    ) {
+#[test]
+fn more_spinning_never_lowers_cpu() {
+    check("more_spinning_never_lowers_cpu", Config::default().cases(48).seed(0xD_B006), |g| {
         // Spin knobs monotonically trade CPU for wait latency.
+        let spin_lo = g.f64_in(0.0, 40.0);
+        let extra = g.f64_in(10.0, 80.0);
         let base = Configuration::dba_default();
         let lo = base.clone().with("innodb_spin_wait_delay", spin_lo);
         let hi = base.with("innodb_spin_wait_delay", spin_lo + extra);
-        let dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0)
-            .with_noise(0.0);
+        let dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 0).with_noise(0.0);
         let cl = dbms.breakdown(&lo).cpu_us_per_txn;
         let ch = dbms.breakdown(&hi).cpu_us_per_txn;
-        prop_assert!(ch >= cl - 1e-9, "spin up, cpu down: {cl} -> {ch}");
-    }
+        propcheck::prop_assert!(ch >= cl - 1e-9, "spin up, cpu down: {cl} -> {ch}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn noise_is_bounded_and_seed_reproducible(seed in 0u64..1000) {
-        let w = WorkloadSpec::hotel();
-        let mut a = SimulatedDbms::new(InstanceType::A, w.clone(), seed);
-        let mut b = SimulatedDbms::new(InstanceType::A, w.clone(), seed);
-        let truth = a.evaluate_noiseless(&Configuration::dba_default());
-        let oa = a.evaluate(&Configuration::dba_default());
-        let ob = b.evaluate(&Configuration::dba_default());
-        prop_assert_eq!(&oa, &ob);
-        let rel = (oa.tps - truth.tps).abs() / truth.tps;
-        prop_assert!(rel < 0.15, "noise too large: {}", rel);
-    }
+#[test]
+fn noise_is_bounded_and_seed_reproducible() {
+    check(
+        "noise_is_bounded_and_seed_reproducible",
+        Config::default().cases(48).seed(0xD_B007),
+        |g| {
+            let seed = g.i64_in(0, 999) as u64;
+            let w = WorkloadSpec::hotel();
+            let mut a = SimulatedDbms::new(InstanceType::A, w.clone(), seed);
+            let mut b = SimulatedDbms::new(InstanceType::A, w.clone(), seed);
+            let truth = a.evaluate_noiseless(&Configuration::dba_default());
+            let oa = a.evaluate(&Configuration::dba_default());
+            let ob = b.evaluate(&Configuration::dba_default());
+            propcheck::prop_assert_eq!(&oa, &ob);
+            let rel = (oa.tps - truth.tps).abs() / truth.tps;
+            propcheck::prop_assert!(rel < 0.15, "noise too large: {}", rel);
+            Ok(())
+        },
+    );
 }

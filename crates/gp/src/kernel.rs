@@ -1,7 +1,6 @@
 //! Covariance kernels with ARD lengthscales and analytic log-parameter
 //! gradients.
 
-use serde::{Deserialize, Serialize};
 
 const SQRT5: f64 = 2.236_067_977_499_79;
 
@@ -46,7 +45,7 @@ pub trait Kernel: Clone + Send + Sync {
 ///
 /// This is the default BoTorch kernel ResTune inherits. Parameters are
 /// `[log l_1, ..., log l_d, log s^2]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Matern52 {
     log_lengthscales: Vec<f64>,
     log_signal_variance: f64,
@@ -158,12 +157,16 @@ impl Kernel for Matern52 {
     }
 }
 
+// Persisted in the data repository as part of fitted task models; the
+// log-space parameters round-trip bit-exactly through minjson.
+minjson::json_struct!(Matern52 { log_lengthscales, log_signal_variance });
+
 /// Squared-exponential (RBF) kernel with ARD lengthscales:
 /// `k(x, x') = s^2 exp(-r^2 / 2)`.
 ///
 /// Kept as an alternative surrogate for ablations (iTuned's original
 /// description uses an RBF-style GP).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SquaredExponential {
     log_lengthscales: Vec<f64>,
     log_signal_variance: f64,

@@ -4,9 +4,8 @@
 use crate::kernel::{Kernel, Matern52};
 use crate::rand_util;
 use linalg::{Cholesky, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::rngs::StdRng;
+use xrand::{Rng, SeedableRng};
 
 /// Errors from GP construction and prediction.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +38,7 @@ impl std::fmt::Display for GpError {
 impl std::error::Error for GpError {}
 
 /// Posterior prediction at a single point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prediction {
     /// Posterior mean.
     pub mean: f64,
@@ -55,7 +54,7 @@ impl Prediction {
 }
 
 /// Configuration for GP fitting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpConfig {
     /// Whether to optimize kernel + noise hyperparameters by maximizing the
     /// log marginal likelihood. When `false`, the kernel's current values and
@@ -116,7 +115,7 @@ impl GpConfig {
 /// assert!(pred.variance >= 0.0);
 /// assert!((pred.mean - (0.5f64 * 3.0).sin()).abs() < 0.3);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GaussianProcess {
     x: Vec<Vec<f64>>,
     y: Vec<f64>,
@@ -490,11 +489,26 @@ impl GaussianProcess {
 }
 
 
+// Fitted GPs are persisted inside the data repository. All fields (including
+// the Cholesky factor) are serialized so the reconstructed model predicts
+// bit-identically without refitting.
+minjson::json_struct!(GaussianProcess {
+    x,
+    y,
+    y_centered,
+    mean_offset,
+    kernel,
+    log_noise_variance,
+    alpha,
+    chol_l,
+    dim,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xrand::rngs::StdRng;
+    use xrand::SeedableRng;
 
     fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         // y = sin(2 pi x) observed on a grid.
@@ -619,13 +633,13 @@ mod tests {
     }
 
     #[test]
-    fn fitted_gp_survives_serde_roundtrip() {
+    fn fitted_gp_survives_json_roundtrip() {
         // The data repository persists fitted task models as JSON; the
         // reconstructed GP must predict identically.
         let (xs, ys) = toy_data();
         let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
-        let json = serde_json::to_string(&gp).unwrap();
-        let back: GaussianProcess = serde_json::from_str(&json).unwrap();
+        let json = minjson::to_string(&gp).unwrap();
+        let back: GaussianProcess = minjson::from_str(&json).unwrap();
         let p = gp.predict(&[0.41]).unwrap();
         let q = back.predict(&[0.41]).unwrap();
         assert_eq!(p, q);

@@ -1,71 +1,99 @@
-//! Property-based tests on Gaussian-process invariants.
+//! Property-based tests on Gaussian-process invariants, on the in-tree
+//! `propcheck` harness with fixed suite seeds.
 
 use gp::{GaussianProcess, GpConfig};
-use proptest::prelude::*;
+use propcheck::{check, Config, Gen};
 
-fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    (2usize..12, 1usize..4).prop_flat_map(|(n, d)| {
-        (
-            prop::collection::vec(prop::collection::vec(0.0..1.0f64, d), n),
-            prop::collection::vec(-2.0..2.0f64, n),
-        )
-    })
+/// Draws what the old proptest `dataset()` strategy produced: `n` points in
+/// `2..12`, dimension in `1..4`, inputs in `[0, 1)`, targets in `[-2, 2)`.
+fn draw_dataset(g: &mut Gen) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = g.usize_in(2, 11);
+    let d = g.usize_in(1, 3);
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| g.vec_f64(d, 0.0, 1.0)).collect();
+    let ys = g.vec_f64(n, -2.0, 2.0);
+    (xs, ys)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn posterior_variance_is_nonnegative((xs, ys) in dataset()) {
+#[test]
+fn posterior_variance_is_nonnegative() {
+    check("posterior_variance_is_nonnegative", Config::default().cases(48).seed(0x6B_0001), |g| {
+        let (xs, ys) = draw_dataset(g);
         let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
         for i in 0..20 {
             let p: Vec<f64> = (0..gp.dim()).map(|j| ((i * 7 + j * 3) % 11) as f64 / 10.0).collect();
             let pred = gp.predict(&p).unwrap();
-            prop_assert!(pred.variance >= 0.0);
-            prop_assert!(pred.mean.is_finite());
+            propcheck::prop_assert!(pred.variance >= 0.0);
+            propcheck::prop_assert!(pred.mean.is_finite());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn adding_data_never_increases_variance_at_new_point((xs, ys) in dataset()) {
-        // Fit on a prefix, then the full set; variance at any point must not grow.
-        let half = xs.len() / 2;
-        let gp_small = GaussianProcess::fit(
-            xs[..half].to_vec(), ys[..half].to_vec(), &GpConfig::fixed()).unwrap();
-        let gp_full = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
-        let probe: Vec<f64> = vec![0.5; gp_full.dim()];
-        let vs = gp_small.predict(&probe).unwrap().variance;
-        let vf = gp_full.predict(&probe).unwrap().variance;
-        prop_assert!(vf <= vs + 1e-6, "variance grew from {vs} to {vf} with more data");
-    }
+#[test]
+fn adding_data_never_increases_variance_at_new_point() {
+    check(
+        "adding_data_never_increases_variance_at_new_point",
+        Config::default().cases(48).seed(0x6B_0002),
+        |g| {
+            // Fit on a prefix, then the full set; variance at any point must not grow.
+            let (xs, ys) = draw_dataset(g);
+            let half = xs.len() / 2;
+            let gp_small =
+                GaussianProcess::fit(xs[..half].to_vec(), ys[..half].to_vec(), &GpConfig::fixed())
+                    .unwrap();
+            let gp_full = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
+            let probe: Vec<f64> = vec![0.5; gp_full.dim()];
+            let vs = gp_small.predict(&probe).unwrap().variance;
+            let vf = gp_full.predict(&probe).unwrap().variance;
+            propcheck::prop_assert!(vf <= vs + 1e-6, "variance grew from {vs} to {vf} with more data");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn log_marginal_likelihood_is_finite((xs, ys) in dataset()) {
+#[test]
+fn log_marginal_likelihood_is_finite() {
+    check("log_marginal_likelihood_is_finite", Config::default().cases(48).seed(0x6B_0003), |g| {
+        let (xs, ys) = draw_dataset(g);
         let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
-        prop_assert!(gp.log_marginal_likelihood().is_finite());
-    }
+        propcheck::prop_assert!(gp.log_marginal_likelihood().is_finite());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn loo_has_one_prediction_per_observation((xs, ys) in dataset()) {
+#[test]
+fn loo_has_one_prediction_per_observation() {
+    check("loo_has_one_prediction_per_observation", Config::default().cases(48).seed(0x6B_0004), |g| {
+        let (xs, ys) = draw_dataset(g);
         let n = xs.len();
         let gp = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
         let loo = gp.loo_predictions().unwrap();
-        prop_assert_eq!(loo.len(), n);
+        propcheck::prop_assert_eq!(loo.len(), n);
         for p in &loo {
-            prop_assert!(p.variance >= 0.0);
-            prop_assert!(p.mean.is_finite());
+            propcheck::prop_assert!(p.variance >= 0.0);
+            propcheck::prop_assert!(p.mean.is_finite());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn constant_shift_moves_predictions_by_the_shift((xs, ys) in dataset(), shift in -10.0..10.0f64) {
-        let gp_a = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
-        let shifted: Vec<f64> = ys.iter().map(|y| y + shift).collect();
-        let gp_b = GaussianProcess::fit(xs, shifted, &GpConfig::fixed()).unwrap();
-        let probe: Vec<f64> = vec![0.3; gp_a.dim()];
-        let pa = gp_a.predict(&probe).unwrap();
-        let pb = gp_b.predict(&probe).unwrap();
-        prop_assert!((pb.mean - pa.mean - shift).abs() < 1e-8);
-        prop_assert!((pb.variance - pa.variance).abs() < 1e-8);
-    }
+#[test]
+fn constant_shift_moves_predictions_by_the_shift() {
+    check(
+        "constant_shift_moves_predictions_by_the_shift",
+        Config::default().cases(48).seed(0x6B_0005),
+        |g| {
+            let (xs, ys) = draw_dataset(g);
+            let shift = g.f64_in(-10.0, 10.0);
+            let gp_a = GaussianProcess::fit(xs.clone(), ys.clone(), &GpConfig::fixed()).unwrap();
+            let shifted: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+            let gp_b = GaussianProcess::fit(xs, shifted, &GpConfig::fixed()).unwrap();
+            let probe: Vec<f64> = vec![0.3; gp_a.dim()];
+            let pa = gp_a.predict(&probe).unwrap();
+            let pb = gp_b.predict(&probe).unwrap();
+            propcheck::prop_assert!((pb.mean - pa.mean - shift).abs() < 1e-8);
+            propcheck::prop_assert!((pb.variance - pa.variance).abs() < 1e-8);
+            Ok(())
+        },
+    );
 }

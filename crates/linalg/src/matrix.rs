@@ -1,13 +1,12 @@
 //! Dense row-major matrix type.
 
 use crate::{LinalgError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A dense `f64` matrix with row-major storage.
 ///
 /// Rows are contiguous, which keeps the Cholesky inner loops (dot products of
 /// row prefixes) sequential in memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -184,6 +183,31 @@ impl Matrix {
         for i in 0..n {
             self[(i, i)] += value;
         }
+    }
+}
+
+impl minjson::ToJson for Matrix {
+    fn to_json(&self) -> minjson::Json {
+        minjson::Json::Obj(vec![
+            ("rows".to_string(), minjson::ToJson::to_json(&self.rows)),
+            ("cols".to_string(), minjson::ToJson::to_json(&self.cols)),
+            ("data".to_string(), minjson::ToJson::to_json(&self.data)),
+        ])
+    }
+}
+
+impl minjson::FromJson for Matrix {
+    fn from_json(v: &minjson::Json) -> std::result::Result<Self, minjson::JsonError> {
+        let rows: usize = minjson::FromJson::from_json(v.field("rows")?)?;
+        let cols: usize = minjson::FromJson::from_json(v.field("cols")?)?;
+        let data: Vec<f64> = minjson::FromJson::from_json(v.field("data")?)?;
+        if data.len() != rows * cols {
+            return Err(minjson::JsonError::new(format!(
+                "matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
     }
 }
 

@@ -1,7 +1,10 @@
 //! Property-based tests for the Cholesky factorization and solves.
+//!
+//! Runs on the in-tree `propcheck` harness with fixed suite seeds, so the
+//! exact case sequence is reproducible offline.
 
 use linalg::{Cholesky, Matrix};
-use proptest::prelude::*;
+use propcheck::{check, Config, Gen};
 
 /// Builds a random SPD matrix `A = B B^T + n*I` from a flat coefficient vector.
 fn spd_from_coeffs(n: usize, coeffs: &[f64]) -> Matrix {
@@ -11,68 +14,81 @@ fn spd_from_coeffs(n: usize, coeffs: &[f64]) -> Matrix {
     a
 }
 
-fn coeff_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-3.0..3.0f64, n * n)
+/// Draws the `(n, coeffs)` pair the old proptest strategy produced: a
+/// dimension in `2..8` and `n*n` coefficients in `[-3, 3)`.
+fn draw_spd(g: &mut Gen) -> (usize, Matrix) {
+    let n = g.usize_in(2, 7);
+    let coeffs = g.vec_f64(n * n, -3.0, 3.0);
+    (n, spd_from_coeffs(n, &coeffs))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn factor_reconstructs_spd((n, coeffs) in (2usize..8).prop_flat_map(|n| (Just(n), coeff_vec(n)))) {
-        let a = spd_from_coeffs(n, &coeffs);
+#[test]
+fn factor_reconstructs_spd() {
+    check("factor_reconstructs_spd", Config::default().cases(64).seed(0xC0DE_0001), |g| {
+        let (n, a) = draw_spd(g);
         let c = Cholesky::factor(&a).unwrap();
         let recon = c.l().matmul(&c.l().transpose()).unwrap();
         let scale = a.max_abs().max(1.0);
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() <= 1e-8 * scale);
+                propcheck::prop_assert!((recon[(i, j)] - a[(i, j)]).abs() <= 1e-8 * scale);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn solve_residual_is_small((n, coeffs, x) in (2usize..8).prop_flat_map(|n| {
-        (Just(n), coeff_vec(n), prop::collection::vec(-5.0..5.0f64, n))
-    })) {
-        let a = spd_from_coeffs(n, &coeffs);
+#[test]
+fn solve_residual_is_small() {
+    check("solve_residual_is_small", Config::default().cases(64).seed(0xC0DE_0002), |g| {
+        let (n, a) = draw_spd(g);
+        let x = g.vec_f64(n, -5.0, 5.0);
         let b = a.matvec(&x).unwrap();
         let c = Cholesky::factor(&a).unwrap();
         let solved = c.solve(&b).unwrap();
         for i in 0..n {
-            prop_assert!((solved[i] - x[i]).abs() <= 1e-6 * (1.0 + x[i].abs()));
+            propcheck::prop_assert!((solved[i] - x[i]).abs() <= 1e-6 * (1.0 + x[i].abs()));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn quadratic_form_is_nonnegative((n, coeffs, b) in (2usize..8).prop_flat_map(|n| {
-        (Just(n), coeff_vec(n), prop::collection::vec(-5.0..5.0f64, n))
-    })) {
-        let a = spd_from_coeffs(n, &coeffs);
+#[test]
+fn quadratic_form_is_nonnegative() {
+    check("quadratic_form_is_nonnegative", Config::default().cases(64).seed(0xC0DE_0003), |g| {
+        let (n, a) = draw_spd(g);
+        let b = g.vec_f64(n, -5.0, 5.0);
         let c = Cholesky::factor(&a).unwrap();
-        prop_assert!(c.quadratic_form(&b).unwrap() >= -1e-12);
-    }
+        propcheck::prop_assert!(c.quadratic_form(&b).unwrap() >= -1e-12);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn log_determinant_is_finite_for_spd((n, coeffs) in (2usize..8).prop_flat_map(|n| (Just(n), coeff_vec(n)))) {
-        let a = spd_from_coeffs(n, &coeffs);
+#[test]
+fn log_determinant_is_finite_for_spd() {
+    check("log_determinant_is_finite_for_spd", Config::default().cases(64).seed(0xC0DE_0004), |g| {
+        let (_, a) = draw_spd(g);
         let c = Cholesky::factor(&a).unwrap();
-        prop_assert!(c.log_determinant().is_finite());
-    }
+        propcheck::prop_assert!(c.log_determinant().is_finite());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matvec_linearity((n, coeffs, x, y) in (2usize..6).prop_flat_map(|n| {
-        (Just(n), coeff_vec(n),
-         prop::collection::vec(-5.0..5.0f64, n),
-         prop::collection::vec(-5.0..5.0f64, n))
-    })) {
+#[test]
+fn matvec_linearity() {
+    check("matvec_linearity", Config::default().cases(64).seed(0xC0DE_0005), |g| {
+        let n = g.usize_in(2, 5);
+        let coeffs = g.vec_f64(n * n, -3.0, 3.0);
         let a = spd_from_coeffs(n, &coeffs);
+        let x = g.vec_f64(n, -5.0, 5.0);
+        let y = g.vec_f64(n, -5.0, 5.0);
         let sum: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + q).collect();
         let lhs = a.matvec(&sum).unwrap();
         let ax = a.matvec(&x).unwrap();
         let ay = a.matvec(&y).unwrap();
         for i in 0..n {
-            prop_assert!((lhs[i] - (ax[i] + ay[i])).abs() <= 1e-8 * (1.0 + lhs[i].abs()));
+            propcheck::prop_assert!((lhs[i] - (ax[i] + ay[i])).abs() <= 1e-8 * (1.0 + lhs[i].abs()));
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,573 @@
+//! Minimal JSON for a hermetic workspace.
+//!
+//! Replaces the `serde`/`serde_json` pair with a single no-derive crate:
+//! a [`Json`] value type, a strict parser, compact and pretty printers, and
+//! [`ToJson`]/[`FromJson`] traits wired up for concrete types with the
+//! [`json_struct!`] and [`json_enum!`] macros.
+//!
+//! Two properties are load-bearing for the ResTune reproduction:
+//!
+//! * **Determinism** — objects keep insertion order (`Vec<(String, Json)>`,
+//!   not a hash map), so the same data always renders to byte-identical
+//!   text. The golden end-to-end test compares repository JSON by bytes.
+//! * **Float fidelity** — numbers render via Rust's shortest round-trip
+//!   formatting, so `parse(render(x)) == x` for every finite `f64` (knob
+//!   bounds survive exactly). Non-finite numbers are rejected at render
+//!   time: NaN/inf must never silently enter a persisted artifact.
+
+mod parse;
+mod print;
+
+pub use parse::parse;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Errors from parsing, printing, or decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        parse::parse(text)
+    }
+
+    /// Renders compactly (no whitespace). Fails on non-finite numbers.
+    pub fn render(&self) -> Result<String, JsonError> {
+        print::render(self, None)
+    }
+
+    /// Renders with 2-space indentation. Fails on non-finite numbers.
+    pub fn render_pretty(&self) -> Result<String, JsonError> {
+        print::render(self, Some(2))
+    }
+
+    /// The value of `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value of `key`, or a decode error naming the missing field.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type (used in decode errors).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Decodes `Self` from a JSON value.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Renders any [`ToJson`] value compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    value.to_json().render()
+}
+
+/// Renders any [`ToJson`] value with pretty indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    value.to_json().render_pretty()
+}
+
+/// Parses and decodes any [`FromJson`] value.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse::parse(text)?)
+}
+
+fn type_error(expected: &str, got: &Json) -> JsonError {
+    JsonError::new(format!("expected {expected}, got {}", got.type_name()))
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| type_error("bool", v))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| type_error("number", v))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+macro_rules! json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n = v.as_f64().ok_or_else(|| type_error("integer", v))?;
+                if n.fract() != 0.0 || !n.is_finite() {
+                    return Err(JsonError::new(format!("expected integer, got {n}")));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(JsonError::new(format!(
+                        "{n} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string).ok_or_else(|| type_error("string", v))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| type_error("array", v))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items: Vec<T> = Vec::from_json(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| JsonError::new(format!("expected {N}-element array, got {n}")))
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(type_error("2-element array", v)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            _ => Err(type_error("3-element array", v)),
+        }
+    }
+}
+
+// ---- macros ---------------------------------------------------------------
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named public fields,
+/// mapping each field to an identically named JSON object key in declaration
+/// order (order matters for byte-stable output).
+///
+/// ```
+/// struct Point { x: f64, y: f64 }
+/// minjson::json_struct!(Point { x, y });
+/// let p: Point = minjson::from_str(r#"{"x":1.0,"y":2.5}"#).unwrap();
+/// assert_eq!(minjson::to_string(&p).unwrap(), r#"{"x":1,"y":2.5}"#);
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(v.field(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a unit-variant enum, encoding each
+/// variant as its name string (the same representation `serde` used, so
+/// existing artifacts stay readable).
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// enum Kind { Cpu, Memory }
+/// minjson::json_enum!(Kind { Cpu, Memory });
+/// assert_eq!(minjson::from_str::<Kind>(r#""Cpu""#).unwrap(), Kind::Cpu);
+/// ```
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ty { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Str(
+                    match self {
+                        $(Self::$variant => stringify!($variant),)+
+                    }
+                    .to_string(),
+                )
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                let s = v.as_str().ok_or_else(|| {
+                    $crate::JsonError::new(concat!("expected ", stringify!($ty), " variant string"))
+                })?;
+                match s {
+                    $(stringify!($variant) => Ok(Self::$variant),)+
+                    other => Err($crate::JsonError::new(format!(
+                        "unknown {} variant `{other}`",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Sample {
+        name: String,
+        value: f64,
+        count: usize,
+        tags: Vec<String>,
+        maybe: Option<f64>,
+    }
+
+    json_struct!(Sample { name, value, count, tags, maybe });
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+
+    json_enum!(Color { Red, Green });
+
+    fn sample() -> Sample {
+        Sample {
+            name: "knob".to_string(),
+            value: 0.1 + 0.2,
+            count: 42,
+            tags: vec!["a".into(), "b".into()],
+            maybe: None,
+        }
+    }
+
+    #[test]
+    fn struct_roundtrips_compact_and_pretty() {
+        let s = sample();
+        for text in [to_string(&s).unwrap(), to_string_pretty(&s).unwrap()] {
+            let back: Sample = from_str(&text).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn rendering_is_byte_stable() {
+        assert_eq!(to_string(&sample()).unwrap(), to_string(&sample()).unwrap());
+        assert_eq!(
+            to_string_pretty(&sample()).unwrap(),
+            to_string_pretty(&sample()).unwrap()
+        );
+    }
+
+    #[test]
+    fn float_fidelity_shortest_roundtrip() {
+        for v in [
+            0.1,
+            0.30000000000000004,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            1e15 + 1.0,
+            -0.0,
+        ] {
+            let text = Json::Num(v).render().unwrap();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(42.0).render().unwrap(), "42");
+        assert_eq!(Json::Num(-7.0).render().unwrap(), "-7");
+        assert_eq!(to_string(&42usize).unwrap(), "42");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected_at_render() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(Json::Num(v).render().is_err(), "{v} must not render");
+            assert!(Json::Arr(vec![Json::Num(v)]).render_pretty().is_err());
+        }
+    }
+
+    #[test]
+    fn non_finite_tokens_are_rejected_at_parse() {
+        for text in ["NaN", "Infinity", "-Infinity", "[1, NaN]"] {
+            assert!(Json::parse(text).is_err(), "{text} must not parse");
+        }
+    }
+
+    #[test]
+    fn enums_use_variant_name_strings() {
+        assert_eq!(to_string(&Color::Red).unwrap(), r#""Red""#);
+        assert_eq!(from_str::<Color>(r#""Green""#).unwrap(), Color::Green);
+        assert!(from_str::<Color>(r#""Blue""#).is_err());
+        assert!(from_str::<Color>("3").is_err());
+    }
+
+    #[test]
+    fn missing_field_is_a_named_error() {
+        let err = from_str::<Sample>(r#"{"name":"x"}"#).unwrap_err();
+        assert!(err.to_string().contains("value"), "{err}");
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let mut s = sample();
+        s.maybe = Some(1.5);
+        let back: Sample = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back.maybe, Some(1.5));
+        s.maybe = None;
+        let back: Sample = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back.maybe, None);
+    }
+
+    #[test]
+    fn tuples_and_arrays_roundtrip() {
+        let v: Vec<(String, Vec<f64>)> = vec![("curve".into(), vec![1.0, 0.5])];
+        let back: Vec<(String, Vec<f64>)> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+        let a: [f64; 3] = [1.0, 2.0, 3.0];
+        let back: [f64; 3] = from_str(&to_string(&a).unwrap()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for s in ["plain", "with \"quotes\"", "tab\tnewline\n", "unicode \u{1F600} é", "\u{0007}"] {
+            let text = Json::Str(s.to_string()).render().unwrap();
+            assert_eq!(Json::parse(&text).unwrap().as_str().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for text in ["", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "\"unterminated", "{}extra"] {
+            assert!(Json::parse(text).is_err(), "{text:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let obj = Json::Obj(vec![
+            ("z".to_string(), Json::Num(1.0)),
+            ("a".to_string(), Json::Num(2.0)),
+        ]);
+        assert_eq!(obj.render().unwrap(), r#"{"z":1,"a":2}"#);
+    }
+}

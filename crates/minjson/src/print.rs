@@ -1,0 +1,167 @@
+//! Compact and pretty printers.
+//!
+//! Output is deterministic down to the byte: object fields print in stored
+//! (insertion) order, floats use Rust's shortest round-trip formatting, and
+//! integral values drop the fractional part (`42`, not `42.0`). Non-finite
+//! numbers are an error — persisted artifacts must never contain NaN/inf.
+
+use crate::{Json, JsonError};
+
+/// Largest magnitude at which every integral f64 is exactly representable,
+/// so printing it as an integer loses nothing.
+const EXACT_INT_LIMIT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Renders `value`; `indent = Some(n)` pretty-prints with `n`-space levels.
+pub fn render(value: &Json, indent: Option<usize>) -> Result<String, JsonError> {
+    let mut out = String::new();
+    write_value(&mut out, value, indent, 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Json,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), JsonError> {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(v) => write_number(out, *v)?,
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, v: f64) -> Result<(), JsonError> {
+    if !v.is_finite() {
+        return Err(JsonError::new(format!(
+            "cannot serialize non-finite number ({v})"
+        )));
+    }
+    use std::fmt::Write;
+    if v.fract() == 0.0 && v.abs() < EXACT_INT_LIMIT {
+        // -0.0 normalizes through i64 formatting; guard it to keep the sign.
+        if v == 0.0 && v.is_sign_negative() {
+            out.push_str("-0.0");
+        } else {
+            write!(out, "{}", v as i64).expect("write to String");
+        }
+    } else {
+        // Rust's Display for f64 is the shortest string that parses back
+        // to the same bits — exactly the fidelity guarantee we need.
+        write!(out, "{v}").expect("write to String");
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_expected_layout() {
+        let doc = Json::Obj(vec![
+            ("a".to_string(), Json::Num(1.0)),
+            (
+                "b".to_string(),
+                Json::Arr(vec![Json::Num(1.5), Json::Str("x".to_string())]),
+            ),
+            ("c".to_string(), Json::Obj(vec![])),
+        ]);
+        let expected = "{\n  \"a\": 1,\n  \"b\": [\n    1.5,\n    \"x\"\n  ],\n  \"c\": {}\n}";
+        assert_eq!(doc.render_pretty().unwrap(), expected);
+    }
+
+    #[test]
+    fn compact_has_no_whitespace() {
+        let doc = Json::Obj(vec![(
+            "a".to_string(),
+            Json::Arr(vec![Json::Num(1.0), Json::Bool(true)]),
+        )]);
+        assert_eq!(doc.render().unwrap(), r#"{"a":[1,true]}"#);
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let text = Json::Num(-0.0).render().unwrap();
+        let back = crate::parse(&text).unwrap().as_f64().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative(), "{text} -> {back}");
+    }
+
+    #[test]
+    fn control_chars_escape_as_hex() {
+        assert_eq!(
+            Json::Str("\u{0001}".to_string()).render().unwrap(),
+            "\"\\u0001\""
+        );
+    }
+}

@@ -3,8 +3,8 @@
 
 use crate::mlp::{Activation, AdamOptimizer, Mlp};
 use crate::replay::{ReplayBuffer, Transition};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// DDPG hyperparameters.
 #[derive(Debug, Clone)]

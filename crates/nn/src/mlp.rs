@@ -1,11 +1,10 @@
 //! Dense multilayer perceptrons with explicit backpropagation and Adam.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// Activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Hyperbolic tangent.
     Tanh,
@@ -45,7 +44,7 @@ impl Activation {
 }
 
 /// One dense layer: `a = f(W x + b)` with `W` stored row-major (out × in).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Layer {
     w: Vec<f64>,
     b: Vec<f64>,
@@ -86,7 +85,7 @@ pub struct LayerGrads {
 pub type Grads = Vec<LayerGrads>;
 
 /// A dense feed-forward network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Layer>,
 }

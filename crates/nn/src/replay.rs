@@ -1,7 +1,7 @@
 //! Experience replay buffer for off-policy RL.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use xrand::rngs::StdRng;
+use xrand::RngExt;
 
 /// One `(s, a, r, s')` transition. The configuration-tuning "episode" is a
 /// single step (the paper notes the problem is not really an MDP — the
@@ -66,7 +66,7 @@ impl ReplayBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use xrand::SeedableRng;
 
     fn t(r: f64) -> Transition {
         Transition {

@@ -1,0 +1,327 @@
+//! A small, fully deterministic property-test harness.
+//!
+//! Replaces `proptest` for this workspace. A property is a closure over a
+//! [`Gen`] that draws its own inputs and returns `Ok(())` or a failure
+//! message (via [`prop_assert!`]/[`prop_assert_eq!`]). The runner executes a
+//! fixed number of cases, each with a seed derived from the suite seed, and
+//! ramps the `size` hint from small to large so early cases exercise tiny
+//! inputs.
+//!
+//! Shrinking: when a case fails, the runner replays the *same case seed* at
+//! every smaller size (0 upward) and reports the smallest size that still
+//! fails. Because generation is a pure function of `(seed, size)`, the
+//! reported `seed=…, size=…` pair in the panic message is sufficient to
+//! reproduce a failure exactly — there is no persisted corpus and no
+//! environment dependence.
+//!
+//! Panics inside a property (index-out-of-bounds, unwrap on None, explicit
+//! `assert!`) are caught and treated as failures, like proptest did.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
+
+/// Runner configuration: how many cases, from which suite seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    cases: u32,
+    seed: u64,
+    max_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64, seed: 0x5EED_CA5E, max_size: 24 }
+    }
+}
+
+impl Config {
+    /// Sets the suite seed (every test should pin its own).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of cases to run.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the size the ramp tops out at.
+    pub fn max_size(mut self, max_size: usize) -> Self {
+        self.max_size = max_size;
+        self
+    }
+}
+
+/// Input source for one property case: a seeded RNG plus a size hint.
+pub struct Gen {
+    rng: StdRng,
+    size: usize,
+}
+
+impl Gen {
+    /// A generator for one case, fully determined by `(seed, size)`.
+    pub fn new(seed: u64, size: usize) -> Self {
+        Gen { rng: StdRng::seed_from_u64(seed), size }
+    }
+
+    /// The case's size hint (ramped 1..=max_size across cases; shrinking
+    /// replays at smaller values). Use it to scale dimensions.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Direct access to the underlying RNG for `xrand::RngExt` calls.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// A dimension in `1..=max(1, min(size, cap))` — the standard way to
+    /// pick a matrix/vector size that shrinks with the case.
+    pub fn dim(&mut self, cap: usize) -> usize {
+        let hi = self.size.clamp(1, cap.max(1));
+        self.usize_in(1, hi)
+    }
+
+    /// A uniform f64 in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// A uniform usize in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// A uniform i64 in `[lo, hi]` (inclusive).
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// A fair coin flip.
+    pub fn flag(&mut self) -> bool {
+        self.rng.random::<bool>()
+    }
+
+    /// A vector of `n` uniform f64s in `[lo, hi)`.
+    pub fn vec_f64(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.f64_in(lo, hi)).collect()
+    }
+}
+
+/// The outcome type property closures return; `Err` carries the failure
+/// message (normally produced by [`prop_assert!`]).
+pub type PropResult = Result<(), String>;
+
+/// Runs `prop` for `cfg.cases` cases, panicking with a reproducible
+/// `seed=…, size=…` report on the first (shrunk) failure.
+pub fn check<F>(name: &str, cfg: Config, prop: F)
+where
+    F: Fn(&mut Gen) -> PropResult,
+{
+    for case in 0..cfg.cases {
+        let case_seed = case_seed(cfg.seed, case);
+        let size = ramp(case, cfg.cases, cfg.max_size);
+        if let Some(msg) = run_one(&prop, case_seed, size) {
+            let (small, small_msg) = shrink(&prop, case_seed, size, msg);
+            panic!(
+                "property `{name}` failed: {small_msg}\n  reproduce: seed={case_seed:#018x}, size={small} \
+                 (suite seed {:#x}, case {case}/{})",
+                cfg.seed, cfg.cases
+            );
+        }
+    }
+}
+
+/// Derives a per-case seed from the suite seed (splitmix64 step, so
+/// neighbouring cases get well-separated streams).
+fn case_seed(suite_seed: u64, case: u32) -> u64 {
+    let mut z = suite_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Ramps size linearly from 1 up to `max_size` over the case schedule.
+fn ramp(case: u32, cases: u32, max_size: usize) -> usize {
+    if cases <= 1 {
+        return max_size.max(1);
+    }
+    let t = f64::from(case) / f64::from(cases - 1);
+    (1.0 + t * (max_size.saturating_sub(1)) as f64).round() as usize
+}
+
+/// Runs one case, converting both `Err` returns and panics into a message.
+fn run_one<F>(prop: &F, seed: u64, size: usize) -> Option<String>
+where
+    F: Fn(&mut Gen) -> PropResult,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Gen::new(seed, size);
+        prop(&mut g)
+    }));
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(payload) => Some(panic_message(payload)),
+    }
+}
+
+/// Replays the failing case seed at sizes `0..failed_size`, returning the
+/// smallest size that still fails (with its message).
+fn shrink<F>(prop: &F, seed: u64, failed_size: usize, original: String) -> (usize, String)
+where
+    F: Fn(&mut Gen) -> PropResult,
+{
+    for size in 0..failed_size {
+        if let Some(msg) = run_one(prop, seed, size) {
+            return (size, msg);
+        }
+    }
+    (failed_size, original)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Fails the property with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the property unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{:?} == {:?}` ({}:{})",
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("always_holds", Config::default().cases(40), |g| {
+            counter.set(counter.get() + 1);
+            let v = g.vec_f64(g.size().min(8), -1.0, 1.0);
+            prop_assert!(v.iter().all(|x| x.abs() <= 1.0));
+            Ok(())
+        });
+        seen += counter.get();
+        assert_eq!(seen, 40);
+    }
+
+    #[test]
+    fn generation_is_pure_in_seed_and_size() {
+        let draw = |seed, size| {
+            let mut g = Gen::new(seed, size);
+            (g.dim(10), g.vec_f64(4, 0.0, 1.0), g.flag())
+        };
+        assert_eq!(draw(99, 7), draw(99, 7));
+        assert_ne!(draw(99, 7), draw(100, 7));
+    }
+
+    #[test]
+    fn failing_property_panics_with_repro_info() {
+        let result = std::panic::catch_unwind(|| {
+            check("always_fails", Config::default().cases(5), |_g| {
+                prop_assert!(false, "intentional failure");
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().expect("string payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("seed="), "{msg}");
+        assert!(msg.contains("intentional failure"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_reports_smallest_failing_size() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "fails_at_any_size",
+                Config::default().cases(3).max_size(20),
+                |g| {
+                    prop_assert!(g.size() > 100, "size {} too small", g.size());
+                    Ok(())
+                },
+            );
+        });
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().expect("string payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // Smallest failing size is 0 — the shrink loop must find it.
+        assert!(msg.contains("size=0"), "{msg}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_failures() {
+        let result = std::panic::catch_unwind(|| {
+            check("panics", Config::default().cases(2), |_g| {
+                let empty: Vec<u8> = Vec::new();
+                let _ = empty[3];
+                Ok(())
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn dim_respects_cap_and_size() {
+        for seed in 0..50u64 {
+            let mut g = Gen::new(seed, 6);
+            let d = g.dim(4);
+            assert!((1..=4).contains(&d), "dim {d}");
+        }
+        let mut g = Gen::new(1, 0);
+        assert_eq!(g.dim(10), 1, "size 0 clamps to 1");
+    }
+}

@@ -6,11 +6,10 @@ use crate::sql::{generate_queries, SqlQuery};
 use crate::tfidf::TfIdfVectorizer;
 use crate::tokenizer::extract_reserved_words;
 use dbsim::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 
 /// A workload meta-feature: the averaged class-probability distribution of
 /// its queries' resource-cost classes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadEmbedding {
     /// Probability mass per resource-cost class (sums to 1).
     pub probs: Vec<f64>,
@@ -40,7 +39,7 @@ impl WorkloadEmbedding {
 /// Training labels are log-scaled, discretized query costs — the paper
 /// applies a logarithmic transformation because raw costs are highly skewed
 /// and then discretizes for classification.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadCharacterizer {
     vectorizer: TfIdfVectorizer,
     forest: RandomForest,
@@ -55,6 +54,12 @@ pub const N_COST_CLASSES: usize = 5;
 const QUERIES_PER_WORKLOAD: usize = 400;
 
 impl WorkloadCharacterizer {
+    /// Log-cost bin edges used to discretize query costs (length =
+    /// [`N_COST_CLASSES`] − 1).
+    pub fn bin_edges(&self) -> &[f64] {
+        &self.bin_edges
+    }
+
     /// Trains the pipeline on a corpus of labelled queries.
     pub fn train_on(queries: &[SqlQuery], n_trees: usize, seed: u64) -> Self {
         assert!(!queries.is_empty());

@@ -4,12 +4,11 @@
 //! (log-scaled, discretized) resource-cost classes; the averaged predicted
 //! class distribution over a workload's queries is its meta-feature (§6.2).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// A node of a binary CART tree, stored in a flat arena.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     /// Internal split: `x[feature] <= threshold` goes left.
     Split { feature: usize, threshold: f64, left: usize, right: usize },
@@ -18,14 +17,14 @@ enum Node {
 }
 
 /// A single CART classification tree (Gini impurity).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     n_classes: usize,
 }
 
 /// Tree-growing parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TreeConfig {
     /// Maximum tree depth.
     pub max_depth: usize,
@@ -189,7 +188,7 @@ impl DecisionTree {
 }
 
 /// A bagging random forest of CART trees with feature subsampling.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     n_classes: usize,

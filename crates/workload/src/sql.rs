@@ -9,8 +9,8 @@
 //! measurably different keyword distributions.
 
 use dbsim::{WorkloadKind, WorkloadSpec};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xrand::rngs::StdRng;
+use xrand::{RngExt, SeedableRng};
 
 /// A generated SQL query with a ground-truth resource-cost hint.
 #[derive(Debug, Clone, PartialEq)]

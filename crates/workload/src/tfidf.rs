@@ -1,14 +1,13 @@
 //! TF-IDF vectorization over the reserved-word vocabulary.
 
 use crate::tokenizer::{reserved_word_index, RESERVED_WORDS};
-use serde::{Deserialize, Serialize};
 
 /// A fitted TF-IDF vectorizer over [`RESERVED_WORDS`].
 ///
 /// The vocabulary is fixed and small, so vectors are dense. IDF uses the
 /// smoothed formulation `ln((1 + N) / (1 + df)) + 1`, which never zeroes a
 /// term out entirely.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TfIdfVectorizer {
     idf: Vec<f64>,
     n_documents: usize,

@@ -1,0 +1,60 @@
+//! Non-uniform distributions: Box–Muller Gaussian sampling.
+//!
+//! The GP stack needs standard-normal draws for posterior sampling and
+//! hyperparameter restart perturbations; keeping the transform here (rather
+//! than in each consumer) pins one shared, seeded definition.
+
+use crate::{Rng, RngExt};
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills a vector with `n` standard-normal samples.
+pub fn standard_normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// Draws from `N(mean, std^2)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples = standard_normal_vec(&mut rng, n);
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

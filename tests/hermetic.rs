@@ -1,0 +1,113 @@
+//! Guards the hermetic-workspace invariant: every dependency of every crate
+//! in this repository must resolve inside the repository. No crates.io
+//! versions, no git dependencies, no registry access — `cargo build --offline`
+//! on a machine with an empty cargo cache must work.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects every Cargo.toml under `root`, skipping build output
+/// and VCS metadata.
+fn find_manifests(root: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(root).expect("readable dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            find_manifests(&path, out);
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// True for section headers whose entries are dependency specs.
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim_matches(|c| c == '[' || c == ']');
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.starts_with("target.") && h.ends_with("dependencies")
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = Vec::new();
+    find_manifests(root, &mut manifests);
+    assert!(manifests.len() >= 9, "expected the workspace manifests, found {}", manifests.len());
+
+    let mut violations = Vec::new();
+    for manifest in &manifests {
+        let text = fs::read_to_string(manifest).expect("readable manifest");
+        let mut in_deps = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.starts_with('[') {
+                in_deps = is_dependency_section(line);
+                continue;
+            }
+            if !in_deps || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let ok = line.contains("path =")
+                || line.contains("path=")
+                || line.contains("workspace = true")
+                || line.contains("workspace=true");
+            let suspicious = !ok
+                || line.contains("git =")
+                || line.contains("registry =")
+                || line.contains("version =");
+            if suspicious {
+                violations.push(format!("{}:{}: {}", manifest.display(), lineno + 1, line));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies found (the workspace must build with --offline):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn no_source_file_references_removed_registry_crates() {
+    // The replaced crates must not creep back into source imports. Patterns
+    // are assembled at runtime so this file does not match itself.
+    let banned: Vec<String> =
+        ["rand", "rand_distr", "serde", "serde_json", "proptest", "criterion", "crossbeam"]
+            .iter()
+            .map(|name| format!("use {name}::"))
+            .collect();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offenders = Vec::new();
+    visit_rs(root, &mut |path, text| {
+        for pat in &banned {
+            if text.contains(pat.as_str()) {
+                offenders.push(format!("{}: {}", path.display(), pat));
+            }
+        }
+    });
+    assert!(offenders.is_empty(), "registry-crate imports found:\n{}", offenders.join("\n"));
+}
+
+fn visit_rs(dir: &Path, f: &mut impl FnMut(&Path, &str)) {
+    for entry in fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy().to_string();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            visit_rs(&path, f);
+        } else if name.ends_with(".rs") {
+            let text = fs::read_to_string(&path).expect("readable source");
+            f(&path, &text);
+        }
+    }
+}
