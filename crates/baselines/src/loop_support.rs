@@ -103,6 +103,8 @@ impl EvalLoop {
             timing: IterationTiming {
                 meta_data_processing_s: 0.0,
                 model_update_s,
+                gp_fit_s: 0.0,
+                weight_update_s: 0.0,
                 recommendation_s,
                 replay_s: observation.replay_seconds,
             },

@@ -1,0 +1,66 @@
+//! Phase-level drill-down of one tuning step on the serial vs the
+//! parallel/batched path: prints the `IterationTiming` breakdown (including
+//! the new `gp_fit_s`/`weight_update_s` subcomponents) for a warmed
+//! meta-boosted session at the same seed on both paths.
+
+use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune_core::acquisition::AcquisitionOptimizer;
+use restune_core::problem::ResourceKind;
+use restune_core::repository::{DataRepository, TaskRecord};
+use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningSession};
+use workload::WorkloadCharacterizer;
+
+fn main() {
+    let characterizer = WorkloadCharacterizer::train_default(2);
+    let mut repo = DataRepository::new();
+    for (i, spec) in WorkloadSpec::twitter_variations().into_iter().take(3).enumerate() {
+        for instance in [InstanceType::A, InstanceType::B] {
+            let mut dbms = SimulatedDbms::new(instance, spec.clone(), 30 + i as u64);
+            repo.add(TaskRecord::collect(
+                &mut dbms,
+                &KnobSet::cpu(),
+                ResourceKind::Cpu,
+                &characterizer,
+                50,
+                40 + i as u64,
+            ));
+        }
+    }
+    let learners = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
+    let mf = characterizer.embed_workload(&WorkloadSpec::twitter(), 1).probs;
+
+    println!("{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "path", "meta(ms)", "model(ms)", "gpfit(ms)", "weights(ms)", "recommend(ms)");
+    for (name, parallel) in [("serial", false), ("parallel", true)] {
+        let mut config = RestuneConfig {
+            optimizer: AcquisitionOptimizer { n_candidates: 600, n_local: 120, local_sigma: 0.08 },
+            gp: gp::GpConfig { restarts: 1, adam_iters: 25, ..Default::default() },
+            dynamic_samples: 16,
+            seed: 3,
+            ..Default::default()
+        };
+        config.parallel = parallel;
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::cpu())
+            .seed(3)
+            .build();
+        let mut s = TuningSession::with_base_learners(env, config, learners.clone(), mf.clone());
+        for _ in 0..13 {
+            s.step();
+        }
+        let r = s.step();
+        let t = r.timing;
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            name,
+            t.meta_data_processing_s * 1e3,
+            t.model_update_s * 1e3,
+            t.gp_fit_s * 1e3,
+            t.weight_update_s * 1e3,
+            t.recommendation_s * 1e3,
+        );
+    }
+}

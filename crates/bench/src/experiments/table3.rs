@@ -22,6 +22,11 @@ pub struct MethodBreakdown {
     pub meta_data_processing_s: f64,
     /// Model update.
     pub model_update_s: f64,
+    /// GP fitting share of the model update (ResTune sessions; 0 for
+    /// baselines that patch timings in externally).
+    pub gp_fit_s: f64,
+    /// Weight-learning share of the model update.
+    pub weight_update_s: f64,
     /// Knob recommendation.
     pub recommendation_s: f64,
     /// Simulated replay.
@@ -59,6 +64,8 @@ pub fn run(ctx: &ExperimentContext, iterations: usize) -> Table3Result {
         };
         let meta = mean(|t| t.meta_data_processing_s);
         let model = mean(|t| t.model_update_s);
+        let gp_fit = mean(|t| t.gp_fit_s);
+        let weight = mean(|t| t.weight_update_s);
         let rec = mean(|t| t.recommendation_s);
         let replay = mean(|t| t.replay_s);
         let total = meta + model + rec + replay;
@@ -66,6 +73,8 @@ pub fn run(ctx: &ExperimentContext, iterations: usize) -> Table3Result {
             method: method.name().to_string(),
             meta_data_processing_s: meta,
             model_update_s: model,
+            gp_fit_s: gp_fit,
+            weight_update_s: weight,
             recommendation_s: rec,
             replay_s: replay,
             replay_share: replay / total,
@@ -77,12 +86,14 @@ pub fn run(ctx: &ExperimentContext, iterations: usize) -> Table3Result {
 /// Prints the table in the paper's row order.
 pub fn render(r: &Table3Result) {
     report::header("Table 3 — Execution time breakdown per iteration (SYSBENCH)");
-    let widths = [24usize, 12, 12, 12, 12, 9];
+    let widths = [24usize, 12, 12, 10, 10, 12, 12, 9];
     report::row(
         &[
             "Method".into(),
             "MetaData(s)".into(),
             "Model(s)".into(),
+            "GpFit(s)".into(),
+            "Weights(s)".into(),
             "Recommend(s)".into(),
             "Replay(s)".into(),
             "Replay%".into(),
@@ -95,6 +106,8 @@ pub fn render(r: &Table3Result) {
                 row.method.clone(),
                 format!("{:.3}", row.meta_data_processing_s),
                 format!("{:.3}", row.model_update_s),
+                format!("{:.3}", row.gp_fit_s),
+                format!("{:.3}", row.weight_update_s),
                 format!("{:.3}", row.recommendation_s),
                 format!("{:.1}", row.replay_s),
                 format!("{:.1}%", row.replay_share * 100.0),
@@ -109,6 +122,8 @@ minjson::json_struct!(MethodBreakdown {
     method,
     meta_data_processing_s,
     model_update_s,
+    gp_fit_s,
+    weight_update_s,
     recommendation_s,
     replay_s,
     replay_share,

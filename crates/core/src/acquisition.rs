@@ -102,6 +102,49 @@ impl Default for AcquisitionOptimizer {
 }
 
 impl AcquisitionOptimizer {
+    /// Draws the full candidate set from the seeded RNG: `n_candidates`
+    /// uniform points over `[0,1]^d`, then `n_local` Gaussian perturbations
+    /// cycling through `anchors`. Generation is serial and consumes the RNG
+    /// stream in a fixed order, so scoring — which never touches the RNG —
+    /// can be batched or parallelized freely without moving the proposal.
+    fn generate_candidates(&self, dim: usize, anchors: &[Vec<f64>], seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_local = if anchors.is_empty() { 0 } else { self.n_local };
+        let mut candidates = Vec::with_capacity(self.n_candidates + n_local);
+        for _ in 0..self.n_candidates {
+            candidates.push((0..dim).map(|_| rng.random::<f64>()).collect());
+        }
+        for i in 0..n_local {
+            let anchor = &anchors[i % anchors.len()];
+            candidates.push(
+                anchor
+                    .iter()
+                    .map(|v| {
+                        let z = gp::rand_util::standard_normal(&mut rng);
+                        (v + self.local_sigma * z).clamp(0.0, 1.0)
+                    })
+                    .collect(),
+            );
+        }
+        candidates
+    }
+
+    /// Argmax over scored candidates with first-index tie-breaking (a strict
+    /// `>` scan), matching the incremental best-tracking the serial path
+    /// always used.
+    fn select(mut candidates: Vec<Vec<f64>>, scores: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(candidates.len(), scores.len());
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        candidates.swap_remove(best)
+    }
+
     /// Maximizes `score` over `[0,1]^d` via random search plus local
     /// refinement around `anchors` (typically the incumbent best points).
     pub fn optimize(
@@ -111,38 +154,45 @@ impl AcquisitionOptimizer {
         seed: u64,
         mut score: impl FnMut(&[f64]) -> f64,
     ) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut best_point: Option<Vec<f64>> = None;
-        let mut best_score = f64::NEG_INFINITY;
-        let consider = |point: Vec<f64>, score_fn: &mut dyn FnMut(&[f64]) -> f64,
-                            best_point: &mut Option<Vec<f64>>, best_score: &mut f64| {
-            let s = score_fn(&point);
-            if s > *best_score {
-                *best_score = s;
-                *best_point = Some(point);
-            }
-        };
-        for _ in 0..self.n_candidates {
-            let point: Vec<f64> = (0..dim).map(|_| rng.random::<f64>()).collect();
-            consider(point, &mut score, &mut best_point, &mut best_score);
-        }
-        if !anchors.is_empty() {
-            for i in 0..self.n_local {
-                let anchor = &anchors[i % anchors.len()];
-                let point: Vec<f64> = anchor
-                    .iter()
-                    .map(|v| {
-                        let u1: f64 = 1.0 - rng.random::<f64>();
-                        let u2: f64 = rng.random::<f64>();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
-                        (v + self.local_sigma * z).clamp(0.0, 1.0)
-                    })
+        let candidates = self.generate_candidates(dim, anchors, seed);
+        let scores: Vec<f64> = candidates.iter().map(|p| score(p)).collect();
+        Self::select(candidates, &scores)
+    }
+
+    /// [`AcquisitionOptimizer::optimize`] over a *batched* scorer: the
+    /// candidate set is pre-generated serially (same RNG stream as
+    /// `optimize`), then scored in chunks — on scoped threads when
+    /// `parallel` — and the argmax is chosen with index tie-breaking.
+    /// Returns the same point as `optimize` for any scorer where
+    /// `score_batch(pts)[i] == score(&pts[i])`.
+    pub fn optimize_batch(
+        &self,
+        dim: usize,
+        anchors: &[Vec<f64>],
+        seed: u64,
+        parallel: bool,
+        score_batch: impl Fn(&[Vec<f64>]) -> Vec<f64> + Sync,
+    ) -> Vec<f64> {
+        let candidates = self.generate_candidates(dim, anchors, seed);
+        let scores: Vec<f64> = if parallel {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let chunk = candidates.len().div_ceil(threads).max(1);
+            let score_batch = &score_batch;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|c| scope.spawn(move || score_batch(c)))
                     .collect();
-                consider(point, &mut score, &mut best_point, &mut best_score);
-            }
-        }
-        best_point.expect("n_candidates > 0")
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scoring thread panicked"))
+                    .collect()
+            })
+        } else {
+            score_batch(&candidates)
+        };
+        assert_eq!(scores.len(), candidates.len(), "scorer must return one score per candidate");
+        Self::select(candidates, &scores)
     }
 }
 
@@ -257,5 +307,40 @@ mod tests {
         });
         let d = ((best[0] - 0.91).powi(2) + (best[1] - 0.12).powi(2)).sqrt();
         assert!(d < 0.05, "local refinement missed the peak: {best:?}");
+    }
+
+    #[test]
+    fn batched_optimize_matches_serial_optimize_bitwise() {
+        let opt = AcquisitionOptimizer { n_candidates: 250, n_local: 90, local_sigma: 0.05 };
+        let score = |p: &[f64]| {
+            -((p[0] - 0.42) * (p[0] - 0.42)) - (p[1] - 0.77).abs() + (p[2] * 3.0).sin()
+        };
+        let anchors = vec![vec![0.4, 0.8, 0.5], vec![0.1, 0.1, 0.9]];
+        for seed in [0, 3, 19] {
+            let serial = opt.optimize(3, &anchors, seed, score);
+            for parallel in [false, true] {
+                let batched = opt.optimize_batch(3, &anchors, seed, parallel, |pts| {
+                    pts.iter().map(|p| score(p)).collect()
+                });
+                assert_eq!(
+                    serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "seed {seed} parallel {parallel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tied_scores_pick_the_first_candidate() {
+        // Index tie-breaking is part of the determinism contract: a constant
+        // score must select the very first generated candidate on every path.
+        let opt = AcquisitionOptimizer { n_candidates: 40, n_local: 20, local_sigma: 0.1 };
+        let anchors = vec![vec![0.5, 0.5]];
+        let first = opt.generate_candidates(2, &anchors, 8)[0].clone();
+        let serial = opt.optimize(2, &anchors, 8, |_| 1.0);
+        let batched = opt.optimize_batch(2, &anchors, 8, true, |pts| vec![1.0; pts.len()]);
+        assert_eq!(serial, first);
+        assert_eq!(batched, first);
     }
 }

@@ -19,9 +19,9 @@
 //!   alone, because only target observations should shrink uncertainty.
 
 use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
-use gp::{GaussianProcess, Prediction};
+use gp::{GaussianProcess, GpError, Prediction};
 use xrand::rngs::StdRng;
-use xrand::{Rng, SeedableRng};
+use xrand::{Rng, SeedableRng, SplitMix64};
 
 /// A historical task's frozen surrogate plus its meta-feature.
 #[derive(Debug, Clone)]
@@ -153,22 +153,50 @@ fn posterior_draws(
 /// Independent draws from leave-one-out predictive distributions (used for
 /// the target learner so its loss is out-of-sample, §6.4.2). Only training
 /// indices `start..` are drawn, matching the (possibly truncated) ranking
-/// window.
+/// window at `points`.
 fn loo_draws(
     gp: &GaussianProcess,
+    points: &[Vec<f64>],
     start: usize,
     n_samples: usize,
     rng: &mut impl Rng,
 ) -> Vec<Vec<f64>> {
-    let loo = gp.loo_predictions().unwrap_or_default();
-    let tail = &loo[start.min(loo.len())..];
-    (0..n_samples)
-        .map(|_| {
-            tail.iter()
-                .map(|p| p.mean + p.std_dev() * gp::rand_util::standard_normal(rng))
+    draws_from_loo(gp.loo_predictions(), gp, points, start, n_samples, rng)
+}
+
+/// Testable core of [`loo_draws`]. When the leave-one-out computation fails
+/// (or yields fewer entries than the ranking window), falls back to
+/// *length-preserving* draws — the in-sample posterior means at `points`,
+/// mirroring [`posterior_draws`]' degenerate-covariance fallback — rather
+/// than empty vectors. Zero-length target draws would score zero ranking
+/// loss on every sample, silently absorbing all ensemble weight and
+/// disabling transfer (and tripping the `ranking_loss` debug assertion in
+/// debug builds).
+fn draws_from_loo(
+    loo: Result<Vec<Prediction>, GpError>,
+    gp: &GaussianProcess,
+    points: &[Vec<f64>],
+    start: usize,
+    n_samples: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<f64>> {
+    match loo {
+        Ok(loo) if loo.len() >= start + points.len() => {
+            let tail = &loo[start..start + points.len()];
+            (0..n_samples)
+                .map(|_| {
+                    tail.iter()
+                        .map(|p| p.mean + p.std_dev() * gp::rand_util::standard_normal(rng))
+                        .collect()
+                })
                 .collect()
-        })
-        .collect()
+        }
+        _ => {
+            let means: Vec<f64> =
+                points.iter().map(|p| gp.predict(p).map(|q| q.mean).unwrap_or(0.0)).collect();
+            vec![means; n_samples]
+        }
+    }
 }
 
 /// Dynamic weights: the probability that each learner (historical learners
@@ -182,11 +210,14 @@ pub fn dynamic_weights(
     max_points: usize,
     seed: u64,
 ) -> Vec<f64> {
-    dynamic_weights_with_options(base, target, obs, samples, max_points, true, seed)
+    dynamic_weights_with_options(base, target, obs, samples, max_points, true, true, seed)
 }
 
 /// [`dynamic_weights`] with the RGPE weight-dilution guard switchable (the
-/// ablation harness runs both arms).
+/// ablation harness runs both arms) and the per-learner draw fan-out
+/// switchable (`parallel`). Each (learner, metric) pair draws from its own
+/// RNG stream seeded via splitmix64, so the weights are bit-identical
+/// whether the draws run on scoped threads or serially.
 pub fn dynamic_weights_with_options(
     base: &[BaseLearner],
     target: &GpTaskModel,
@@ -194,6 +225,7 @@ pub fn dynamic_weights_with_options(
     samples: usize,
     max_points: usize,
     dilution_guard: bool,
+    parallel: bool,
     seed: u64,
 ) -> Vec<f64> {
     let n_all = obs.points.len();
@@ -203,10 +235,11 @@ pub fn dynamic_weights_with_options(
     let actual: [&[f64]; 3] =
         [&obs.res[start..], &obs.tps[start..], &obs.lat[start..]];
 
-    let mut rng = StdRng::seed_from_u64(seed);
     let t = base.len();
-    if take < 3 {
-        // Too few observations to rank: everything on the target.
+    if take < 3 || samples == 0 {
+        // Too few observations to rank — or no samples to estimate
+        // `P(lowest loss)` with, which would otherwise divide by zero and
+        // hand `MetaLearner::new` all-NaN weights. Everything on the target.
         let mut w = vec![0.0; t + 1];
         w[t] = 1.0;
         return w;
@@ -214,19 +247,30 @@ pub fn dynamic_weights_with_options(
 
     // Pre-draw posterior samples per learner per metric.
     // draws[learner][metric][sample] -> predictions at `points`.
-    let mut draws: Vec<[Vec<Vec<f64>>; 3]> = Vec::with_capacity(t + 1);
-    for b in base {
-        draws.push([
-            posterior_draws(&b.model.res, points, samples, &mut rng),
-            posterior_draws(&b.model.tps, points, samples, &mut rng),
-            posterior_draws(&b.model.lat, points, samples, &mut rng),
-        ]);
-    }
-    draws.push([
-        loo_draws(&target.res, start, samples, &mut rng),
-        loo_draws(&target.tps, start, samples, &mut rng),
-        loo_draws(&target.lat, start, samples, &mut rng),
-    ]);
+    let mut seeder = SplitMix64::new(seed);
+    let stream_seeds: Vec<u64> = (0..(t + 1) * 3).map(|_| seeder.next_u64()).collect();
+    let draw_learner = |li: usize| -> [Vec<Vec<f64>>; 3] {
+        let model = if li == t { target } else { &base[li].model };
+        let metric = |m: usize, gp: &GaussianProcess| -> Vec<Vec<f64>> {
+            let mut rng = StdRng::seed_from_u64(stream_seeds[li * 3 + m]);
+            if li == t {
+                loo_draws(gp, points, start, samples, &mut rng)
+            } else {
+                posterior_draws(gp, points, samples, &mut rng)
+            }
+        };
+        [metric(0, &model.res), metric(1, &model.tps), metric(2, &model.lat)]
+    };
+    let draws: Vec<[Vec<Vec<f64>>; 3]> = if parallel {
+        let draw_learner = &draw_learner;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..=t).map(|li| scope.spawn(move || draw_learner(li))).collect();
+            handles.into_iter().map(|h| h.join().expect("draw thread panicked")).collect()
+        })
+    } else {
+        (0..=t).map(draw_learner).collect()
+    };
 
     // Per-learner per-sample summed losses.
     let mut losses = vec![vec![0usize; samples]; t + 1];
@@ -347,6 +391,40 @@ impl MetaLearner {
         // Eq. 7: variance from the target learner only.
         Prediction { mean, variance: target_pred.variance }
     }
+
+    /// Batched [`MetaLearner::ensemble`]: one batched GP predict per learner
+    /// instead of one triangular-solve per (learner, point). The per-point
+    /// arithmetic (accumulation order, single division by the weight sum) is
+    /// preserved exactly, so each output matches `ensemble` bit-for-bit.
+    fn ensemble_batch(
+        &self,
+        extract: impl Fn(&GpTaskModel, &[Vec<f64>]) -> Vec<Prediction>,
+        points: &[Vec<f64>],
+    ) -> Vec<Prediction> {
+        let wsum: f64 = self.weights.iter().sum();
+        let target_preds = extract(&self.target, points);
+        if wsum <= 1e-12 {
+            return target_preds;
+        }
+        let mut means = vec![0.0; points.len()];
+        for (b, w) in self.base.iter().zip(&self.weights) {
+            if *w > 0.0 {
+                for (acc, p) in means.iter_mut().zip(extract(&b.model, points)) {
+                    *acc += w * p.mean;
+                }
+            }
+        }
+        let target_weight = self.weights[self.base.len()];
+        means
+            .into_iter()
+            .zip(&target_preds)
+            .map(|(mut mean, tp)| {
+                mean += target_weight * tp.mean;
+                mean /= wsum;
+                Prediction { mean, variance: tp.variance }
+            })
+            .collect()
+    }
 }
 
 impl TaskSurrogate for MetaLearner {
@@ -356,6 +434,17 @@ impl TaskSurrogate for MetaLearner {
             tps: self.ensemble(|m, p| m.tps.predict(p).expect("dim"), point),
             lat: self.ensemble(|m, p| m.lat.predict(p).expect("dim"), point),
         }
+    }
+
+    fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<SurrogatePrediction> {
+        let res = self.ensemble_batch(|m, p| m.res.predict_batch(p).expect("dim"), points);
+        let tps = self.ensemble_batch(|m, p| m.tps.predict_batch(p).expect("dim"), points);
+        let lat = self.ensemble_batch(|m, p| m.lat.predict_batch(p).expect("dim"), points);
+        res.into_iter()
+            .zip(tps)
+            .zip(lat)
+            .map(|((res, tps), lat)| SurrogatePrediction { res, tps, lat })
+            .collect()
     }
 }
 
@@ -503,5 +592,92 @@ mod tests {
         let direct = target.res.predict(&[0.6]).unwrap();
         let meta = MetaLearner::target_only(target);
         assert_eq!(meta.predict(&[0.6]).res, direct);
+    }
+
+    #[test]
+    fn loo_failure_falls_back_to_length_preserving_draws() {
+        // Regression for the silent-transfer-kill bug: a failed
+        // `loo_predictions()` used to produce *empty* draw vectors, which
+        // score zero ranking loss against any actuals — the target learner
+        // then "wins" every sample and absorbs all ensemble weight.
+        let target = model_from(|x| x);
+        let points: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 / 5.0]).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let draws = super::draws_from_loo(
+            Err(GpError::Factorization("forced failure".into())),
+            &target.res,
+            &points,
+            0,
+            5,
+            &mut rng,
+        );
+        assert_eq!(draws.len(), 5);
+        for d in &draws {
+            assert_eq!(d.len(), points.len(), "draws must preserve window length");
+            assert!(d.iter().all(|v| v.is_finite()));
+        }
+        // The fallback draws follow the fitted (increasing) signal, so they
+        // incur real ranking loss against anti-correlated actuals — the
+        // target can no longer score a free zero.
+        let anti: Vec<f64> = points.iter().map(|p| 1.0 - p[0]).collect();
+        assert!(ranking_loss(&draws[0], &anti) > 0, "fallback draws must not be free wins");
+    }
+
+    #[test]
+    fn zero_samples_yield_target_only_weights_not_nan() {
+        let base = vec![learner("a", vec![0.5], |x| x)];
+        let points: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let vals: Vec<f64> = points.iter().map(|p| p[0]).collect();
+        let target =
+            GpTaskModel::fit(&points, &vals, &vals, &vals, &GpConfig::fixed()).unwrap();
+        let obs = TargetObservations { points: &points, res: &vals, tps: &vals, lat: &vals };
+        let w = dynamic_weights(&base, &target, &obs, 0, 50, 3);
+        assert_eq!(w, vec![0.0, 1.0]);
+        assert!(w.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn parallel_and_serial_dynamic_weights_agree_bitwise() {
+        let base = vec![
+            learner("match", vec![0.5], |x| x),
+            learner("anti", vec![0.5], |x| 1.0 - x),
+        ];
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let res_raw: Vec<f64> = points.iter().map(|p| 40.0 + 30.0 * p[0]).collect();
+        let tps_raw: Vec<f64> = points.iter().map(|p| 200.0 - 20.0 * p[0]).collect();
+        let lat_raw: Vec<f64> = points.iter().map(|p| 10.0 + 2.0 * p[0]).collect();
+        let target =
+            GpTaskModel::fit(&points, &res_raw, &tps_raw, &lat_raw, &GpConfig::fixed()).unwrap();
+        let res_std = target.scalers.res.transform_all(&res_raw);
+        let tps_std = target.scalers.tps.transform_all(&tps_raw);
+        let lat_std = target.scalers.lat.transform_all(&lat_raw);
+        let obs = TargetObservations {
+            points: &points,
+            res: &res_std,
+            tps: &tps_std,
+            lat: &lat_std,
+        };
+        let par = dynamic_weights_with_options(&base, &target, &obs, 25, 50, true, true, 11);
+        let ser = dynamic_weights_with_options(&base, &target, &obs, 25, 50, true, false, 11);
+        assert_eq!(par.len(), ser.len());
+        for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.to_bits(), b.to_bits(), "parallel {par:?} vs serial {ser:?}");
+        }
+    }
+
+    #[test]
+    fn meta_predict_batch_matches_per_point_bitwise() {
+        let base = vec![learner("a", vec![0.5], |x| x), learner("b", vec![0.5], |x| 1.0 - x)];
+        let target = model_from(|x| 0.5 * x);
+        let meta = MetaLearner::new(base, target, vec![0.6, 0.0, 1.4]);
+        let pts: Vec<Vec<f64>> = (0..17).map(|i| vec![i as f64 / 16.0]).collect();
+        let batch = meta.predict_batch(&pts);
+        for (p, b) in pts.iter().zip(&batch) {
+            let single = meta.predict(p);
+            assert_eq!(single.res.mean.to_bits(), b.res.mean.to_bits());
+            assert_eq!(single.tps.mean.to_bits(), b.tps.mean.to_bits());
+            assert_eq!(single.lat.mean.to_bits(), b.lat.mean.to_bits());
+            assert_eq!(single.res.variance.to_bits(), b.res.variance.to_bits());
+        }
     }
 }

@@ -22,6 +22,14 @@ pub struct SurrogatePrediction {
 pub trait TaskSurrogate {
     /// Predicts the three outputs (standardized scale).
     fn predict(&self, point: &[f64]) -> SurrogatePrediction;
+
+    /// Predicts a whole batch of points. Implementations must return exactly
+    /// the same bits as mapping [`TaskSurrogate::predict`] over `points`;
+    /// the default does precisely that, while model-backed implementations
+    /// override it with one blocked solve per metric GP.
+    fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<SurrogatePrediction> {
+        points.iter().map(|p| self.predict(p)).collect()
+    }
 }
 
 /// A single task's surrogate: three GPs on standardized outputs.
@@ -48,11 +56,45 @@ impl GpTaskModel {
         config: &GpConfig,
     ) -> Result<Self, GpError> {
         let scalers = TaskScalers::fit(res_raw, tps_raw, lat_raw);
+        Self::fit_with_scalers(points, res_raw, tps_raw, lat_raw, scalers, config, false)
+    }
+
+    /// [`GpTaskModel::fit`] with externally fitted scalers (so callers that
+    /// already standardized — e.g. for ranking-loss bookkeeping — don't pay
+    /// for a second pass) and an opt-in parallel mode that fits the three
+    /// metric GPs on scoped threads. Each GP's fit is self-contained and
+    /// seeded by `config`, so the parallel and serial paths produce
+    /// bit-identical models.
+    pub fn fit_with_scalers(
+        points: &[Vec<f64>],
+        res_raw: &[f64],
+        tps_raw: &[f64],
+        lat_raw: &[f64],
+        scalers: TaskScalers,
+        config: &GpConfig,
+        parallel: bool,
+    ) -> Result<Self, GpError> {
         let pts = points.to_vec();
-        let res = GaussianProcess::fit(pts.clone(), scalers.res.transform_all(res_raw), config)?;
-        let tps = GaussianProcess::fit(pts.clone(), scalers.tps.transform_all(tps_raw), config)?;
-        let lat = GaussianProcess::fit(pts, scalers.lat.transform_all(lat_raw), config)?;
-        Ok(GpTaskModel { res, tps, lat, scalers })
+        let res_std = scalers.res.transform_all(res_raw);
+        let tps_std = scalers.tps.transform_all(tps_raw);
+        let lat_std = scalers.lat.transform_all(lat_raw);
+        let (res, tps, lat) = if parallel {
+            let pts_tps = pts.clone();
+            let pts_lat = pts.clone();
+            std::thread::scope(|scope| {
+                let tps_h = scope.spawn(|| GaussianProcess::fit(pts_tps, tps_std, config));
+                let lat_h = scope.spawn(|| GaussianProcess::fit(pts_lat, lat_std, config));
+                let res = GaussianProcess::fit(pts, res_std, config);
+                (res, tps_h.join().expect("tps fit panicked"), lat_h.join().expect("lat fit panicked"))
+            })
+        } else {
+            (
+                GaussianProcess::fit(pts.clone(), res_std, config),
+                GaussianProcess::fit(pts.clone(), tps_std, config),
+                GaussianProcess::fit(pts, lat_std, config),
+            )
+        };
+        Ok(GpTaskModel { res: res?, tps: tps?, lat: lat?, scalers })
     }
 
     /// Number of observations the model was fitted on.
@@ -68,6 +110,17 @@ impl TaskSurrogate for GpTaskModel {
             tps: self.tps.predict(point).expect("dimension checked at fit"),
             lat: self.lat.predict(point).expect("dimension checked at fit"),
         }
+    }
+
+    fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<SurrogatePrediction> {
+        let res = self.res.predict_batch(points).expect("dimension checked at fit");
+        let tps = self.tps.predict_batch(points).expect("dimension checked at fit");
+        let lat = self.lat.predict_batch(points).expect("dimension checked at fit");
+        res.into_iter()
+            .zip(tps)
+            .zip(lat)
+            .map(|((res, tps), lat)| SurrogatePrediction { res, tps, lat })
+            .collect()
     }
 }
 
@@ -106,5 +159,44 @@ mod tests {
     #[test]
     fn n_reports_observation_count() {
         assert_eq!(toy_model().n(), 10);
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial_fit_bitwise() {
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let res: Vec<f64> = points.iter().map(|p| 80.0 * p[0] + 10.0).collect();
+        let tps: Vec<f64> = points.iter().map(|p| 100.0 - 50.0 * p[0]).collect();
+        let lat: Vec<f64> = points.iter().map(|p| 10.0 + 5.0 * p[0]).collect();
+        let cfg = GpConfig { restarts: 2, adam_iters: 20, seed: 5, ..Default::default() };
+        let scalers = TaskScalers::fit(&res, &tps, &lat);
+        let serial =
+            GpTaskModel::fit_with_scalers(&points, &res, &tps, &lat, scalers, &cfg, false).unwrap();
+        let par =
+            GpTaskModel::fit_with_scalers(&points, &res, &tps, &lat, scalers, &cfg, true).unwrap();
+        for x in [0.0, 0.17, 0.5, 0.83, 1.0] {
+            let a = serial.predict(&[x]);
+            let b = par.predict(&[x]);
+            assert_eq!(a.res.mean.to_bits(), b.res.mean.to_bits());
+            assert_eq!(a.tps.mean.to_bits(), b.tps.mean.to_bits());
+            assert_eq!(a.lat.mean.to_bits(), b.lat.mean.to_bits());
+            assert_eq!(a.res.variance.to_bits(), b.res.variance.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_surrogate_prediction_matches_per_point_bitwise() {
+        let m = toy_model();
+        let pts: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64 / 22.0 * 1.4 - 0.2]).collect();
+        let batch = m.predict_batch(&pts);
+        assert_eq!(batch.len(), pts.len());
+        for (p, b) in pts.iter().zip(&batch) {
+            let single = m.predict(p);
+            assert_eq!(single.res.mean.to_bits(), b.res.mean.to_bits());
+            assert_eq!(single.tps.mean.to_bits(), b.tps.mean.to_bits());
+            assert_eq!(single.lat.mean.to_bits(), b.lat.mean.to_bits());
+            assert_eq!(single.res.variance.to_bits(), b.res.variance.to_bits());
+            assert_eq!(single.tps.variance.to_bits(), b.tps.variance.to_bits());
+            assert_eq!(single.lat.variance.to_bits(), b.lat.variance.to_bits());
+        }
     }
 }

@@ -10,7 +10,7 @@ use crate::meta::{
     static_weights, BaseLearner, MetaLearner, TargetObservations,
 };
 use crate::problem::{ResourceKind, SlaConstraints, TuningProblem};
-use crate::surrogate::{GpTaskModel, TaskSurrogate};
+use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
 use dbsim::{Configuration, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSpec};
 use gp::GpConfig;
 use xrand::{RngExt, SeedableRng};
@@ -152,6 +152,13 @@ pub struct RestuneConfig {
     /// During the static-weight bootstrap, source constraint predictions
     /// from the target learner only (see DESIGN.md §5b). On by default.
     pub static_constraints_from_target: bool,
+    /// Run the recommend-side of each iteration parallel and batched: the
+    /// three metric GPs fit on scoped threads, dynamic-weight posterior
+    /// draws fan out one thread per learner, and acquisition candidates are
+    /// scored in parallel chunks over batched predictions. Same-seed runs
+    /// are bit-identical with this on or off (see DESIGN.md §8); off keeps
+    /// the legacy serial per-point path for benchmarking.
+    pub parallel: bool,
     /// Algorithm seed (acquisition optimizer, weight sampling).
     pub seed: u64,
 }
@@ -172,6 +179,7 @@ impl Default for RestuneConfig {
             convergence_epsilon: 0.005,
             dilution_guard: true,
             static_constraints_from_target: true,
+            parallel: true,
             seed: 0,
         }
     }
@@ -184,6 +192,12 @@ pub struct IterationTiming {
     pub meta_data_processing_s: f64,
     /// Model update (GP fits + weight learning).
     pub model_update_s: f64,
+    /// Subcomponent of `model_update_s`: fitting the target's three metric
+    /// GPs.
+    pub gp_fit_s: f64,
+    /// Subcomponent of `model_update_s`: ensemble weight learning (static
+    /// kernel weights or ranking-loss posterior sampling).
+    pub weight_update_s: f64,
     /// Knob recommendation (acquisition optimization).
     pub recommendation_s: f64,
     /// Target workload replay (simulated seconds).
@@ -191,7 +205,8 @@ pub struct IterationTiming {
 }
 
 impl IterationTiming {
-    /// Total iteration time.
+    /// Total iteration time. `gp_fit_s` and `weight_update_s` are already
+    /// inside `model_update_s` and do not count again.
     pub fn total_s(&self) -> f64 {
         self.meta_data_processing_s + self.model_update_s + self.recommendation_s + self.replay_s
     }
@@ -393,22 +408,26 @@ impl TuningSession {
         self.history.len()
     }
 
-    fn fit_target(&self) -> Result<GpTaskModel, gp::GpError> {
+    fn fit_target(
+        &self,
+        res: &[f64],
+        scalers: crate::scale::TaskScalers,
+    ) -> Result<GpTaskModel, gp::GpError> {
         let n = self.points.len();
         let iter = self.history.len();
         let mut gp_config = self.config.gp.clone();
         gp_config.optimize_hypers = self.config.gp.optimize_hypers
             && (n <= 40 || iter.is_multiple_of(self.config.refit_hypers_every));
         gp_config.seed = self.config.seed;
-        let res = match self.config.acquisition {
-            // Penalty-based constrained BO (§2's simple alternative): the
-            // surrogate is fit on a *penalized* objective — infeasible
-            // observations are pushed above the worst feasible value, so
-            // plain EI steers away from them.
-            AcquisitionKind::PenalizedExpectedImprovement => self.penalized_res(),
-            _ => self.res.clone(),
-        };
-        GpTaskModel::fit(&self.points, &res, &self.tps, &self.lat, &gp_config)
+        GpTaskModel::fit_with_scalers(
+            &self.points,
+            res,
+            &self.tps,
+            &self.lat,
+            scalers,
+            &gp_config,
+            self.config.parallel,
+        )
     }
 
     fn penalized_res(&self) -> Vec<f64> {
@@ -435,16 +454,26 @@ impl TuningSession {
         let seed = self.config.seed.wrapping_add(iter as u64).wrapping_mul(0x9E37);
 
         // ---- meta-data processing: scale unification ----------------------
-        // (standardizing the observation columns; the heavy lifting — GP
-        // fits and weight learning — is the model-update phase below)
+        // Builds the objective column the surrogate trains on (penalized for
+        // the penalty-EI ablation) and fits the standardizers the model
+        // update below *uses* — not a throwaway probe.
         let t0 = Instant::now();
-        let scalers_probe = crate::scale::TaskScalers::fit(&self.res, &self.tps, &self.lat);
-        let _ = &scalers_probe;
+        let res_col = match self.config.acquisition {
+            // Penalty-based constrained BO (§2's simple alternative): the
+            // surrogate is fit on a *penalized* objective — infeasible
+            // observations are pushed above the worst feasible value, so
+            // plain EI steers away from them.
+            AcquisitionKind::PenalizedExpectedImprovement => self.penalized_res(),
+            _ => self.res.clone(),
+        };
+        let scalers = crate::scale::TaskScalers::fit(&res_col, &self.tps, &self.lat);
         let meta_data_processing_s = t0.elapsed().as_secs_f64();
 
         // ---- model update: surrogate fit + weights + ensemble ---------------
         let t1 = Instant::now();
-        let target = self.fit_target().expect("target surrogate fit");
+        let target = self.fit_target(&res_col, scalers).expect("target surrogate fit");
+        let gp_fit_s = t1.elapsed().as_secs_f64();
+        let tw = Instant::now();
         let (surrogate, weights): (MetaLearner, Option<Vec<f64>>) = if self.use_meta
             && !self.base_learners.is_empty()
         {
@@ -471,6 +500,7 @@ impl TuningSession {
                     self.config.dynamic_samples,
                     self.config.max_rank_points,
                     self.config.dilution_guard,
+                    self.config.parallel,
                     seed,
                 )
             };
@@ -479,6 +509,7 @@ impl TuningSession {
         } else {
             (MetaLearner::target_only(target), None)
         };
+        let weight_update_s = tw.elapsed().as_secs_f64();
         let model_update_s = t1.elapsed().as_secs_f64();
 
         // ---- knob recommendation -------------------------------------------
@@ -540,6 +571,8 @@ impl TuningSession {
             timing: IterationTiming {
                 meta_data_processing_s,
                 model_update_s,
+                gp_fit_s,
+                weight_update_s,
                 recommendation_s,
                 replay_s,
             },
@@ -605,12 +638,16 @@ impl TuningSession {
             }
         }
 
-        match self.config.acquisition {
+        // Per-prediction acquisition value. Resolving the incumbent up front
+        // keeps the scoring closure pure (no RNG, no per-call setup), which
+        // is what allows batched/parallel candidate scoring below.
+        enum Scorer {
+            Cei(ConstrainedExpectedImprovement),
+            Ei { incumbent: f64 },
+        }
+        let scorer = match self.config.acquisition {
             AcquisitionKind::ConstrainedExpectedImprovement => {
-                let cei = ConstrainedExpectedImprovement { best_feasible, tps_floor, lat_ceiling };
-                self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
-                    cei.value(&predict(p))
-                })
+                Scorer::Cei(ConstrainedExpectedImprovement { best_feasible, tps_floor, lat_ceiling })
             }
             AcquisitionKind::PenalizedExpectedImprovement => {
                 // Plain EI on the penalized surrogate; the penalty encoded at
@@ -620,10 +657,7 @@ impl TuningSession {
                     .as_ref()
                     .map(|(_, _, p)| predict(p).res.mean)
                     .unwrap_or_else(|| predict(&self.default_point).res.mean);
-                self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
-                    let pred = predict(p);
-                    expected_improvement(pred.res.mean, pred.res.std_dev(), incumbent)
-                })
+                Scorer::Ei { incumbent }
             }
             AcquisitionKind::ExpectedImprovement => {
                 // Unconstrained EI over the *overall* best (iTuned's behavior
@@ -634,15 +668,41 @@ impl TuningSession {
                     .zip(&self.res)
                     .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                     .map(|(p, _)| predict(p).res.mean);
-                self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
-                    let pred = predict(p);
-                    expected_improvement(
-                        pred.res.mean,
-                        pred.res.std_dev(),
-                        best_overall.unwrap_or(0.0),
-                    )
-                })
+                Scorer::Ei { incumbent: best_overall.unwrap_or(0.0) }
             }
+        };
+        let value = |pred: &SurrogatePrediction| -> f64 {
+            match &scorer {
+                Scorer::Cei(cei) => cei.value(pred),
+                Scorer::Ei { incumbent } => {
+                    expected_improvement(pred.res.mean, pred.res.std_dev(), *incumbent)
+                }
+            }
+        };
+
+        if self.config.parallel {
+            // Joint *batched* prediction with the same constraint override as
+            // `predict`; each batch is one blocked solve per metric GP.
+            let predict_batch = |pts: &[Vec<f64>]| -> Vec<SurrogatePrediction> {
+                let mut preds = surrogate.predict_batch(pts);
+                if constraints_from_target {
+                    let t = surrogate.target();
+                    let tps = t.tps.predict_batch(pts).expect("dim");
+                    let lat = t.lat.predict_batch(pts).expect("dim");
+                    for ((pred, tps), lat) in preds.iter_mut().zip(tps).zip(lat) {
+                        pred.tps = tps;
+                        pred.lat = lat;
+                    }
+                }
+                preds
+            };
+            self.config.optimizer.optimize_batch(self.problem.dim(), &anchors, seed, true, |pts| {
+                predict_batch(pts).iter().map(&value).collect()
+            })
+        } else {
+            self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
+                value(&predict(p))
+            })
         }
     }
 
@@ -814,5 +874,58 @@ mod tests {
         assert!(r.timing.replay_s > 100.0, "replay dominates (simulated)");
         assert!(r.timing.model_update_s >= 0.0);
         assert!(r.timing.total_s() > r.timing.replay_s);
+        // The new subcomponents are populated and nest inside model update.
+        assert!(r.timing.gp_fit_s >= 0.0 && r.timing.weight_update_s >= 0.0);
+        assert!(r.timing.gp_fit_s <= r.timing.model_update_s + 1e-9);
+    }
+
+    fn toy_learner(seed: u64) -> BaseLearner {
+        let mut rng = xrand::rngs::StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f64>> =
+            (0..12).map(|_| (0..3).map(|_| rng.random::<f64>()).collect()).collect();
+        let res: Vec<f64> = points.iter().map(|p| 30.0 + 40.0 * p[0] + 10.0 * p[1]).collect();
+        let tps: Vec<f64> = points.iter().map(|p| 150.0 - 30.0 * p[2]).collect();
+        let lat: Vec<f64> = points.iter().map(|p| 8.0 + 4.0 * p[1]).collect();
+        let model = GpTaskModel::fit(&points, &res, &tps, &lat, &GpConfig::fixed()).unwrap();
+        BaseLearner {
+            task_id: format!("toy-{seed}"),
+            workload: "toy".into(),
+            instance: InstanceType::A,
+            meta_feature: vec![0.2, 0.3, 0.5],
+            promising_point: Some(points[0].clone()),
+            model,
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_step_paths_are_bit_identical() {
+        // The determinism contract of `RestuneConfig::parallel`: flipping it
+        // changes thread fan-out and batching only, never a single bit of
+        // the algorithmic trace — through the static bootstrap, the dynamic
+        // weight switch, and batched acquisition scoring.
+        let fingerprint = |o: &TuningOutcome| -> Vec<String> {
+            o.history
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{} {:?} {:?} {:?} {:?} {:?}",
+                        r.iteration, r.point, r.objective, r.feasible, r.weights, r.timing.replay_s
+                    )
+                })
+                .collect()
+        };
+        let run = |parallel: bool| {
+            let mut config = quick_config(21);
+            config.init_iters = 3;
+            config.parallel = parallel;
+            let base = vec![toy_learner(1), toy_learner(2)];
+            TuningSession::with_base_learners(twitter_env(21), config, base, vec![0.2, 0.3, 0.5])
+                .run(8)
+        };
+        let par = run(true);
+        let ser = run(false);
+        assert_eq!(fingerprint(&par), fingerprint(&ser));
+        assert_eq!(par.best_objective, ser.best_objective);
+        assert_eq!(format!("{:?}", par.best_config), format!("{:?}", ser.best_config));
     }
 }

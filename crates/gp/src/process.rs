@@ -281,9 +281,53 @@ impl GaussianProcess {
         Ok(Prediction { mean, variance })
     }
 
-    /// Posterior predictions at many points.
+    /// Posterior predictions at many points, batched.
+    ///
+    /// Reuses the stored Cholesky factor once for the whole batch: the
+    /// cross-kernel `K(X, P)` is assembled as one `n x m` [`Matrix`], the
+    /// means come from a single `alpha^T K(X, P)` product, and the variance
+    /// reduction from one blocked triangular solve
+    /// ([`linalg::Cholesky::solve_lower_matrix`]). The per-point path clones
+    /// the `n x n` factor for *every* query; this clones it once per batch.
+    ///
+    /// Bit-compatibility contract: element `c` of the result is bit-identical
+    /// to `self.predict(&points[c])` (pinned by a property test) — every
+    /// accumulation runs in the same order as the scalar path.
     pub fn predict_batch(&self, points: &[Vec<f64>]) -> Result<Vec<Prediction>, GpError> {
-        points.iter().map(|p| self.predict(p)).collect()
+        let m = points.len();
+        for p in points {
+            if p.len() != self.dim {
+                return Err(GpError::DimensionMismatch { expected: self.dim, found: p.len() });
+            }
+        }
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        let n = self.x.len();
+        let prior_var = self.kernel.prior_variance();
+        if n == 0 {
+            return Ok(vec![Prediction { mean: self.mean_offset, variance: prior_var }; m]);
+        }
+        let kstar = Matrix::from_fn(n, m, |i, c| self.kernel.value(&self.x[i], &points[c]));
+        let alpha_row = Matrix::from_vec(1, n, self.alpha.clone());
+        let means = alpha_row.matmul(&kstar).expect("inner dimensions agree");
+        let v = self
+            .chol()
+            .solve_lower_matrix(&kstar)
+            .expect("factor dims match training set");
+        let mut out = Vec::with_capacity(m);
+        for c in 0..m {
+            let mut reduce = 0.0;
+            for i in 0..n {
+                let vic = v[(i, c)];
+                reduce += vic * vic;
+            }
+            out.push(Prediction {
+                mean: self.mean_offset + means[(0, c)],
+                variance: (prior_var - reduce).max(0.0),
+            });
+        }
+        Ok(out)
     }
 
     /// Joint posterior samples of the latent function at `points`.
@@ -576,6 +620,37 @@ mod tests {
         assert!(matches!(err, Err(GpError::NonFinite)));
         let err = GaussianProcess::fit(vec![vec![0.0]], vec![f64::INFINITY], &GpConfig::fixed());
         assert!(matches!(err, Err(GpError::NonFinite)));
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_per_point_predict() {
+        let (xs, ys) = toy_data();
+        let cfg = GpConfig { seed: 5, ..Default::default() };
+        let gp = GaussianProcess::fit(xs, ys, &cfg).unwrap();
+        let pts: Vec<Vec<f64>> = (0..37).map(|i| vec![i as f64 / 36.0 * 1.4 - 0.2]).collect();
+        let batch = gp.predict_batch(&pts).unwrap();
+        assert_eq!(batch.len(), pts.len());
+        for (p, b) in pts.iter().zip(&batch) {
+            let single = gp.predict(p).unwrap();
+            assert_eq!(single.mean.to_bits(), b.mean.to_bits(), "mean at {p:?}");
+            assert_eq!(single.variance.to_bits(), b.variance.to_bits(), "variance at {p:?}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_handles_empty_batches_and_empty_gps() {
+        let gp = GaussianProcess::fit(Vec::new(), Vec::new(), &GpConfig::fixed()).unwrap();
+        let preds = gp.predict_batch(&[vec![0.2], vec![0.9]]).unwrap();
+        for (pred, point) in preds.iter().zip([[0.2], [0.9]]) {
+            assert_eq!(*pred, gp.predict(&point).unwrap());
+        }
+        let (xs, ys) = toy_data();
+        let fitted = GaussianProcess::fit(xs, ys, &GpConfig::fixed()).unwrap();
+        assert!(fitted.predict_batch(&[]).unwrap().is_empty());
+        assert!(matches!(
+            fitted.predict_batch(&[vec![0.1, 0.2]]),
+            Err(GpError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -151,6 +151,42 @@ impl Cholesky {
         self.solve_upper(&self.solve_lower(b)?)
     }
 
+    /// Solves `L Y = B` for a whole right-hand-side matrix in one blocked
+    /// forward substitution (rows of `Y` computed across all columns at
+    /// once, streaming over contiguous rows).
+    ///
+    /// Bit-compatibility contract: every column of the result is exactly
+    /// what [`Cholesky::solve_lower`] returns for that column — the per-row
+    /// accumulator sums terms in the same `k` order and subtracts once — so
+    /// batched GP prediction can replace per-point solves without changing
+    /// a single bit of output.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: b.rows() });
+        }
+        let m = b.cols();
+        let mut y = b.clone();
+        let mut acc = vec![0.0; m];
+        for i in 0..n {
+            acc.fill(0.0);
+            let lrow = self.l.row(i);
+            for k in 0..i {
+                let lik = lrow[k];
+                let yrow = y.row(k);
+                for c in 0..m {
+                    acc[c] += lik * yrow[c];
+                }
+            }
+            let diag = lrow[i];
+            let yrow_i = y.row_mut(i);
+            for c in 0..m {
+                yrow_i[c] = (yrow_i[c] - acc[c]) / diag;
+            }
+        }
+        Ok(y)
+    }
+
     /// Solves `A X = B` column by column.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
@@ -245,6 +281,26 @@ mod tests {
     fn non_finite_is_rejected() {
         let a = Matrix::from_vec(2, 2, vec![1.0, f64::NAN, f64::NAN, 1.0]);
         assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn solve_lower_matrix_matches_per_column_solves_bitwise() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_fn(3, 4, |i, j| (i as f64 + 1.3) * (j as f64 - 0.7));
+        let y = c.solve_lower_matrix(&b).unwrap();
+        for j in 0..4 {
+            let col = c.solve_lower(&b.col(j)).unwrap();
+            for i in 0..3 {
+                assert_eq!(y[(i, j)].to_bits(), col[i].to_bits(), "entry ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_matrix_rejects_wrong_height() {
+        let c = Cholesky::factor(&spd3()).unwrap();
+        assert!(c.solve_lower_matrix(&Matrix::zeros(2, 5)).is_err());
     }
 
     #[test]

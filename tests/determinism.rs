@@ -88,6 +88,62 @@ fn build_repository(seed: u64) -> DataRepository {
 }
 
 #[test]
+fn parallel_and_serial_step_paths_agree_for_arbitrary_seeds() {
+    use propcheck::{check, Config};
+    // The `RestuneConfig::parallel` contract, property-tested: thread
+    // fan-out and batched candidate scoring must not move a single bit of
+    // the algorithmic trace, for any session seed. Base learners are built
+    // once; the property varies the seed and compares a full meta-boosted
+    // run on both paths.
+    let characterizer = workload::WorkloadCharacterizer::train_default(5);
+    let mut repo = DataRepository::new();
+    for (i, spec) in WorkloadSpec::twitter_variations().into_iter().take(2).enumerate() {
+        let mut dbms = SimulatedDbms::new(InstanceType::A, spec, 50 + i as u64);
+        repo.add(TaskRecord::collect(
+            &mut dbms,
+            &KnobSet::cpu(),
+            ResourceKind::Cpu,
+            &characterizer,
+            20,
+            60 + i as u64,
+        ));
+    }
+    let learners = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
+    let mf = characterizer.embed_workload(&WorkloadSpec::twitter(), 1).probs;
+    check(
+        "parallel_and_serial_step_paths_agree_for_arbitrary_seeds",
+        Config::default().cases(3).seed(0xD0_0001),
+        |g| {
+            let seed = g.usize_in(0, 1_000_000) as u64;
+            let run = |parallel: bool| {
+                let mut config = quick_config(seed);
+                config.init_iters = 3;
+                config.optimizer =
+                    AcquisitionOptimizer { n_candidates: 150, n_local: 40, local_sigma: 0.08 };
+                config.parallel = parallel;
+                let env = TuningEnvironment::builder()
+                    .instance(InstanceType::A)
+                    .workload(WorkloadSpec::twitter())
+                    .resource(ResourceKind::Cpu)
+                    .knob_set(KnobSet::cpu())
+                    .seed(seed)
+                    .build();
+                TuningSession::with_base_learners(env, config, learners.clone(), mf.clone())
+                    .run(6)
+            };
+            let par = run(true);
+            let ser = run(false);
+            propcheck::prop_assert_eq!(par.history.len(), ser.history.len());
+            for (ra, rb) in par.history.iter().zip(&ser.history) {
+                propcheck::prop_assert_eq!(fingerprint(ra), fingerprint(rb));
+            }
+            propcheck::prop_assert_eq!(par.best_objective, ser.best_objective);
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn repository_serialization_is_byte_identical_across_runs() {
     let json_a = build_repository(11).to_json().expect("serializes");
     let json_b = build_repository(11).to_json().expect("serializes");
