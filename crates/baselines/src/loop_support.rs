@@ -1,12 +1,19 @@
 //! Shared evaluate-and-record machinery for baselines that do not use
 //! ResTune's session (OtterTune-w-Con, CDBTune-w-Con).
 
-use dbsim::{Configuration, Observation};
+use dbsim::{Configuration, EvalOutcome, Observation};
 use restune_core::problem::{SlaConstraints, TuningProblem};
+use restune_core::resilience::{
+    evaluate_with_retry, penalty_observation, FailureCounts, FailureKind, ReplayPolicy,
+};
 use restune_core::tuner::{IterationRecord, IterationTiming, TuningEnvironment, TuningOutcome};
 
 /// A minimal tuning loop: evaluates points, tracks history, SLA feasibility,
 /// and the best feasible incumbent, and renders a [`TuningOutcome`].
+///
+/// Failure semantics match `TuningSession` (DESIGN.md §9): transient faults
+/// retry with backoff, crash/timeout records an infeasible penalized
+/// observation, and only full replays can certify a new incumbent.
 pub struct EvalLoop {
     /// The environment being tuned.
     pub env: TuningEnvironment,
@@ -26,9 +33,14 @@ pub struct EvalLoop {
     pub lat: Vec<f64>,
     /// Internal metric vectors per point.
     pub metrics: Vec<Vec<f64>>,
+    /// Retry policy for transient replay failures.
+    pub policy: ReplayPolicy,
     history: Vec<IterationRecord>,
     best: Option<(usize, f64, Vec<f64>)>,
     default_objective: f64,
+    failures: FailureCounts,
+    obs_worst: f64,
+    obs_best: f64,
 }
 
 impl EvalLoop {
@@ -53,9 +65,13 @@ impl EvalLoop {
             tps: Vec::new(),
             lat: Vec::new(),
             metrics: Vec::new(),
+            policy: ReplayPolicy::default(),
             history: Vec::new(),
             best: None,
             default_objective,
+            failures: FailureCounts::default(),
+            obs_worst: default_objective,
+            obs_best: default_objective,
         }
     }
 
@@ -80,7 +96,21 @@ impl EvalLoop {
         let iter = self.history.len();
         let config =
             self.problem.knob_set.to_configuration(&point, &Configuration::dba_default());
-        let observation = self.env.dbms.evaluate(&config);
+        let replay = evaluate_with_retry(&mut self.env.dbms, &config, &self.policy);
+        let replay_s = replay.replay_s;
+        let retries = replay.retries;
+        let failure = FailureKind::from_outcome(&replay.outcome);
+        let observation = match replay.outcome {
+            EvalOutcome::Ok(obs) => obs,
+            EvalOutcome::Partial { observation, .. } => observation,
+            EvalOutcome::Crashed { .. } | EvalOutcome::TimedOut { .. } => penalty_observation(
+                config.clone(),
+                self.env.resource,
+                self.obs_worst + 0.3 * (self.obs_worst - self.obs_best).max(1.0),
+                self.problem.constraints.lat_ceiling(),
+                replay_s,
+            ),
+        };
         let objective = self.env.resource.value(&observation);
         let feasible = self.problem.constraints.is_feasible(&observation);
         self.points.push(point.clone());
@@ -88,11 +118,16 @@ impl EvalLoop {
         self.tps.push(observation.tps);
         self.lat.push(observation.p99_ms);
         self.metrics.push(observation.internal.to_vec());
-        if feasible
-            && objective < self.best.as_ref().map(|b| b.1).unwrap_or(self.default_objective)
-        {
-            self.best = Some((iter, objective, point.clone()));
+        if failure.is_none() {
+            self.obs_worst = self.obs_worst.max(objective);
+            self.obs_best = self.obs_best.min(objective);
+            if feasible
+                && objective < self.best.as_ref().map(|b| b.1).unwrap_or(self.default_objective)
+            {
+                self.best = Some((iter, objective, point.clone()));
+            }
         }
+        self.failures.record(failure, retries);
         let record = IterationRecord {
             iteration: iter,
             point,
@@ -100,13 +135,15 @@ impl EvalLoop {
             feasible,
             best_feasible_objective: self.best_objective(),
             weights: None,
+            failure,
+            retries,
             timing: IterationTiming {
                 meta_data_processing_s: 0.0,
                 model_update_s,
                 gp_fit_s: 0.0,
                 weight_update_s: 0.0,
                 recommendation_s,
-                replay_s: observation.replay_seconds,
+                replay_s,
             },
             observation,
         };
@@ -139,7 +176,13 @@ impl EvalLoop {
             best_iteration,
             converged_at: None,
             default_obj_value: self.default_objective,
+            failures: self.failures,
         }
+    }
+
+    /// Replay-failure tally so far.
+    pub fn failures(&self) -> FailureCounts {
+        self.failures
     }
 }
 
@@ -187,5 +230,36 @@ mod tests {
         el.evaluate(vec![0.2, 0.2, 0.2], 0.0, 0.0);
         assert_eq!(el.iterations(), 2);
         assert_eq!(el.outcome().history.len(), 2);
+    }
+
+    #[test]
+    fn failed_replays_are_penalized_and_never_become_incumbents() {
+        use dbsim::FaultPlan;
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(2)
+            .fault_plan(FaultPlan::none().with_transient_rate(0.6).with_seed(9))
+            .build();
+        let mut el = EvalLoop::new(env);
+        el.policy.max_retries = 0; // surface failures instead of absorbing them
+        let good = vec![13.0 / 128.0, 0.0, 0.3];
+        for _ in 0..12 {
+            el.evaluate(good.clone(), 0.0, 0.0);
+        }
+        let o = el.outcome();
+        assert!(o.failures.failed_iterations() > 0, "60% fault rate must fail some");
+        for r in &o.history {
+            use restune_core::resilience::FailureKind;
+            if matches!(r.failure, Some(FailureKind::Crash) | Some(FailureKind::Timeout)) {
+                assert!(!r.feasible);
+                assert!(r.objective.is_finite() && r.objective > o.default_obj_value);
+                assert!(Some(r.iteration) != o.best_iteration);
+            }
+        }
+        // The good point still becomes the incumbent on a successful replay.
+        assert!(o.best_objective.unwrap() < o.default_obj_value);
     }
 }

@@ -1,0 +1,12 @@
+//! Runs the improvement-vs-injected-failure-rate sweep (see
+//! `experiments::fault_sweep`) and saves `results/fault_sweep.json` for
+//! `experiments_md`.
+
+use restune_bench::experiments::fault_sweep;
+use restune_bench::report;
+
+fn main() {
+    let result = fault_sweep::run();
+    fault_sweep::render(&result);
+    report::save_json("fault_sweep", &result);
+}

@@ -11,10 +11,12 @@
 //! | [`resources`] | Figure 9 — I/O (BPS, IOPS) and memory tuning |
 //! | [`tco`] | Tables 8–9 — 1-year TCO reduction |
 //! | [`ablations`] | Design-choice ablations (acquisition, dilution guard, constraint sourcing) |
+//! | [`fault_sweep`] | Improvement vs injected replay-failure rate (DESIGN.md §9) |
 
 pub mod ablations;
 pub mod case_study;
 pub mod efficiency;
+pub mod fault_sweep;
 pub mod fig1;
 pub mod resources;
 pub mod sensitivity;

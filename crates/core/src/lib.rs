@@ -28,6 +28,7 @@ pub mod lhs;
 pub mod meta;
 pub mod problem;
 pub mod repository;
+pub mod resilience;
 pub mod scale;
 pub mod shap;
 pub mod surrogate;
@@ -38,6 +39,7 @@ pub use acquisition::{AcquisitionKind, ConstrainedExpectedImprovement};
 pub use meta::{BaseLearner, MetaLearner, WeightStrategy};
 pub use problem::{ResourceKind, SlaConstraints, TuningProblem};
 pub use repository::{DataRepository, TaskObservation, TaskRecord};
+pub use resilience::{FailureCounts, FailureKind, ReplayPolicy};
 pub use scale::Standardizer;
 pub use surrogate::{SurrogatePrediction, TaskSurrogate};
 pub use tuner::{IterationRecord, RestuneConfig, TuningEnvironment, TuningOutcome, TuningSession};

@@ -347,8 +347,26 @@ pub struct MetaLearner {
 impl MetaLearner {
     /// Builds the ensemble with explicit weights (`weights.len() ==
     /// base.len() + 1`, target last).
+    ///
+    /// # Panics
+    ///
+    /// If the weight count is wrong, or if any base learner's knob-space
+    /// dimensionality differs from the target's: a mismatched learner would
+    /// only surface as a prediction-time error deep inside the GP, so it is
+    /// rejected here, at construction, with the offending task named.
     pub fn new(base: Vec<BaseLearner>, target: GpTaskModel, weights: Vec<f64>) -> Self {
         assert_eq!(weights.len(), base.len() + 1, "one weight per learner plus target");
+        let dim = target.res.dim();
+        for b in &base {
+            assert_eq!(
+                b.model.res.dim(),
+                dim,
+                "base learner {:?} was fitted on a {}-dim knob space; the target space is {}-dim",
+                b.task_id,
+                b.model.res.dim(),
+                dim
+            );
+        }
         MetaLearner { base, target, weights }
     }
 

@@ -62,9 +62,10 @@ impl TaskRecord {
         let instance = dbms.instance();
         let base = Configuration::dba_default();
         let mut observations = Vec::with_capacity(n + 1);
-        // Always include the default point: it anchors the SLA semantics.
+        // Always include the default point (it anchors the SLA semantics)
+        // plus the full `n` LHS samples: `n + 1` observations total.
         let mut points = vec![knob_set.default_point()];
-        points.extend(crate::lhs::latin_hypercube(n.saturating_sub(1), knob_set.dim(), seed));
+        points.extend(crate::lhs::latin_hypercube(n, knob_set.dim(), seed));
         for point in points {
             let config = knob_set.to_configuration(&point, &base);
             let obs = dbms.evaluate(&config);
@@ -110,10 +111,13 @@ impl TaskRecord {
     pub fn promising_point(&self) -> Option<Vec<f64>> {
         let first = self.observations.first()?;
         let (tps_floor, lat_ceiling) = (first.tps * 0.95, first.lat * 1.05);
+        // Non-finite objectives are filtered and the minimum is taken under a
+        // total order: no stored history, however corrupt, panics this
+        // ranking (a NaN tps/lat already fails the SLA comparisons).
         self.observations
             .iter()
-            .filter(|o| o.tps >= tps_floor && o.lat <= lat_ceiling)
-            .min_by(|a, b| a.res.partial_cmp(&b.res).unwrap())
+            .filter(|o| o.res.is_finite() && o.tps >= tps_floor && o.lat <= lat_ceiling)
+            .min_by(|a, b| a.res.total_cmp(&b.res))
             .map(|o| o.point.clone())
     }
 
@@ -250,13 +254,18 @@ mod tests {
 
     #[test]
     fn collect_produces_default_plus_lhs_points() {
+        // "LHS-sampling n configurations" means exactly that: the default
+        // anchor plus n LHS points, n + 1 observations total (the historical
+        // off-by-one silently dropped one LHS sample).
         let rec = sample_record();
-        assert_eq!(rec.observations.len(), 12);
+        assert_eq!(rec.observations.len(), 12 + 1);
         assert_eq!(rec.task_id, "Twitter@B");
         assert_eq!(rec.knob_names.len(), 3);
         // First observation is the default point.
         let def = KnobSet::case_study().default_point();
         assert_eq!(rec.observations[0].point, def);
+        // The remaining 12 are the LHS samples, none the default.
+        assert_eq!(rec.observations.iter().skip(1).filter(|o| o.point != def).count(), 12);
         assert!(!rec.meta_feature.is_empty());
     }
 
@@ -265,7 +274,7 @@ mod tests {
         let rec = sample_record();
         let learner = rec.to_base_learner(&GpConfig::fixed()).unwrap();
         assert_eq!(learner.task_id, "Twitter@B");
-        assert_eq!(learner.model.n(), 12);
+        assert_eq!(learner.model.n(), 13);
     }
 
     #[test]
@@ -343,5 +352,60 @@ mod tests {
         let m = rec.mean_metrics();
         assert_eq!(m.len(), dbsim::InternalMetrics::DIM);
         assert!(m.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn promising_point_never_panics_on_any_observation_history() {
+        use propcheck::{check, Config};
+        // Property: no observation history — including NaN/±inf in any field,
+        // empty histories, and all-infeasible histories — panics the ranking.
+        // When a finite feasible minimum exists, it is returned.
+        check(
+            "promising_point_never_panics_on_any_observation_history",
+            Config::default().cases(200).seed(0xBAD_F10A7),
+            |g| {
+                let n = g.usize_in(0, 12);
+                let special = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0];
+                let value = |g: &mut propcheck::Gen| -> f64 {
+                    if g.flag() {
+                        special[g.usize_in(0, special.len() - 1)]
+                    } else {
+                        g.unit() * 200.0
+                    }
+                };
+                let observations: Vec<TaskObservation> = (0..n)
+                    .map(|_| TaskObservation {
+                        point: vec![g.unit(), g.unit()],
+                        res: value(g),
+                        tps: value(g),
+                        lat: value(g),
+                        metrics: vec![value(g); 3],
+                    })
+                    .collect();
+                let rec = TaskRecord {
+                    task_id: "fuzz@A".into(),
+                    workload: "fuzz".into(),
+                    instance: InstanceType::A,
+                    resource: ResourceKind::Cpu,
+                    knob_names: vec!["a".into(), "b".into()],
+                    meta_feature: vec![0.5],
+                    observations,
+                };
+                let picked = rec.promising_point();
+                if let (Some(point), Some(first)) = (&picked, rec.observations.first()) {
+                    // The pick satisfies the record's own SLA and has a
+                    // finite objective.
+                    let chosen = rec
+                        .observations
+                        .iter()
+                        .find(|o| &o.point == point)
+                        .expect("picked point comes from the history");
+                    propcheck::prop_assert!(chosen.res.is_finite());
+                    propcheck::prop_assert!(chosen.tps >= first.tps * 0.95);
+                    propcheck::prop_assert!(chosen.lat <= first.lat * 1.05);
+                }
+                Ok(())
+            },
+        );
     }
 }

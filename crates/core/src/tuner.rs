@@ -10,8 +10,14 @@ use crate::meta::{
     static_weights, BaseLearner, MetaLearner, TargetObservations,
 };
 use crate::problem::{ResourceKind, SlaConstraints, TuningProblem};
+use crate::resilience::{
+    evaluate_with_retry, penalty_observation, FailureCounts, FailureKind, ReplayPolicy,
+};
 use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
-use dbsim::{Configuration, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSpec};
+use dbsim::{
+    Configuration, EvalOutcome, FaultPlan, InstanceType, KnobSet, Observation, SimulatedDbms,
+    WorkloadSpec,
+};
 use gp::GpConfig;
 use xrand::{RngExt, SeedableRng};
 use std::time::Instant;
@@ -43,6 +49,7 @@ pub struct TuningEnvironmentBuilder {
     knob_set: Option<KnobSet>,
     seed: u64,
     noise: Option<f64>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for TuningEnvironmentBuilder {
@@ -54,6 +61,7 @@ impl Default for TuningEnvironmentBuilder {
             knob_set: None,
             seed: 0,
             noise: None,
+            fault_plan: None,
         }
     }
 }
@@ -95,11 +103,20 @@ impl TuningEnvironmentBuilder {
         self
     }
 
+    /// Fault schedule for the replays (default: no faults).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the environment.
     pub fn build(self) -> TuningEnvironment {
         let mut dbms = SimulatedDbms::new(self.instance, self.workload, self.seed);
         if let Some(n) = self.noise {
             dbms = dbms.with_noise(n);
+        }
+        if let Some(plan) = self.fault_plan {
+            dbms = dbms.with_fault_plan(plan);
         }
         let knob_set = self.knob_set.unwrap_or_else(|| self.resource.default_knob_set());
         TuningEnvironment { dbms, knob_set, resource: self.resource }
@@ -159,6 +176,10 @@ pub struct RestuneConfig {
     /// are bit-identical with this on or off (see DESIGN.md §8); off keeps
     /// the legacy serial per-point path for benchmarking.
     pub parallel: bool,
+    /// Retry budget for transient replay failures (DESIGN.md §9).
+    pub max_retries: usize,
+    /// Initial retry backoff in simulated seconds (doubles per retry).
+    pub retry_backoff_s: f64,
     /// Algorithm seed (acquisition optimizer, weight sampling).
     pub seed: u64,
 }
@@ -180,6 +201,8 @@ impl Default for RestuneConfig {
             dilution_guard: true,
             static_constraints_from_target: true,
             parallel: true,
+            max_retries: 2,
+            retry_backoff_s: 5.0,
             seed: 0,
         }
     }
@@ -230,6 +253,11 @@ pub struct IterationRecord {
     /// Ensemble weights at recommendation time (base learners..., target),
     /// when meta-learning was active.
     pub weights: Option<Vec<f64>>,
+    /// How the replay failed, if it did. `Crash`/`Timeout` iterations carry a
+    /// synthetic penalized observation; `Partial` carries the truncated one.
+    pub failure: Option<FailureKind>,
+    /// Transient-failure retries this iteration consumed.
+    pub retries: usize,
     /// Timing breakdown.
     pub timing: IterationTiming,
 }
@@ -254,6 +282,8 @@ pub struct TuningOutcome {
     pub converged_at: Option<usize>,
     /// The default configuration's objective value (the tuning baseline).
     pub default_obj_value: f64,
+    /// Replay-failure tally across the run.
+    pub failures: FailureCounts,
 }
 
 impl TuningOutcome {
@@ -324,6 +354,12 @@ pub struct TuningSession {
     converged_at: Option<usize>,
     use_meta: bool,
     last_improvement: usize,
+    failures: FailureCounts,
+    /// Worst/best objective over *full* (non-synthetic) observations — the
+    /// basis for the failure penalty, kept separate from `res` so penalty
+    /// values never compound on each other.
+    obs_worst: f64,
+    obs_best: f64,
 }
 
 impl TuningSession {
@@ -334,12 +370,30 @@ impl TuningSession {
     }
 
     /// A session boosted by historical base-learners (full ResTune).
+    ///
+    /// # Panics
+    ///
+    /// If any base learner was fitted on a knob space whose dimensionality
+    /// differs from the environment's: mismatched learners are rejected at
+    /// construction (with the offending task named) rather than producing
+    /// dimensional nonsense at prediction time.
     pub fn with_base_learners(
         env: TuningEnvironment,
         config: RestuneConfig,
         base_learners: Vec<BaseLearner>,
         target_meta_feature: Vec<f64>,
     ) -> Self {
+        let dim = env.knob_set.dim();
+        for b in &base_learners {
+            assert_eq!(
+                b.model.res.dim(),
+                dim,
+                "base learner {:?} was fitted on a {}-dim knob space; the target space is {}-dim",
+                b.task_id,
+                b.model.res.dim(),
+                dim
+            );
+        }
         Self::build(env, config, base_learners, target_meta_feature, true)
     }
 
@@ -379,6 +433,9 @@ impl TuningSession {
             converged_at: None,
             use_meta,
             last_improvement: 0,
+            failures: FailureCounts::default(),
+            obs_worst: default_objective,
+            obs_best: default_objective,
         };
         // The default observation seeds the model and the incumbent.
         session.record_data(default_point, &default_observation);
@@ -391,6 +448,31 @@ impl TuningSession {
         self.res.push(self.env.resource.value(obs));
         self.tps.push(obs.tps);
         self.lat.push(obs.p99_ms);
+    }
+
+    /// Appends an externally collected observation tuple to the surrogate's
+    /// training data without consuming a replay — warm-starting a session
+    /// from measurements gathered outside it. Values enter the model
+    /// verbatim; a degenerate tuple (NaN/inf) does not abort the session but
+    /// degrades the next recommendations to uniform exploration until enough
+    /// clean data accumulates (see DESIGN.md §9).
+    pub fn seed_history(&mut self, point: Vec<f64>, res: f64, tps: f64, lat: f64) {
+        self.points.push(point);
+        self.res.push(res);
+        self.tps.push(tps);
+        self.lat.push(lat);
+    }
+
+    /// Replay-failure tally so far.
+    pub fn failures(&self) -> FailureCounts {
+        self.failures
+    }
+
+    /// The objective value a crashed/timed-out replay records: safely above
+    /// the worst *genuinely observed* value, scaled by the observed spread.
+    /// Computed over full observations only, so penalties never compound.
+    fn failure_penalty(&self) -> f64 {
+        self.obs_worst + 0.3 * (self.obs_worst - self.obs_best).max(1.0)
     }
 
     /// The SLA in force.
@@ -471,94 +553,136 @@ impl TuningSession {
 
         // ---- model update: surrogate fit + weights + ensemble ---------------
         let t1 = Instant::now();
-        let target = self.fit_target(&res_col, scalers).expect("target surrogate fit");
+        let fit = self.fit_target(&res_col, scalers);
         let gp_fit_s = t1.elapsed().as_secs_f64();
-        let tw = Instant::now();
-        let (surrogate, weights): (MetaLearner, Option<Vec<f64>>) = if self.use_meta
-            && !self.base_learners.is_empty()
-        {
-            let w = if iter < self.config.init_iters {
-                static_weights(
-                    &self.base_learners,
-                    &self.target_meta_feature,
-                    self.config.static_bandwidth,
-                )
-            } else {
-                let res_std = target.scalers.res.transform_all(&self.res);
-                let tps_std = target.scalers.tps.transform_all(&self.tps);
-                let lat_std = target.scalers.lat.transform_all(&self.lat);
-                let obs = TargetObservations {
-                    points: &self.points,
-                    res: &res_std,
-                    tps: &tps_std,
-                    lat: &lat_std,
+        let (point, weights, model_update_s, weight_update_s, recommendation_s) = match fit {
+            Ok(target) => {
+                let tw = Instant::now();
+                let (surrogate, weights): (MetaLearner, Option<Vec<f64>>) = if self.use_meta
+                    && !self.base_learners.is_empty()
+                {
+                    let w = if iter < self.config.init_iters {
+                        static_weights(
+                            &self.base_learners,
+                            &self.target_meta_feature,
+                            self.config.static_bandwidth,
+                        )
+                    } else {
+                        let res_std = target.scalers.res.transform_all(&self.res);
+                        let tps_std = target.scalers.tps.transform_all(&self.tps);
+                        let lat_std = target.scalers.lat.transform_all(&self.lat);
+                        let obs = TargetObservations {
+                            points: &self.points,
+                            res: &res_std,
+                            tps: &tps_std,
+                            lat: &lat_std,
+                        };
+                        crate::meta::dynamic_weights_with_options(
+                            &self.base_learners,
+                            &target,
+                            &obs,
+                            self.config.dynamic_samples,
+                            self.config.max_rank_points,
+                            self.config.dilution_guard,
+                            self.config.parallel,
+                            seed,
+                        )
+                    };
+                    let learner = MetaLearner::new(self.base_learners.clone(), target, w.clone());
+                    (learner, Some(w))
+                } else {
+                    (MetaLearner::target_only(target), None)
                 };
-                crate::meta::dynamic_weights_with_options(
-                    &self.base_learners,
-                    &target,
-                    &obs,
-                    self.config.dynamic_samples,
-                    self.config.max_rank_points,
-                    self.config.dilution_guard,
-                    self.config.parallel,
-                    seed,
-                )
-            };
-            let learner = MetaLearner::new(self.base_learners.clone(), target, w.clone());
-            (learner, Some(w))
-        } else {
-            (MetaLearner::target_only(target), None)
-        };
-        let weight_update_s = tw.elapsed().as_secs_f64();
-        let model_update_s = t1.elapsed().as_secs_f64();
+                let weight_update_s = tw.elapsed().as_secs_f64();
+                let model_update_s = t1.elapsed().as_secs_f64();
 
-        // ---- knob recommendation -------------------------------------------
-        let t2 = Instant::now();
-        let lhs_init = iter < self.config.init_iters
-            && (!self.use_meta || self.config.init_strategy == InitStrategy::Lhs);
-        // During the static bootstrap the ensemble mixes base-learners from
-        // heterogeneous hardware whose *feasibility* surfaces can disagree
-        // with the target instance (a small machine's optimal concurrency
-        // throttles a big one). Constraint predictions therefore come from
-        // the target learner until dynamic (ranking-loss) weights take over —
-        // ranking loss scores tps/lat orderings explicitly, so the dynamic
-        // ensemble is safe for constraints.
-        let constraints_from_target = self.use_meta
-            && iter < self.config.init_iters
-            && self.config.static_constraints_from_target;
-        // Stagnation safeguard: when the incumbent has not moved for a long
-        // stretch (a misled ensemble or a degenerate surrogate can pin the
-        // acquisition in a dead region), interleave a uniform exploration
-        // point every few iterations — standard ε-greedy insurance in BO
-        // implementations.
-        let stagnated = iter >= self.config.init_iters
-            && iter.saturating_sub(self.last_improvement) >= 8
-            && iter.is_multiple_of(4);
-        let point = if lhs_init {
-            // Non-meta methods (and the w/o-Workload ablation) bootstrap with
-            // LHS (§7 Setting).
-            self.lhs_plan[iter].clone()
-        } else if stagnated {
-            let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xE5C4);
-            (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect()
-        } else {
-            self.optimize_acquisition(&surrogate, constraints_from_target, seed)
+                // ---- knob recommendation ---------------------------------
+                let t2 = Instant::now();
+                let lhs_init = iter < self.config.init_iters
+                    && (!self.use_meta || self.config.init_strategy == InitStrategy::Lhs);
+                // During the static bootstrap the ensemble mixes base-learners from
+                // heterogeneous hardware whose *feasibility* surfaces can disagree
+                // with the target instance (a small machine's optimal concurrency
+                // throttles a big one). Constraint predictions therefore come from
+                // the target learner until dynamic (ranking-loss) weights take over —
+                // ranking loss scores tps/lat orderings explicitly, so the dynamic
+                // ensemble is safe for constraints.
+                let constraints_from_target = self.use_meta
+                    && iter < self.config.init_iters
+                    && self.config.static_constraints_from_target;
+                // Stagnation safeguard: when the incumbent has not moved for a long
+                // stretch (a misled ensemble or a degenerate surrogate can pin the
+                // acquisition in a dead region), interleave a uniform exploration
+                // point every few iterations — standard ε-greedy insurance in BO
+                // implementations.
+                let stagnated = iter >= self.config.init_iters
+                    && iter.saturating_sub(self.last_improvement) >= 8
+                    && iter.is_multiple_of(4);
+                let point = if lhs_init {
+                    // Non-meta methods (and the w/o-Workload ablation) bootstrap with
+                    // LHS (§7 Setting).
+                    self.lhs_plan[iter].clone()
+                } else if stagnated {
+                    let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xE5C4);
+                    (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect()
+                } else {
+                    self.optimize_acquisition(&surrogate, constraints_from_target, seed)
+                };
+                (point, weights, model_update_s, weight_update_s, t2.elapsed().as_secs_f64())
+            }
+            Err(_) => {
+                // A degenerate observation set (non-finite values, pathological
+                // kernel) must not abort the session: degrade to a seeded
+                // uniform exploration point — the next full observation both
+                // makes progress and feeds the surrogate fresh, usable data.
+                let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xFA11);
+                let point: Vec<f64> =
+                    (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect();
+                (point, None, gp_fit_s, 0.0, 0.0)
+            }
         };
-        let recommendation_s = t2.elapsed().as_secs_f64();
 
         // ---- apply + replay ---------------------------------------------------
         let config =
             self.problem.knob_set.to_configuration(&point, &Configuration::dba_default());
-        let observation = self.env.dbms.evaluate(&config);
-        let replay_s = observation.replay_seconds;
+        let policy = ReplayPolicy {
+            max_retries: self.config.max_retries,
+            backoff_s: self.config.retry_backoff_s,
+        };
+        let replay = evaluate_with_retry(&mut self.env.dbms, &config, &policy);
+        let replay_s = replay.replay_s;
+        let retries = replay.retries;
+        let failure = FailureKind::from_outcome(&replay.outcome);
+        let observation = match replay.outcome {
+            EvalOutcome::Ok(obs) => obs,
+            EvalOutcome::Partial { observation, .. } => observation,
+            // Crash/timeout: no sample came back. Record a finite synthetic
+            // observation that is infeasible by construction and penalized
+            // above the worst genuine value, so CEI steers away from the
+            // region (the penalty encoding of §2, applied to failures).
+            EvalOutcome::Crashed { .. } | EvalOutcome::TimedOut { .. } => penalty_observation(
+                config.clone(),
+                self.env.resource,
+                self.failure_penalty(),
+                self.problem.constraints.lat_ceiling(),
+                replay_s,
+            ),
+        };
 
         let objective = self.env.resource.value(&observation);
         let feasible = self.problem.constraints.is_feasible(&observation);
         self.record_data(point.clone(), &observation);
-        if feasible && objective < self.best.as_ref().map(|b| b.1).unwrap_or(f64::INFINITY) {
-            self.best = Some((iter, objective, point.clone()));
-            self.last_improvement = iter;
+        if failure.is_none() {
+            // Only full replays update the penalty basis and may certify a
+            // new incumbent; a truncated sample's SLA reading is not trusted.
+            self.obs_worst = self.obs_worst.max(objective);
+            self.obs_best = self.obs_best.min(objective);
+            if feasible && objective < self.best.as_ref().map(|b| b.1).unwrap_or(f64::INFINITY) {
+                self.best = Some((iter, objective, point.clone()));
+                self.last_improvement = iter;
+            }
         }
+        self.failures.record(failure, retries);
 
         let record = IterationRecord {
             iteration: iter,
@@ -568,6 +692,8 @@ impl TuningSession {
             feasible,
             best_feasible_objective: self.best.as_ref().map(|b| b.1).unwrap(),
             weights,
+            failure,
+            retries,
             timing: IterationTiming {
                 meta_data_processing_s,
                 model_update_s,
@@ -626,9 +752,15 @@ impl TuningSession {
             .enumerate()
             .map(|(i, _)| (i, weights[i]))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // Total order, not `partial_cmp(..).unwrap()`: a NaN weight (e.g. a
+        // degenerate ranking-loss posterior) must not panic the ranking. NaN
+        // sorts below every real weight and the positivity gate drops it.
+        ranked.sort_by(|a, b| {
+            let key = |w: f64| if w.is_nan() { f64::NEG_INFINITY } else { w };
+            key(b.1).total_cmp(&key(a.1))
+        });
         for (i, w) in ranked.into_iter().take(3) {
-            if w <= 0.0 {
+            if !(w > 0.0) {
                 break;
             }
             // Anchor on the learner's best point that met its own task's SLA
@@ -662,11 +794,14 @@ impl TuningSession {
             AcquisitionKind::ExpectedImprovement => {
                 // Unconstrained EI over the *overall* best (iTuned's behavior
                 // after the objective swap): ignores the SLA entirely.
+                // Filter non-finite objectives before taking the minimum: a
+                // seeded-in NaN observation must degrade, not panic.
                 let best_overall = self
                     .points
                     .iter()
                     .zip(&self.res)
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .filter(|(_, r)| r.is_finite())
+                    .min_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(p, _)| predict(p).res.mean);
                 Scorer::Ei { incumbent: best_overall.unwrap_or(0.0) }
             }
@@ -764,6 +899,7 @@ impl TuningSession {
             best_iteration,
             converged_at: self.converged_at,
             default_obj_value: self.env.resource.value(&self.default_observation),
+            failures: self.failures,
         }
     }
 }
@@ -898,6 +1034,91 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_observations_degrade_to_exploration_not_panic() {
+        // Regression: `fit_target(..).expect("target surrogate fit")` used to
+        // abort the whole session when the observation set was degenerate.
+        // A seeded NaN tuple must instead degrade to uniform exploration.
+        let mut session = TuningSession::new(twitter_env(6), quick_config(6));
+        session.seed_history(vec![0.5, 0.5, 0.5], f64::NAN, f64::NAN, f64::NAN);
+        let r0 = session.step();
+        assert!(r0.weights.is_none());
+        assert!(r0.point.iter().all(|v| (0.0..=1.0).contains(v)));
+        // Still degenerate on the next step; still no panic, and the session
+        // keeps collecting real observations.
+        let r1 = session.step();
+        assert_ne!(r0.point, r1.point, "exploration points are re-seeded per iteration");
+        assert!(session.iterations() == 2);
+        // The outcome renders without panicking and the incumbent stays the
+        // (feasible) default.
+        let outcome = session.outcome();
+        assert!(outcome.best_objective.unwrap().is_finite());
+    }
+
+    #[test]
+    fn degenerate_fallback_is_deterministic() {
+        let run = || {
+            let mut s = TuningSession::new(twitter_env(11), quick_config(11));
+            s.seed_history(vec![0.1, 0.2, 0.3], f64::INFINITY, 1.0, 1.0);
+            (s.step().point, s.step().point)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_iterations_record_penalized_infeasible_observations() {
+        use dbsim::FaultPlan;
+        // Transients at a heavy rate with no retries: failures must surface
+        // as records, never as panics, and never move the incumbent.
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(13)
+            .fault_plan(FaultPlan::none().with_transient_rate(0.5).with_seed(3))
+            .build();
+        let mut config = quick_config(13);
+        config.max_retries = 0;
+        let mut session = TuningSession::new(env, config);
+        let outcome = session.run(12);
+        let failures = outcome.failures;
+        assert!(failures.failed_iterations() > 0, "a 50% rate over 12 iters must fail some");
+        for r in &outcome.history {
+            match r.failure {
+                Some(FailureKind::Crash) | Some(FailureKind::Timeout) => {
+                    assert!(!r.feasible, "synthetic failure observations are infeasible");
+                    assert!(r.objective.is_finite());
+                    assert!(r.objective > outcome.default_obj_value, "penalty sits above default");
+                    assert!(Some(r.iteration) != outcome.best_iteration);
+                }
+                _ => {}
+            }
+            assert!(r.observation.tps.is_finite() && r.observation.p99_ms.is_finite());
+        }
+    }
+
+    #[test]
+    fn retries_resolve_most_transients_and_are_counted() {
+        use dbsim::FaultPlan;
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(14)
+            .fault_plan(FaultPlan::none().with_transient_rate(0.3).with_seed(5))
+            .build();
+        let outcome = TuningSession::new(env, quick_config(14)).run(15);
+        assert!(outcome.failures.retries > 0, "a 30% rate must consume retries");
+        // With 2 retries, only ~2.7% of iterations hard-fail on average.
+        assert!(
+            outcome.failures.crashes + outcome.failures.timeouts <= 4,
+            "retries should absorb most transients: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
     fn parallel_and_serial_step_paths_are_bit_identical() {
         // The determinism contract of `RestuneConfig::parallel`: flipping it
         // changes thread fan-out and batching only, never a single bit of
@@ -908,8 +1129,15 @@ mod tests {
                 .iter()
                 .map(|r| {
                     format!(
-                        "{} {:?} {:?} {:?} {:?} {:?}",
-                        r.iteration, r.point, r.objective, r.feasible, r.weights, r.timing.replay_s
+                        "{} {:?} {:?} {:?} {:?} {:?} {:?} {}",
+                        r.iteration,
+                        r.point,
+                        r.objective,
+                        r.feasible,
+                        r.weights,
+                        r.timing.replay_s,
+                        r.failure,
+                        r.retries
                     )
                 })
                 .collect()

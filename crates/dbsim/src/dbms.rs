@@ -6,6 +6,7 @@
 //! (§4: apply knobs → replay the captured workload window → collect resource,
 //! throughput and latency observations).
 
+use crate::fault::{EvalOutcome, FaultKind, FaultPlan};
 use crate::instance::InstanceType;
 use crate::knobs::Configuration;
 use crate::metrics::{InternalMetrics, ResourceUsage};
@@ -55,6 +56,10 @@ pub struct SimulatedDbms {
     seed: u64,
     noise: f64,
     evals: u64,
+    fault_plan: FaultPlan,
+    /// Noiseless default-configuration throughput, cached on first use by
+    /// the structural-timeout check.
+    baseline_tps: Option<f64>,
 }
 
 impl SimulatedDbms {
@@ -65,13 +70,33 @@ impl SimulatedDbms {
 
     /// Creates a DBMS copy for `workload` on `instance`.
     pub fn new(instance: InstanceType, workload: WorkloadSpec, seed: u64) -> Self {
-        SimulatedDbms { instance, workload, seed, noise: Self::DEFAULT_NOISE, evals: 0 }
+        SimulatedDbms {
+            instance,
+            workload,
+            seed,
+            noise: Self::DEFAULT_NOISE,
+            evals: 0,
+            fault_plan: FaultPlan::none(),
+            baseline_tps: None,
+        }
     }
 
     /// Overrides the observation-noise level (0 disables noise).
     pub fn with_noise(mut self, noise: f64) -> Self {
         self.noise = noise.max(0.0);
         self
+    }
+
+    /// Installs a fault schedule; [`SimulatedDbms::evaluate_outcome`] applies
+    /// it. The default plan is inert.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan
     }
 
     /// The instance this copy runs on.
@@ -103,6 +128,95 @@ impl SimulatedDbms {
         let idx = self.evals;
         self.evals += 1;
         self.observe(config, &perf, idx)
+    }
+
+    /// Fault-aware evaluation: applies `config`, replays the window, and
+    /// reports what actually happened under the installed [`FaultPlan`].
+    ///
+    /// With the default (inert) plan this is bit-identical to
+    /// [`SimulatedDbms::evaluate`] wrapped in `Ok`. Structural faults are
+    /// checked first (they are deterministic in the configuration and charge
+    /// no transient-RNG draws); the transient schedule runs on its own RNG
+    /// stream keyed by `(dbms seed, plan seed, eval index)`, so it never
+    /// perturbs the observation-noise stream of successful evaluations.
+    /// Every attempt — success or failure — consumes one evaluation index.
+    pub fn evaluate_outcome(&mut self, config: &Configuration) -> EvalOutcome {
+        let perf = evaluate_raw(self.instance, &self.workload, config);
+        let idx = self.evals;
+        self.evals += 1;
+        let window = self.replay_window();
+        let plan = self.fault_plan;
+        if plan.structural {
+            if perf.mem_gb > plan.oom_headroom * self.instance.ram_gb() {
+                // The kernel kills the server partway through the window;
+                // restart + crash recovery still burn operator wall-clock.
+                return EvalOutcome::Crashed {
+                    fault: FaultKind::OutOfMemory,
+                    replay_seconds: 0.25 * window + 60.0,
+                };
+            }
+            let baseline = self.baseline_tps();
+            if perf.tps.max(1.0) < baseline / plan.timeout_stretch {
+                // Throughput collapsed: the window cannot finish before the
+                // deadline. The clock charges the stretched window (the cap
+                // at which the harness gives up).
+                return EvalOutcome::TimedOut {
+                    fault: FaultKind::ReplayTimeout,
+                    replay_seconds: window * plan.timeout_stretch,
+                };
+            }
+        }
+        if plan.transient_rate > 0.0 {
+            let mut rng = StdRng::seed_from_u64(
+                self.seed
+                    ^ plan.seed.rotate_left(17)
+                    ^ idx.wrapping_mul(0xD1B54A32D192ED03),
+            );
+            if rng.random::<f64>() < plan.transient_rate {
+                let shape: f64 = rng.random();
+                if shape < 0.5 {
+                    return EvalOutcome::Crashed {
+                        fault: FaultKind::Transient,
+                        replay_seconds: 30.0 + 0.5 * window * rng.random::<f64>(),
+                    };
+                } else if shape < 0.75 {
+                    return EvalOutcome::TimedOut {
+                        fault: FaultKind::Transient,
+                        replay_seconds: window * plan.timeout_stretch,
+                    };
+                }
+                let completeness = 0.3 + 0.5 * rng.random::<f64>();
+                let mut observation = self.observe(config, &perf, idx);
+                observation.replay_seconds *= completeness;
+                return EvalOutcome::Partial { observation, completeness };
+            }
+        }
+        EvalOutcome::Ok(self.observe(config, &perf, idx))
+    }
+
+    /// Simulated replay-window length in seconds (benchmark workloads replay
+    /// a ~3 min window, captured production traces ~5 min).
+    fn replay_window(&self) -> f64 {
+        if self.workload.request_rate.is_some() {
+            182.2
+        } else {
+            302.0
+        }
+    }
+
+    /// Noiseless default-configuration throughput (cached), the reference
+    /// the structural-timeout check compares against.
+    fn baseline_tps(&mut self) -> f64 {
+        match self.baseline_tps {
+            Some(b) => b,
+            None => {
+                let b = evaluate_raw(self.instance, &self.workload, &Configuration::dba_default())
+                    .tps
+                    .max(1.0);
+                self.baseline_tps = Some(b);
+                b
+            }
+        }
     }
 
     /// Deterministic (noise-free) evaluation, for ground-truth harnesses such
@@ -213,5 +327,109 @@ mod tests {
         dbms.evaluate_default();
         dbms.evaluate_default();
         assert_eq!(dbms.evaluations(), 2);
+    }
+
+    #[test]
+    fn inert_fault_plan_matches_plain_evaluate_bit_for_bit() {
+        let mut plain = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 7);
+        let mut faulty = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 7)
+            .with_fault_plan(FaultPlan::none());
+        let config = Configuration::dba_default().with("innodb_thread_concurrency", 16.0);
+        for _ in 0..5 {
+            let a = plain.evaluate(&config);
+            match faulty.evaluate_outcome(&config) {
+                EvalOutcome::Ok(b) => assert_eq!(a, b),
+                other => panic!("inert plan produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_memory_configuration_crashes_with_oom() {
+        // 512 Twitter connections × ~140 MB of per-connection buffers plus an
+        // 85 % buffer pool dwarf a 12 GB instance.
+        let mut dbms = SimulatedDbms::new(InstanceType::B, WorkloadSpec::twitter(), 3)
+            .with_fault_plan(FaultPlan::structural());
+        let hog = Configuration::dba_default()
+            .with("innodb_buffer_pool_frac", 0.85)
+            .with("sort_buffer_size_kb", 65536.0)
+            .with("join_buffer_size_kb", 65536.0)
+            .with("read_buffer_size_kb", 16384.0);
+        match dbms.evaluate_outcome(&hog) {
+            EvalOutcome::Crashed { fault: FaultKind::OutOfMemory, replay_seconds } => {
+                assert!(replay_seconds > 0.0, "a crash still burns wall-clock");
+            }
+            other => panic!("expected OOM crash, got {other:?}"),
+        }
+        // The default configuration on the same box stays fine.
+        assert!(dbms.evaluate_outcome(&Configuration::dba_default()).is_ok());
+    }
+
+    #[test]
+    fn collapsed_throughput_times_out() {
+        // One admitted thread against 512 clients at 30 k txn/s collapses
+        // throughput far below default/stretch.
+        let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 3)
+            .with_fault_plan(FaultPlan::structural());
+        let throttled = Configuration::dba_default().with("innodb_thread_concurrency", 1.0);
+        match dbms.evaluate_outcome(&throttled) {
+            EvalOutcome::TimedOut { fault: FaultKind::ReplayTimeout, replay_seconds } => {
+                assert!(replay_seconds > 182.2, "a timeout charges more than the window");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_schedule_is_deterministic_and_rate_accurate() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), seed)
+                .with_fault_plan(FaultPlan::none().with_transient_rate(0.2).with_seed(11));
+            (0..200).map(|_| !dbms.evaluate_outcome(&Configuration::dba_default()).is_ok()).collect()
+        };
+        let a = schedule(5);
+        assert_eq!(a, schedule(5), "same seeds must replay the same fault schedule");
+        assert_ne!(a, schedule(6), "different seeds should draw different schedules");
+        let failures = a.iter().filter(|f| **f).count();
+        assert!((20..=65).contains(&failures), "~20% of 200 expected, got {failures}");
+    }
+
+    #[test]
+    fn transient_faults_do_not_perturb_successful_observations() {
+        // The transient stream is separate from the noise stream: evaluations
+        // that succeed under an active plan match the plain path at the same
+        // evaluation index, bit for bit.
+        let plan = FaultPlan::none().with_transient_rate(0.3).with_seed(2);
+        let mut plain = SimulatedDbms::new(InstanceType::A, WorkloadSpec::sysbench(), 9);
+        let mut faulty =
+            SimulatedDbms::new(InstanceType::A, WorkloadSpec::sysbench(), 9).with_fault_plan(plan);
+        let config = Configuration::dba_default();
+        let mut compared = 0;
+        for _ in 0..50 {
+            let a = plain.evaluate(&config);
+            if let EvalOutcome::Ok(b) = faulty.evaluate_outcome(&config) {
+                assert_eq!(a, b);
+                compared += 1;
+            }
+        }
+        assert!(compared > 20, "expected mostly-successful evaluations");
+    }
+
+    #[test]
+    fn partial_outcomes_return_truncated_but_usable_samples() {
+        let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 1)
+            .with_fault_plan(FaultPlan::none().with_transient_rate(0.9).with_seed(4));
+        let mut saw_partial = false;
+        for _ in 0..60 {
+            if let EvalOutcome::Partial { observation, completeness } =
+                dbms.evaluate_outcome(&Configuration::dba_default())
+            {
+                assert!((0.3..0.8).contains(&completeness));
+                assert!(observation.tps.is_finite() && observation.tps > 0.0);
+                assert!(observation.replay_seconds < 182.2 * 0.81);
+                saw_partial = true;
+            }
+        }
+        assert!(saw_partial, "a 90% rate over 60 draws should include partials");
     }
 }

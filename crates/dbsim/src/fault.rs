@@ -1,0 +1,212 @@
+//! Configuration-dependent fault model for the simulated replay.
+//!
+//! The paper's Target Workload Replay (§4) applies a recommended
+//! configuration to a live MySQL copy — and a bad knob vector can kill the
+//! server (buffer pool plus per-connection memory beyond instance RAM), hang
+//! the replay window behind a collapsed throughput, or hand back a truncated
+//! sample when the replay client dies early. [`FaultPlan`] models those
+//! failure modes on top of the analytic simulator:
+//!
+//! * **structural faults** are deterministic properties of the configuration
+//!   (OOM when the modeled resident set exceeds RAM with headroom, timeout
+//!   when predicted throughput collapses below the replay deadline), and
+//! * **transient faults** fire from an injectable rate on a seeded RNG
+//!   stream independent of the observation-noise stream, so enabling them
+//!   does not move a single bit of successful observations.
+//!
+//! Every failure still charges simulated replay wall-clock: a crashed replay
+//! burns part of the window plus recovery, a timeout burns the stretched
+//! window up to its cap. The schedule is a pure function of
+//! `(dbms seed, plan seed, evaluation index)` — identical seeds replay the
+//! identical fault schedule, which is what keeps fault-injected tuning runs
+//! bit-reproducible.
+
+use crate::dbms::Observation;
+
+/// What went wrong with one replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The configured memory footprint exceeded instance RAM and the kernel
+    /// killed the server mid-replay.
+    OutOfMemory,
+    /// Predicted throughput collapsed so far below the default that the
+    /// replay window could not finish before its deadline.
+    ReplayTimeout,
+    /// An environment hiccup unrelated to the configuration (network blip,
+    /// crashed replay client, noisy neighbor). Retrying may succeed.
+    Transient,
+}
+
+impl FaultKind {
+    /// Whether a retry of the same configuration can plausibly succeed.
+    /// Structural faults are deterministic in the configuration; only
+    /// transient ones are worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FaultKind::Transient)
+    }
+}
+
+/// The result of one fault-aware evaluation ([`crate::SimulatedDbms::evaluate_outcome`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalOutcome {
+    /// The replay completed and produced a full observation.
+    Ok(Observation),
+    /// The server died mid-replay; no observation was collected.
+    Crashed {
+        /// Why it crashed.
+        fault: FaultKind,
+        /// Simulated wall-clock burned (partial window + restart/recovery).
+        replay_seconds: f64,
+    },
+    /// The replay window did not finish before its deadline.
+    TimedOut {
+        /// Why it timed out.
+        fault: FaultKind,
+        /// Simulated wall-clock burned (the stretched window, capped).
+        replay_seconds: f64,
+    },
+    /// The replay client died early but returned a truncated sample. The
+    /// observation is usable, with wider error bars than a full window.
+    Partial {
+        /// The truncated-window observation.
+        observation: Observation,
+        /// Fraction of the replay window that completed, in (0, 1).
+        completeness: f64,
+    },
+}
+
+impl EvalOutcome {
+    /// Simulated wall-clock seconds this attempt charged, success or not.
+    pub fn replay_seconds(&self) -> f64 {
+        match self {
+            EvalOutcome::Ok(obs) => obs.replay_seconds,
+            EvalOutcome::Crashed { replay_seconds, .. } => *replay_seconds,
+            EvalOutcome::TimedOut { replay_seconds, .. } => *replay_seconds,
+            EvalOutcome::Partial { observation, .. } => observation.replay_seconds,
+        }
+    }
+
+    /// The observation, when one was collected (full or truncated).
+    pub fn observation(&self) -> Option<&Observation> {
+        match self {
+            EvalOutcome::Ok(obs) => Some(obs),
+            EvalOutcome::Partial { observation, .. } => Some(observation),
+            _ => None,
+        }
+    }
+
+    /// The fault behind a non-`Ok` outcome (`Partial` counts as transient:
+    /// the truncation came from the environment, not the configuration).
+    pub fn fault(&self) -> Option<FaultKind> {
+        match self {
+            EvalOutcome::Ok(_) => None,
+            EvalOutcome::Crashed { fault, .. } | EvalOutcome::TimedOut { fault, .. } => {
+                Some(*fault)
+            }
+            EvalOutcome::Partial { .. } => Some(FaultKind::Transient),
+        }
+    }
+
+    /// Whether the replay completed fully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EvalOutcome::Ok(_))
+    }
+
+    /// Whether a retry of the same configuration can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.fault().is_some_and(|f| f.is_transient())
+    }
+}
+
+/// A seeded, deterministic fault schedule for a [`crate::SimulatedDbms`].
+///
+/// The default plan is fully disabled: `evaluate_outcome` then behaves
+/// exactly like the infallible `evaluate`, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that any single replay attempt fails transiently.
+    pub transient_rate: f64,
+    /// Enable configuration-dependent (structural) faults.
+    pub structural: bool,
+    /// OOM fires when the modeled resident set exceeds
+    /// `oom_headroom × instance RAM` (the OS itself needs some of the box).
+    pub oom_headroom: f64,
+    /// Timeout fires when predicted throughput falls below
+    /// `default throughput / timeout_stretch`; the timed-out replay charges
+    /// `timeout_stretch × window` wall-clock.
+    pub timeout_stretch: f64,
+    /// Seed for the transient schedule (independent of the DBMS noise seed).
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults at all — `evaluate_outcome` always returns `Ok`.
+    pub fn none() -> Self {
+        FaultPlan {
+            transient_rate: 0.0,
+            structural: false,
+            oom_headroom: 1.08,
+            timeout_stretch: 4.0,
+            seed: 0,
+        }
+    }
+
+    /// Structural faults only (the realistic production setting: OOM and
+    /// throughput-collapse timeouts, no environment flakiness).
+    pub fn structural() -> Self {
+        FaultPlan { structural: true, ..FaultPlan::none() }
+    }
+
+    /// Sets the transient failure rate (clamped to `[0, 1]`).
+    pub fn with_transient_rate(mut self, rate: f64) -> Self {
+        self.transient_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the transient-schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether any fault source is enabled.
+    pub fn is_active(&self) -> bool {
+        self.structural || self.transient_rate > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn transient_rate_is_clamped() {
+        assert_eq!(FaultPlan::none().with_transient_rate(3.0).transient_rate, 1.0);
+        assert_eq!(FaultPlan::none().with_transient_rate(-1.0).transient_rate, 0.0);
+    }
+
+    #[test]
+    fn only_transient_faults_are_retryable() {
+        assert!(FaultKind::Transient.is_transient());
+        assert!(!FaultKind::OutOfMemory.is_transient());
+        assert!(!FaultKind::ReplayTimeout.is_transient());
+        let crashed = EvalOutcome::Crashed { fault: FaultKind::OutOfMemory, replay_seconds: 1.0 };
+        assert!(!crashed.is_transient());
+        assert_eq!(crashed.fault(), Some(FaultKind::OutOfMemory));
+        assert_eq!(crashed.replay_seconds(), 1.0);
+        assert!(crashed.observation().is_none());
+    }
+}

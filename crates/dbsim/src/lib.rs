@@ -31,6 +31,7 @@
 //! measurement tolerance.
 
 pub mod dbms;
+pub mod fault;
 pub mod instance;
 pub mod knobs;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod model;
 pub mod workload;
 
 pub use dbms::{Observation, SimulatedDbms};
+pub use fault::{EvalOutcome, FaultKind, FaultPlan};
 pub use instance::InstanceType;
 pub use knobs::{Configuration, KnobDef, KnobKind, KnobRegistry, KnobSet};
 pub use metrics::{InternalMetrics, ResourceUsage};

@@ -82,6 +82,33 @@ pub struct InternalMetrics {
 }
 
 impl InternalMetrics {
+    /// An all-zero metrics vector: what a crashed or timed-out replay
+    /// reports (no `SHOW GLOBAL STATUS` sample was collected).
+    pub fn zeroed() -> Self {
+        InternalMetrics {
+            hit_ratio: 0.0,
+            dirty_pct: 0.0,
+            lock_waits_per_s: 0.0,
+            spin_rounds_per_s: 0.0,
+            ctx_switches_per_s: 0.0,
+            pages_read_per_s: 0.0,
+            pages_written_per_s: 0.0,
+            log_writes_per_s: 0.0,
+            threads_running: 0.0,
+            threads_cached: 0.0,
+            tmp_disk_tables_per_s: 0.0,
+            table_open_misses_per_s: 0.0,
+            checkpoint_age_ratio: 0.0,
+            pending_reads: 0.0,
+            pending_writes: 0.0,
+            buffer_pool_util: 0.0,
+            cpu_user_pct: 0.0,
+            cpu_sys_pct: 0.0,
+            io_wait_pct: 0.0,
+            qps: 0.0,
+        }
+    }
+
     /// Flattens to a fixed-order vector (for distance computations and RL
     /// state). Order is stable across the workspace.
     pub fn to_vec(&self) -> Vec<f64> {

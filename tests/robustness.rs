@@ -123,12 +123,27 @@ fn zero_iteration_run_reports_the_default() {
     assert_eq!(outcome.improvement(), 0.0);
 }
 
+fn mismatched_learners() -> Vec<restune::core::meta::BaseLearner> {
+    // Base learners fitted on the 3-dim case-study space.
+    let characterizer = workload::WorkloadCharacterizer::train_default(1);
+    let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 1);
+    let rec = restune::core::repository::TaskRecord::collect(
+        &mut dbms,
+        &KnobSet::case_study(), // 3-dim space
+        ResourceKind::Cpu,
+        &characterizer,
+        8,
+        1,
+    );
+    let mut repo = DataRepository::new();
+    repo.add(rec);
+    repo.base_learners(&gp::GpConfig::fixed(), |_| true)
+}
+
 #[test]
-fn session_with_mismatched_learner_dimensions_is_rejected_by_construction() {
-    // Base learners fitted on a different knob space cannot be used: the
-    // meta-learner's predictions would be dimensional nonsense. The API
-    // surfaces this as a panic at prediction time in debug builds; here we
-    // check the repository-side guard used by the CLI (filter by knob names).
+fn repository_filter_guards_against_mismatched_knob_spaces() {
+    // The repository-side guard used by the CLI: filtering by knob names
+    // keeps foreign-space tasks out of the learner set entirely.
     let characterizer = workload::WorkloadCharacterizer::train_default(1);
     let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 1);
     let rec = restune::core::repository::TaskRecord::collect(
@@ -147,4 +162,23 @@ fn session_with_mismatched_learner_dimensions_is_rejected_by_construction() {
         t.knob_names == wanted.names()
     });
     assert!(learners.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "3-dim knob space; the target space is 14-dim")]
+fn session_with_mismatched_learner_dimensions_is_rejected_by_construction() {
+    // If a caller bypasses the repository filter, the session itself rejects
+    // dimensionally-mismatched base learners at construction — with the
+    // offending task named — rather than panicking at prediction time deep
+    // inside the GP (and only in debug builds).
+    let learners = mismatched_learners();
+    assert!(!learners.is_empty(), "need at least one mismatched learner");
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::cpu()) // 14-dim target space
+        .seed(1)
+        .build();
+    let _ = TuningSession::with_base_learners(env, quick_config(1), learners, vec![0.2; 5]);
 }
