@@ -14,7 +14,6 @@
 use crate::loop_support::EvalLoop;
 use nn::{Ddpg, DdpgConfig, Transition};
 use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningOutcome};
-use std::time::Instant;
 
 /// The CDBTune-with-constraints baseline.
 pub struct CdbTuneWithConstraints {
@@ -31,6 +30,9 @@ impl CdbTuneWithConstraints {
     /// hyperparameters follow CDBTune's published defaults scaled down to the
     /// tuning budget.
     pub fn new(env: TuningEnvironment, config: RestuneConfig) -> Self {
+        if config.trace {
+            trace::enable();
+        }
         let eval = EvalLoop::new(env);
         let state_dim = dbsim::InternalMetrics::DIM;
         let action_dim = eval.problem.knob_set.dim();
@@ -83,13 +85,13 @@ impl CdbTuneWithConstraints {
 
     /// One tuning iteration: act → apply → observe → reward → train.
     pub fn step(&mut self) {
-        let t0 = Instant::now();
+        let recommendation_span = trace::span!("recommendation");
         let state = match &self.prev {
             Some((s, _)) => s.clone(),
             None => self.normalize_state(&self.eval.default_observation.internal.to_vec()),
         };
         let action = self.agent.act_noisy(&state);
-        let recommendation_s = t0.elapsed().as_secs_f64();
+        let recommendation_s = recommendation_span.finish_s();
 
         let prev_objective = self
             .prev
@@ -103,7 +105,7 @@ impl CdbTuneWithConstraints {
         };
         let next_state = self.normalize_state(&metrics);
 
-        let t1 = Instant::now();
+        let model_span = trace::span!("model_update");
         let reward = self.reward(objective, prev_objective, feasible);
         self.agent.observe(Transition {
             state,
@@ -115,7 +117,7 @@ impl CdbTuneWithConstraints {
         for _ in 0..self.train_steps {
             self.agent.train_step();
         }
-        let model_update_s = t1.elapsed().as_secs_f64();
+        let model_update_s = model_span.finish_s();
         // Attribute training time to the stored record.
         if let Some(last) = self.eval_history_last_mut() {
             last.timing.model_update_s = model_update_s;

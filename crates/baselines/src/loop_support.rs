@@ -86,13 +86,17 @@ impl EvalLoop {
     }
 
     /// Evaluates `point`, recording the iteration with the given
-    /// model/recommendation timings.
+    /// model/recommendation timings — the `finish_s()` values of the
+    /// caller's `model_update`/`recommendation` spans, so `IterationTiming`
+    /// and the trace stay one data source (the replay span itself lives in
+    /// `evaluate_with_retry`).
     pub fn evaluate(
         &mut self,
         point: Vec<f64>,
         model_update_s: f64,
         recommendation_s: f64,
     ) -> &IterationRecord {
+        trace::count("loop.iterations", 1);
         let iter = self.history.len();
         let config =
             self.problem.knob_set.to_configuration(&point, &Configuration::dba_default());

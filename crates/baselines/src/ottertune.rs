@@ -18,7 +18,6 @@ use restune_core::lhs::latin_hypercube;
 use restune_core::repository::DataRepository;
 use restune_core::surrogate::{GpTaskModel, TaskSurrogate};
 use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningOutcome};
-use std::time::Instant;
 
 /// The OtterTune-with-constraints baseline.
 pub struct OtterTuneWithConstraints {
@@ -33,6 +32,9 @@ pub struct OtterTuneWithConstraints {
 impl OtterTuneWithConstraints {
     /// Creates a run on `env` transferring from `repository`.
     pub fn new(env: TuningEnvironment, config: RestuneConfig, repository: DataRepository) -> Self {
+        if config.trace {
+            trace::enable();
+        }
         let lhs_plan =
             latin_hypercube(config.init_iters, env.knob_set.dim(), config.seed ^ 0x07);
         OtterTuneWithConstraints {
@@ -106,7 +108,7 @@ impl OtterTuneWithConstraints {
             return;
         }
 
-        let t0 = Instant::now();
+        let model_span = trace::span!("model_update");
         // Merge matched workload data (same knob space) with target data.
         let mut points = self.eval.points.clone();
         points.push(self.eval.default_point.clone());
@@ -133,9 +135,9 @@ impl OtterTuneWithConstraints {
             && (points.len() <= 40 || iter.is_multiple_of(self.config.refit_hypers_every));
         let model = GpTaskModel::fit(&points, &res, &tps, &lat, &gp_config)
             .expect("merged surrogate fit");
-        let model_update_s = t0.elapsed().as_secs_f64();
+        let model_update_s = model_span.finish_s();
 
-        let t1 = Instant::now();
+        let recommendation_span = trace::span!("recommendation");
         // CEI with thresholds at the merged model's default-point prediction.
         let default_pred = model.predict(&self.eval.default_point);
         let sla = self.eval.problem.constraints;
@@ -169,7 +171,7 @@ impl OtterTuneWithConstraints {
             seed,
             |p| cei.value(&model.predict(p)),
         );
-        let recommendation_s = t1.elapsed().as_secs_f64();
+        let recommendation_s = recommendation_span.finish_s();
         self.eval.evaluate(point, model_update_s, recommendation_s);
     }
 

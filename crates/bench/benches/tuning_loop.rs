@@ -115,4 +115,34 @@ fn main() {
             |mut s| black_box(s.step()),
         );
     }
+
+    // Tracing overhead (DESIGN.md §10): the warmed non-meta step with the
+    // collector disabled — the default no-op sink, one relaxed atomic load
+    // per instrumentation site — and enabled. The disabled arm must sit
+    // within 2% of `restune_without_ml_step` above (same workload, the
+    // toggle is the only difference); the enabled arm prices the mutex +
+    // allocation cost of actually recording.
+    for (name, on) in
+        [("restune_step_trace_noop_sink", false), ("restune_step_trace_enabled", true)]
+    {
+        b.bench_with_setup(
+            name,
+            move || {
+                if on {
+                    trace::enable();
+                } else {
+                    trace::disable();
+                }
+                trace::reset();
+                let mut s = TuningSession::new(env(1), quick_config(1));
+                for _ in 0..12 {
+                    s.step();
+                }
+                s
+            },
+            |mut s| black_box(s.step()),
+        );
+    }
+    trace::disable();
+    trace::reset();
 }

@@ -1,9 +1,11 @@
 //! Phase-level drill-down of one tuning step on the serial vs the
-//! parallel/batched path: prints the `IterationTiming` breakdown (including
-//! the new `gp_fit_s`/`weight_update_s` subcomponents) for a warmed
-//! meta-boosted session at the same seed on both paths.
+//! parallel/batched path, rendered from the trace collector (DESIGN.md
+//! §10): the warmed step's span tree shows the per-metric GP fits, the
+//! per-learner posterior draws, and the candidate-scoring chunks that
+//! `IterationTiming` only reports in aggregate.
 
 use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune_bench::trace_view;
 use restune_core::acquisition::AcquisitionOptimizer;
 use restune_core::problem::ResourceKind;
 use restune_core::repository::{DataRepository, TaskRecord};
@@ -29,8 +31,7 @@ fn main() {
     let learners = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
     let mf = characterizer.embed_workload(&WorkloadSpec::twitter(), 1).probs;
 
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "path", "meta(ms)", "model(ms)", "gpfit(ms)", "weights(ms)", "recommend(ms)");
+    trace::enable();
     for (name, parallel) in [("serial", false), ("parallel", true)] {
         let mut config = RestuneConfig {
             optimizer: AcquisitionOptimizer { n_candidates: 600, n_local: 120, local_sigma: 0.08 },
@@ -48,19 +49,17 @@ fn main() {
             .seed(3)
             .build();
         let mut s = TuningSession::with_base_learners(env, config, learners.clone(), mf.clone());
+        // Warm past the bootstrap so dynamic weights and the full ensemble
+        // are live, then trace exactly one step.
         for _ in 0..13 {
             s.step();
         }
-        let r = s.step();
-        let t = r.timing;
-        println!(
-            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            name,
-            t.meta_data_processing_s * 1e3,
-            t.model_update_s * 1e3,
-            t.gp_fit_s * 1e3,
-            t.weight_update_s * 1e3,
-            t.recommendation_s * 1e3,
-        );
+        trace::reset();
+        s.step();
+        let snap = trace::snapshot();
+        println!("== {name} path, one warmed step ==");
+        print!("{}", trace_view::render_span_tree(&snap));
+        println!();
     }
+    trace::disable();
 }

@@ -1,0 +1,130 @@
+//! Renders a trace JSONL file (DESIGN.md §10) as a flamegraph-style span
+//! tree plus a Table-3-compatible phase breakdown — or, with `--session
+//! [iters]`, runs a seeded traced tuning session first, writes its trace,
+//! and cross-checks the span totals against the session's
+//! `IterationTiming` sums.
+//!
+//! Usage:
+//!   trace_report <file.trace.jsonl>
+//!   trace_report --session [iters] [--out <file.trace.jsonl>]
+
+use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune_bench::report::results_dir;
+use restune_bench::trace_view;
+use restune_core::acquisition::AcquisitionOptimizer;
+use restune_core::problem::ResourceKind;
+use restune_core::repository::{DataRepository, TaskRecord};
+use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningSession};
+use trace::TraceSnapshot;
+use workload::WorkloadCharacterizer;
+
+fn report(snap: &TraceSnapshot) {
+    println!("== span tree ==");
+    print!("{}", trace_view::render_span_tree(snap));
+    println!();
+    print!("{}", trace_view::render_breakdown(snap));
+}
+
+/// Runs a seeded, meta-boosted, traced session and returns its snapshot
+/// plus the per-phase `IterationTiming` sums for cross-checking.
+fn traced_session(iters: usize) -> (TraceSnapshot, [(&'static str, f64); 5]) {
+    let characterizer = WorkloadCharacterizer::train_default(2);
+    let mut repo = DataRepository::new();
+    for (i, spec) in WorkloadSpec::twitter_variations().into_iter().take(3).enumerate() {
+        let mut dbms = SimulatedDbms::new(InstanceType::A, spec, 30 + i as u64);
+        repo.add(TaskRecord::collect(
+            &mut dbms,
+            &KnobSet::case_study(),
+            ResourceKind::Cpu,
+            &characterizer,
+            15,
+            40 + i as u64,
+        ));
+    }
+    let learners = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
+    let mf = characterizer.embed_workload(&WorkloadSpec::twitter(), 1).probs;
+
+    trace::enable();
+    trace::reset();
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(7)
+        .build();
+    let config = RestuneConfig {
+        optimizer: AcquisitionOptimizer { n_candidates: 400, n_local: 80, local_sigma: 0.08 },
+        gp: gp::GpConfig { restarts: 1, adam_iters: 15, ..Default::default() },
+        dynamic_samples: 12,
+        init_iters: 3,
+        seed: 7,
+        trace: true,
+        ..Default::default()
+    };
+    let mut session = TuningSession::with_base_learners(env, config, learners, mf);
+    let mut sums = [
+        ("meta_data_processing", 0.0),
+        ("model_update", 0.0),
+        ("gp_fit", 0.0),
+        ("weight_update", 0.0),
+        ("recommendation", 0.0),
+    ];
+    for _ in 0..iters {
+        let t = session.step().timing;
+        sums[0].1 += t.meta_data_processing_s;
+        sums[1].1 += t.model_update_s;
+        sums[2].1 += t.gp_fit_s;
+        sums[3].1 += t.weight_update_s;
+        sums[4].1 += t.recommendation_s;
+    }
+    let snap = trace::snapshot();
+    trace::disable();
+    (snap, sums)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--session") {
+        let iters: usize =
+            args.get(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| results_dir().join("session.trace.jsonl"));
+        let (snap, sums) = traced_session(iters);
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create trace output dir");
+        }
+        snap.write_jsonl(&out).expect("write trace jsonl");
+        println!("traced {iters}-iteration session -> {}\n", out.display());
+        report(&snap);
+        println!("\n== span totals vs IterationTiming sums ==");
+        let mut max_rel = 0.0_f64;
+        for (phase, timing_sum) in sums {
+            let span_total = snap.total_for(phase);
+            let rel = if timing_sum > 0.0 {
+                (span_total - timing_sum).abs() / timing_sum
+            } else {
+                0.0
+            };
+            max_rel = max_rel.max(rel);
+            println!(
+                "  {phase:<22} spans {span_total:>10.4}s   timing {timing_sum:>10.4}s   delta {:.3}%",
+                100.0 * rel
+            );
+        }
+        println!("  max delta: {:.3}% (acceptance bound: 1%)", 100.0 * max_rel);
+        assert!(max_rel < 0.01, "span totals diverge from IterationTiming by {max_rel}");
+        return;
+    }
+    let Some(path) = args.first() else {
+        eprintln!("usage: trace_report <file.trace.jsonl> | trace_report --session [iters] [--out <file>]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).expect("read trace file");
+    let snap = TraceSnapshot::from_jsonl(&text).expect("parse trace jsonl");
+    report(&snap);
+}

@@ -81,9 +81,14 @@ fn six_learners() -> (Vec<BaseLearner>, Vec<f64>) {
     (learners, mf)
 }
 
-/// Runs the sweep.
+/// Runs the sweep. Failure tallies and the charged replay clock are read
+/// from the trace collector (`replay.*` counters and the `replay.sim_s`
+/// histogram, DESIGN.md §10) — the same data source as `trace_report` — so
+/// the fault table and Table 3 render from one instrumentation layer.
 pub fn run() -> FaultSweepResult {
     let (learners, mf) = six_learners();
+    let was_enabled = trace::enabled();
+    trace::enable();
     let mut rows = Vec::new();
     for rate in RATES {
         eprintln!("[fault_sweep] rate = {rate:.2} ...");
@@ -98,6 +103,7 @@ pub fn run() -> FaultSweepResult {
             replay_min: 0.0,
         };
         for &seed in &SEEDS {
+            trace::reset();
             let env = TuningEnvironment::builder()
                 .instance(InstanceType::A)
                 .workload(WorkloadSpec::twitter())
@@ -122,16 +128,21 @@ pub fn run() -> FaultSweepResult {
                 TuningSession::with_base_learners(env, config, learners.clone(), mf.clone())
                     .run(ITERS);
             row.improvement += outcome.improvement();
-            row.crashes += outcome.failures.crashes;
-            row.timeouts += outcome.failures.timeouts;
-            row.partials += outcome.failures.partials;
-            row.retries += outcome.failures.retries;
-            row.replay_min +=
-                outcome.history.iter().map(|r| r.timing.replay_s).sum::<f64>() / 60.0;
+            let snap = trace::snapshot();
+            debug_assert_eq!(snap.counter("replay.retries") as usize, outcome.failures.retries);
+            row.crashes += snap.counter("replay.crash") as usize;
+            row.timeouts += snap.counter("replay.timeout") as usize;
+            row.partials += snap.counter("replay.partial") as usize;
+            row.retries += snap.counter("replay.retries") as usize;
+            row.replay_min += snap.hist("replay.sim_s").map(|h| h.sum).unwrap_or(0.0) / 60.0;
         }
         row.improvement /= SEEDS.len() as f64;
         row.replay_min /= SEEDS.len() as f64;
         rows.push(row);
+    }
+    trace::reset();
+    if !was_enabled {
+        trace::disable();
     }
     FaultSweepResult { iters: ITERS, seeds: SEEDS.to_vec(), rows }
 }

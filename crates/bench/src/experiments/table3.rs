@@ -9,6 +9,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report;
+use crate::trace_view::PhaseMeans;
 use baselines::method::Setting;
 use baselines::Method;
 use dbsim::{InstanceType, WorkloadSpec};
@@ -42,8 +43,11 @@ pub struct Table3Result {
     pub rows: Vec<MethodBreakdown>,
 }
 
-/// Runs each method briefly on SYSBENCH@A and averages iteration timings
-/// (skipping the bootstrap iterations where models are trivial).
+/// Runs each method briefly on SYSBENCH@A with the trace collector on, and
+/// derives each row from that run's [`trace::TraceSnapshot`] — the same data
+/// source `trace_report` renders (DESIGN.md §10). Means are taken over every
+/// iteration of the run (bootstrap included), with the simulated replay
+/// clock from the `replay.sim_s` histogram.
 pub fn run(ctx: &ExperimentContext, iterations: usize) -> Table3Result {
     let workload = WorkloadSpec::sysbench();
     let methods = [
@@ -53,32 +57,28 @@ pub fn run(ctx: &ExperimentContext, iterations: usize) -> Table3Result {
         Method::CdbTuneWithConstraints,
         Method::OtterTuneWithConstraints,
     ];
+    let was_enabled = trace::enabled();
+    trace::enable();
     let mut rows = Vec::new();
     for method in methods {
-        let outcome =
+        trace::reset();
+        let _outcome =
             ctx.run(method, InstanceType::A, &workload, Setting::Original, iterations, ctx.seed);
-        let tail: Vec<_> = outcome.history.iter().skip(iterations / 3).collect();
-        let n = tail.len().max(1) as f64;
-        let mean = |f: fn(&restune_core::tuner::IterationTiming) -> f64| {
-            tail.iter().map(|r| f(&r.timing)).sum::<f64>() / n
-        };
-        let meta = mean(|t| t.meta_data_processing_s);
-        let model = mean(|t| t.model_update_s);
-        let gp_fit = mean(|t| t.gp_fit_s);
-        let weight = mean(|t| t.weight_update_s);
-        let rec = mean(|t| t.recommendation_s);
-        let replay = mean(|t| t.replay_s);
-        let total = meta + model + rec + replay;
+        let p = PhaseMeans::from_snapshot(&trace::snapshot());
         rows.push(MethodBreakdown {
             method: method.name().to_string(),
-            meta_data_processing_s: meta,
-            model_update_s: model,
-            gp_fit_s: gp_fit,
-            weight_update_s: weight,
-            recommendation_s: rec,
-            replay_s: replay,
-            replay_share: replay / total,
+            meta_data_processing_s: p.meta_data_processing_s,
+            model_update_s: p.model_update_s,
+            gp_fit_s: p.gp_fit_s,
+            weight_update_s: p.weight_update_s,
+            recommendation_s: p.recommendation_s,
+            replay_s: p.replay_s,
+            replay_share: p.replay_share(),
         });
+    }
+    trace::reset();
+    if !was_enabled {
+        trace::disable();
     }
     Table3Result { rows }
 }

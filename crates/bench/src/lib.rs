@@ -15,5 +15,6 @@ pub mod context;
 pub mod experiments;
 pub mod microbench;
 pub mod report;
+pub mod trace_view;
 
 pub use context::{ExperimentContext, Scale};

@@ -155,7 +155,10 @@ impl AcquisitionOptimizer {
         mut score: impl FnMut(&[f64]) -> f64,
     ) -> Vec<f64> {
         let candidates = self.generate_candidates(dim, anchors, seed);
+        trace::count("acq.candidates_scored", candidates.len() as u64);
+        let span = trace::span!("score_candidates", n = candidates.len());
         let scores: Vec<f64> = candidates.iter().map(|p| score(p)).collect();
+        let _ = span.finish_s();
         Self::select(candidates, &scores)
     }
 
@@ -174,14 +177,27 @@ impl AcquisitionOptimizer {
         score_batch: impl Fn(&[Vec<f64>]) -> Vec<f64> + Sync,
     ) -> Vec<f64> {
         let candidates = self.generate_candidates(dim, anchors, seed);
+        trace::count("acq.candidates_scored", candidates.len() as u64);
+        // Chunk-scoring spans re-enter the caller's context so parallel
+        // scoring aggregates under the ambient `recommendation` path.
+        let trace_ctx = trace::current_context();
         let scores: Vec<f64> = if parallel {
             let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
             let chunk = candidates.len().div_ceil(threads).max(1);
             let score_batch = &score_batch;
+            let trace_ctx = &trace_ctx;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk)
-                    .map(|c| scope.spawn(move || score_batch(c)))
+                    .map(|c| {
+                        scope.spawn(move || {
+                            let _trace_guard = trace_ctx.enter();
+                            let span = trace::span!("score_candidates", n = c.len());
+                            let scores = score_batch(c);
+                            let _ = span.finish_s();
+                            scores
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -189,7 +205,10 @@ impl AcquisitionOptimizer {
                     .collect()
             })
         } else {
-            score_batch(&candidates)
+            let span = trace::span!("score_candidates", n = candidates.len());
+            let scores = score_batch(&candidates);
+            let _ = span.finish_s();
+            scores
         };
         assert_eq!(scores.len(), candidates.len(), "scorer must return one score per candidate");
         Self::select(candidates, &scores)

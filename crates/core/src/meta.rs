@@ -245,11 +245,19 @@ pub fn dynamic_weights_with_options(
         return w;
     }
 
+    trace::count("meta.weight_updates", 1);
+
     // Pre-draw posterior samples per learner per metric.
     // draws[learner][metric][sample] -> predictions at `points`.
     let mut seeder = SplitMix64::new(seed);
     let stream_seeds: Vec<u64> = (0..(t + 1) * 3).map(|_| seeder.next_u64()).collect();
+    // Draw spans re-enter the caller's context so the per-learner fan-out
+    // aggregates under the ambient `weight_update` path on both the scoped
+    // threads and the serial fallback.
+    let trace_ctx = trace::current_context();
     let draw_learner = |li: usize| -> [Vec<Vec<f64>>; 3] {
+        let _trace_guard = trace_ctx.enter();
+        let span = trace::span!("learner_draws", learner = li);
         let model = if li == t { target } else { &base[li].model };
         let metric = |m: usize, gp: &GaussianProcess| -> Vec<Vec<f64>> {
             let mut rng = StdRng::seed_from_u64(stream_seeds[li * 3 + m]);
@@ -259,7 +267,9 @@ pub fn dynamic_weights_with_options(
                 posterior_draws(gp, points, samples, &mut rng)
             }
         };
-        [metric(0, &model.res), metric(1, &model.tps), metric(2, &model.lat)]
+        let out = [metric(0, &model.res), metric(1, &model.tps), metric(2, &model.lat)];
+        let _ = span.finish_s();
+        out
     };
     let draws: Vec<[Vec<Vec<f64>>; 3]> = if parallel {
         let draw_learner = &draw_learner;

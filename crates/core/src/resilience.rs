@@ -52,13 +52,25 @@ pub struct FailureCounts {
 }
 
 impl FailureCounts {
-    /// Records one resolved iteration.
+    /// Records one resolved iteration. Mirrors the tally into the trace
+    /// counters (`replay.crash` / `replay.timeout` / `replay.partial` /
+    /// `replay.retries`) so fault tables render from the trace alone.
     pub fn record(&mut self, failure: Option<FailureKind>, retries: usize) {
         self.retries += retries;
+        trace::count("replay.retries", retries as u64);
         match failure {
-            Some(FailureKind::Crash) => self.crashes += 1,
-            Some(FailureKind::Timeout) => self.timeouts += 1,
-            Some(FailureKind::Partial) => self.partials += 1,
+            Some(FailureKind::Crash) => {
+                self.crashes += 1;
+                trace::count("replay.crash", 1);
+            }
+            Some(FailureKind::Timeout) => {
+                self.timeouts += 1;
+                trace::count("replay.timeout", 1);
+            }
+            Some(FailureKind::Partial) => {
+                self.partials += 1;
+                trace::count("replay.partial", 1);
+            }
             None => {}
         }
     }
@@ -109,19 +121,26 @@ pub fn evaluate_with_retry(
     config: &Configuration,
     policy: &ReplayPolicy,
 ) -> ReplayResult {
+    // The span measures harness wall-clock; the *simulated* replay seconds
+    // (the paper's cost metric, and part of the determinism fingerprint)
+    // are recorded separately as the `replay.sim_s` histogram.
+    let span = trace::span!("replay");
     let mut retries = 0;
     let mut replay_s = 0.0;
     let mut backoff = policy.backoff_s.max(0.0);
-    loop {
+    let result = loop {
         let outcome = dbms.evaluate_outcome(config);
         replay_s += outcome.replay_seconds();
         if outcome.is_ok() || !outcome.is_transient() || retries >= policy.max_retries {
-            return ReplayResult { outcome, retries, replay_s };
+            break ReplayResult { outcome, retries, replay_s };
         }
         retries += 1;
         replay_s += backoff;
         backoff *= 2.0;
-    }
+    };
+    trace::observe("replay.sim_s", result.replay_s);
+    let _ = span.finish_s();
+    result
 }
 
 /// The synthetic observation a crashed/timed-out replay contributes.

@@ -78,20 +78,31 @@ impl GpTaskModel {
         let res_std = scalers.res.transform_all(res_raw);
         let tps_std = scalers.tps.transform_all(tps_raw);
         let lat_std = scalers.lat.transform_all(lat_raw);
+        // Per-metric fit spans; the scoped-thread fits re-enter the calling
+        // thread's span context so they aggregate under the ambient
+        // `gp_fit` path whichever path runs.
+        let ctx = trace::current_context();
+        let timed_fit = |name: &'static str, pts: Vec<Vec<f64>>, ys: Vec<f64>| {
+            let _guard = ctx.enter();
+            let span = trace::Span::new(name).with_field("n_obs", ys.len() as f64);
+            let fitted = GaussianProcess::fit(pts, ys, config);
+            let _ = span.finish_s();
+            fitted
+        };
         let (res, tps, lat) = if parallel {
             let pts_tps = pts.clone();
             let pts_lat = pts.clone();
             std::thread::scope(|scope| {
-                let tps_h = scope.spawn(|| GaussianProcess::fit(pts_tps, tps_std, config));
-                let lat_h = scope.spawn(|| GaussianProcess::fit(pts_lat, lat_std, config));
-                let res = GaussianProcess::fit(pts, res_std, config);
+                let tps_h = scope.spawn(|| timed_fit("fit_tps", pts_tps, tps_std));
+                let lat_h = scope.spawn(|| timed_fit("fit_lat", pts_lat, lat_std));
+                let res = timed_fit("fit_res", pts, res_std);
                 (res, tps_h.join().expect("tps fit panicked"), lat_h.join().expect("lat fit panicked"))
             })
         } else {
             (
-                GaussianProcess::fit(pts.clone(), res_std, config),
-                GaussianProcess::fit(pts.clone(), tps_std, config),
-                GaussianProcess::fit(pts, lat_std, config),
+                timed_fit("fit_res", pts.clone(), res_std),
+                timed_fit("fit_tps", pts.clone(), tps_std),
+                timed_fit("fit_lat", pts, lat_std),
             )
         };
         Ok(GpTaskModel { res: res?, tps: tps?, lat: lat?, scalers })

@@ -20,7 +20,6 @@ use dbsim::{
 };
 use gp::GpConfig;
 use xrand::{RngExt, SeedableRng};
-use std::time::Instant;
 
 /// The target DBMS copy plus the search space and objective.
 #[derive(Debug, Clone)]
@@ -180,6 +179,13 @@ pub struct RestuneConfig {
     pub max_retries: usize,
     /// Initial retry backoff in simulated seconds (doubles per retry).
     pub retry_backoff_s: f64,
+    /// Turn on the global trace collector (DESIGN.md §10) when the session
+    /// is built. Off by default: the no-op sink costs one atomic load per
+    /// instrumentation site. `trace::init_from_env()` / `RESTUNE_TRACE=1`
+    /// offers the same switch without a config edit. Tracing reads clocks
+    /// only — never RNG streams or observations — so enabling it cannot
+    /// change tuning output.
+    pub trace: bool,
     /// Algorithm seed (acquisition optimizer, weight sampling).
     pub seed: u64,
 }
@@ -203,6 +209,7 @@ impl Default for RestuneConfig {
             parallel: true,
             max_retries: 2,
             retry_backoff_s: 5.0,
+            trace: false,
             seed: 0,
         }
     }
@@ -404,6 +411,9 @@ impl TuningSession {
         target_meta_feature: Vec<f64>,
         use_meta: bool,
     ) -> Self {
+        if config.trace {
+            trace::enable();
+        }
         let default_observation = env.dbms.evaluate(&Configuration::dba_default());
         let sla = SlaConstraints::from_default_observation(&default_observation);
         let problem = TuningProblem {
@@ -501,6 +511,14 @@ impl TuningSession {
         gp_config.optimize_hypers = self.config.gp.optimize_hypers
             && (n <= 40 || iter.is_multiple_of(self.config.refit_hypers_every));
         gp_config.seed = self.config.seed;
+        // Cache-style tally of the hyperparameter-refit schedule: a "miss"
+        // pays the full marginal-likelihood optimization, a "hit" reuses the
+        // previous hyperparameters.
+        if gp_config.optimize_hypers {
+            trace::count("gp.hypers.refit", 1);
+        } else {
+            trace::count("gp.hypers.reuse", 1);
+        }
         GpTaskModel::fit_with_scalers(
             &self.points,
             res,
@@ -534,12 +552,17 @@ impl TuningSession {
     pub fn step(&mut self) -> IterationRecord {
         let iter = self.history.len();
         let seed = self.config.seed.wrapping_add(iter as u64).wrapping_mul(0x9E37);
+        // All wall-clock fields of `IterationTiming` are the `finish_s()`
+        // values of the spans below — there is no second stopwatch
+        // (DESIGN.md §10). `replay_s` alone stays *simulated* seconds from
+        // the DBMS (it is part of the determinism fingerprint).
+        let iteration_span = trace::span!("iteration", iter = iter);
 
         // ---- meta-data processing: scale unification ----------------------
         // Builds the objective column the surrogate trains on (penalized for
         // the penalty-EI ablation) and fits the standardizers the model
         // update below *uses* — not a throwaway probe.
-        let t0 = Instant::now();
+        let meta_span = trace::span!("meta_data_processing");
         let res_col = match self.config.acquisition {
             // Penalty-based constrained BO (§2's simple alternative): the
             // surrogate is fit on a *penalized* objective — infeasible
@@ -549,15 +572,16 @@ impl TuningSession {
             _ => self.res.clone(),
         };
         let scalers = crate::scale::TaskScalers::fit(&res_col, &self.tps, &self.lat);
-        let meta_data_processing_s = t0.elapsed().as_secs_f64();
+        let meta_data_processing_s = meta_span.finish_s();
 
         // ---- model update: surrogate fit + weights + ensemble ---------------
-        let t1 = Instant::now();
+        let model_span = trace::span!("model_update");
+        let fit_span = trace::span!("gp_fit", n_obs = self.points.len());
         let fit = self.fit_target(&res_col, scalers);
-        let gp_fit_s = t1.elapsed().as_secs_f64();
+        let gp_fit_s = fit_span.finish_s();
         let (point, weights, model_update_s, weight_update_s, recommendation_s) = match fit {
             Ok(target) => {
-                let tw = Instant::now();
+                let weight_span = trace::span!("weight_update");
                 let (surrogate, weights): (MetaLearner, Option<Vec<f64>>) = if self.use_meta
                     && !self.base_learners.is_empty()
                 {
@@ -593,11 +617,11 @@ impl TuningSession {
                 } else {
                     (MetaLearner::target_only(target), None)
                 };
-                let weight_update_s = tw.elapsed().as_secs_f64();
-                let model_update_s = t1.elapsed().as_secs_f64();
+                let weight_update_s = weight_span.finish_s();
+                let model_update_s = model_span.finish_s();
 
                 // ---- knob recommendation ---------------------------------
-                let t2 = Instant::now();
+                let recommendation_span = trace::span!("recommendation");
                 let lhs_init = iter < self.config.init_iters
                     && (!self.use_meta || self.config.init_strategy == InitStrategy::Lhs);
                 // During the static bootstrap the ensemble mixes base-learners from
@@ -628,7 +652,8 @@ impl TuningSession {
                 } else {
                     self.optimize_acquisition(&surrogate, constraints_from_target, seed)
                 };
-                (point, weights, model_update_s, weight_update_s, t2.elapsed().as_secs_f64())
+                let recommendation_s = recommendation_span.finish_s();
+                (point, weights, model_update_s, weight_update_s, recommendation_s)
             }
             Err(_) => {
                 // A degenerate observation set (non-finite values, pathological
@@ -638,7 +663,8 @@ impl TuningSession {
                 let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xFA11);
                 let point: Vec<f64> =
                     (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect();
-                (point, None, gp_fit_s, 0.0, 0.0)
+                let model_update_s = model_span.finish_s();
+                (point, None, model_update_s, 0.0, 0.0)
             }
         };
 
@@ -705,6 +731,8 @@ impl TuningSession {
         };
         self.history.push(record.clone());
         self.check_convergence();
+        trace::count("loop.iterations", 1);
+        let _ = iteration_span.finish_s();
         record
     }
 

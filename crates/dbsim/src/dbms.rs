@@ -124,9 +124,11 @@ impl SimulatedDbms {
     /// evaluation. Observation noise is seeded by `(dbms seed, eval index)` so
     /// whole experiments are reproducible.
     pub fn evaluate(&mut self, config: &Configuration) -> Observation {
+        trace::count("dbsim.evals", 1);
         let perf = evaluate_raw(self.instance, &self.workload, config);
         let idx = self.evals;
         self.evals += 1;
+        trace::count("dbsim.outcome.ok", 1);
         self.observe(config, &perf, idx)
     }
 
@@ -141,6 +143,7 @@ impl SimulatedDbms {
     /// perturbs the observation-noise stream of successful evaluations.
     /// Every attempt — success or failure — consumes one evaluation index.
     pub fn evaluate_outcome(&mut self, config: &Configuration) -> EvalOutcome {
+        trace::count("dbsim.evals", 1);
         let perf = evaluate_raw(self.instance, &self.workload, config);
         let idx = self.evals;
         self.evals += 1;
@@ -150,6 +153,7 @@ impl SimulatedDbms {
             if perf.mem_gb > plan.oom_headroom * self.instance.ram_gb() {
                 // The kernel kills the server partway through the window;
                 // restart + crash recovery still burn operator wall-clock.
+                trace::count("dbsim.outcome.crash", 1);
                 return EvalOutcome::Crashed {
                     fault: FaultKind::OutOfMemory,
                     replay_seconds: 0.25 * window + 60.0,
@@ -160,6 +164,7 @@ impl SimulatedDbms {
                 // Throughput collapsed: the window cannot finish before the
                 // deadline. The clock charges the stretched window (the cap
                 // at which the harness gives up).
+                trace::count("dbsim.outcome.timeout", 1);
                 return EvalOutcome::TimedOut {
                     fault: FaultKind::ReplayTimeout,
                     replay_seconds: window * plan.timeout_stretch,
@@ -175,22 +180,26 @@ impl SimulatedDbms {
             if rng.random::<f64>() < plan.transient_rate {
                 let shape: f64 = rng.random();
                 if shape < 0.5 {
+                    trace::count("dbsim.outcome.crash", 1);
                     return EvalOutcome::Crashed {
                         fault: FaultKind::Transient,
                         replay_seconds: 30.0 + 0.5 * window * rng.random::<f64>(),
                     };
                 } else if shape < 0.75 {
+                    trace::count("dbsim.outcome.timeout", 1);
                     return EvalOutcome::TimedOut {
                         fault: FaultKind::Transient,
                         replay_seconds: window * plan.timeout_stretch,
                     };
                 }
+                trace::count("dbsim.outcome.partial", 1);
                 let completeness = 0.3 + 0.5 * rng.random::<f64>();
                 let mut observation = self.observe(config, &perf, idx);
                 observation.replay_seconds *= completeness;
                 return EvalOutcome::Partial { observation, completeness };
             }
         }
+        trace::count("dbsim.outcome.ok", 1);
         EvalOutcome::Ok(self.observe(config, &perf, idx))
     }
 
@@ -208,8 +217,12 @@ impl SimulatedDbms {
     /// the structural-timeout check compares against.
     fn baseline_tps(&mut self) -> f64 {
         match self.baseline_tps {
-            Some(b) => b,
+            Some(b) => {
+                trace::count("dbsim.baseline_tps.hit", 1);
+                b
+            }
             None => {
+                trace::count("dbsim.baseline_tps.miss", 1);
                 let b = evaluate_raw(self.instance, &self.workload, &Configuration::dba_default())
                     .tps
                     .max(1.0);

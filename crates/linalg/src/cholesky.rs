@@ -81,6 +81,7 @@ impl Cholesky {
                 }
             }
         }
+        trace::count("linalg.cholesky.factor", 1);
         Ok(Cholesky { l, jitter })
     }
 
@@ -117,6 +118,7 @@ impl Cholesky {
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch { expected: n, found: b.len() });
         }
+        trace::count("linalg.cholesky.solve", 1);
         let mut y = b.to_vec();
         for i in 0..n {
             let row = self.l.row(i);
@@ -135,6 +137,7 @@ impl Cholesky {
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch { expected: n, found: b.len() });
         }
+        trace::count("linalg.cholesky.solve", 1);
         let mut x = b.to_vec();
         for i in (0..n).rev() {
             let mut acc = 0.0;
@@ -165,6 +168,9 @@ impl Cholesky {
         if b.rows() != n {
             return Err(LinalgError::DimensionMismatch { expected: n, found: b.rows() });
         }
+        // One blocked pass stands in for `cols` per-column forward solves;
+        // count it as such so batched and per-point paths tally comparably.
+        trace::count("linalg.cholesky.solve", b.cols() as u64);
         let m = b.cols();
         let mut y = b.clone();
         let mut acc = vec![0.0; m];

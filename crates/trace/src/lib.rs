@@ -1,0 +1,600 @@
+//! Structured tracing + metrics for the tuning stack (DESIGN.md §10).
+//!
+//! Three primitives feed one global, thread-safe, in-memory collector:
+//!
+//! - **Spans** — nested wall-clock timers with slash-joined paths
+//!   (`iteration/model_update/gp_fit`). Nesting is tracked per thread; a
+//!   [`TraceContext`] carries the ambient path onto `std::thread::scope`
+//!   workers so parallel stages aggregate under their logical parent.
+//! - **Counters** — monotone `u64` tallies (`dbsim.evals`, `replay.retries`).
+//! - **Histograms** — `{count, sum, min, max}` summaries of `f64` samples
+//!   (`replay.sim_s`).
+//!
+//! The collector is **disabled by default** and costs one relaxed atomic
+//! load per call site when off. [`Span::finish_s`] always returns the
+//! measured duration — callers such as `IterationTiming` consume the number
+//! whether or not an event is recorded — so instrumentation replaces, rather
+//! than duplicates, ad-hoc `Instant::now()` pairs.
+//!
+//! Tracing must never perturb tuning: it reads clocks, not RNG streams or
+//! observations, so same-seed runs are bit-identical with tracing on or off
+//! (`tests/determinism.rs` proves it).
+//!
+//! Snapshots serialize to JSONL (one event per line) via `minjson` and parse
+//! back losslessly; `restune-bench`'s `trace_report` renders them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use minjson::Json;
+
+// ---------------------------------------------------------------------------
+// Global collector
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn collector() -> MutexGuard<'static, Collector> {
+    static COLLECTOR: OnceLock<Mutex<Collector>> = OnceLock::new();
+    let lock = COLLECTOR.get_or_init(|| Mutex::new(Collector::default()));
+    // A panic while holding the lock only poisons diagnostics; keep going.
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Default)]
+struct Collector {
+    spans: Vec<SpanEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+}
+
+/// Turns event recording on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns event recording off (buffered events are kept until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether events are currently recorded.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables tracing when `RESTUNE_TRACE` is set to `1`, `true`, or `on`.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("RESTUNE_TRACE") {
+        if matches!(v.as_str(), "1" | "true" | "on") {
+            enable();
+        }
+    }
+}
+
+/// Clears all buffered events, counters, and histograms.
+pub fn reset() {
+    let mut c = collector();
+    c.spans.clear();
+    c.counters.clear();
+    c.hists.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static PATH_STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn joined_path(stack: &[&'static str]) -> String {
+    stack.join("/")
+}
+
+/// One finished span occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Slash-joined nesting path, e.g. `iteration/model_update/gp_fit`.
+    pub path: String,
+    /// Measured monotonic wall-clock duration, seconds.
+    pub dur_s: f64,
+    /// Optional numeric annotations (`learner`, `iter`, …).
+    pub fields: Vec<(String, f64)>,
+}
+
+/// A live span. Create with [`span!`]; close with [`Span::finish_s`] to get
+/// the duration, or let it drop to record without reading the value.
+pub struct Span {
+    start: Instant,
+    // `Some` iff tracing was enabled at creation (the path segment was pushed
+    // onto this thread's stack and must be popped exactly once).
+    rec: Option<SpanRec>,
+}
+
+struct SpanRec {
+    path: String,
+    fields: Vec<(String, f64)>,
+}
+
+impl Span {
+    /// Starts a span named `name` nested under this thread's current path.
+    pub fn new(name: &'static str) -> Span {
+        let rec = if enabled() {
+            let path = PATH_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                s.push(name);
+                joined_path(&s)
+            });
+            Some(SpanRec { path, fields: Vec::new() })
+        } else {
+            None
+        };
+        Span { start: Instant::now(), rec }
+    }
+
+    /// Attaches a numeric field (no-op when tracing is disabled).
+    pub fn with_field(mut self, key: &'static str, value: f64) -> Span {
+        if let Some(rec) = &mut self.rec {
+            rec.fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Stops the clock, records the event (when enabled at creation), and
+    /// returns the elapsed seconds. Always measures, even when disabled.
+    pub fn finish_s(mut self) -> f64 {
+        let dur_s = self.start.elapsed().as_secs_f64();
+        self.close(dur_s);
+        dur_s
+    }
+
+    fn close(&mut self, dur_s: f64) {
+        if let Some(rec) = self.rec.take() {
+            PATH_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            collector().spans.push(SpanEvent { path: rec.path, dur_s, fields: rec.fields });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_s = self.start.elapsed().as_secs_f64();
+        self.close(dur_s);
+    }
+}
+
+/// Starts a [`Span`]: `span!("gp_fit")` or `span!("gp_fit", learner = i)`.
+/// Fields are evaluated and cast with `as f64`.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::Span::new($name)
+    };
+    ($name:literal $(, $key:ident = $val:expr)+ $(,)?) => {
+        $crate::Span::new($name)$(.with_field(stringify!($key), ($val) as f64))+
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread context propagation
+// ---------------------------------------------------------------------------
+
+/// The ambient span path of the capturing thread, for hand-off to
+/// `std::thread::scope` workers: capture with [`current_context`] before
+/// spawning, call [`TraceContext::enter`] inside the closure, and spans
+/// created by the worker nest under the capturing thread's path.
+#[derive(Debug, Clone, Default)]
+pub struct TraceContext {
+    stack: Vec<&'static str>,
+}
+
+/// Captures the current thread's span path (empty when tracing is disabled,
+/// so disabled runs pay only the atomic load).
+pub fn current_context() -> TraceContext {
+    if !enabled() {
+        return TraceContext::default();
+    }
+    TraceContext { stack: PATH_STACK.with(|s| s.borrow().clone()) }
+}
+
+impl TraceContext {
+    /// Installs this context on the current thread until the guard drops.
+    pub fn enter(&self) -> ContextGuard {
+        let prev = PATH_STACK.with(|s| std::mem::replace(&mut *s.borrow_mut(), self.stack.clone()));
+        ContextGuard { prev }
+    }
+}
+
+/// Restores the previous thread-local path on drop.
+pub struct ContextGuard {
+    prev: Vec<&'static str>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = std::mem::take(&mut self.prev);
+        PATH_STACK.with(|s| *s.borrow_mut() = prev);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters + histograms
+// ---------------------------------------------------------------------------
+
+/// Adds `n` to counter `name`.
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    *collector().counters.entry(name).or_insert(0) += n;
+}
+
+/// Records sample `v` into histogram `name` (non-finite samples dropped so
+/// JSONL export never fails).
+#[inline]
+pub fn observe(name: &'static str, v: f64) {
+    if !enabled() || !v.is_finite() {
+        return;
+    }
+    collector().hists.entry(name).or_default().record(v);
+}
+
+/// A `{count, sum, min, max}` summary of observed samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Hist {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots + JSONL
+// ---------------------------------------------------------------------------
+
+/// Per-path aggregate over a snapshot's span events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanAgg {
+    /// Occurrences.
+    pub count: u64,
+    /// Total seconds across occurrences.
+    pub total_s: f64,
+    /// Shortest occurrence.
+    pub min_s: f64,
+    /// Longest occurrence.
+    pub max_s: f64,
+}
+
+/// An owned copy of the collector's state, decoupled from later recording.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSnapshot {
+    /// Finished spans in completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<String, Hist>,
+}
+
+/// Copies the collector's current contents.
+pub fn snapshot() -> TraceSnapshot {
+    let c = collector();
+    TraceSnapshot {
+        spans: c.spans.clone(),
+        counters: c.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        hists: c.hists.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+    }
+}
+
+impl TraceSnapshot {
+    /// Aggregates span events by path.
+    pub fn span_agg(&self) -> BTreeMap<String, SpanAgg> {
+        let mut out: BTreeMap<String, SpanAgg> = BTreeMap::new();
+        for ev in &self.spans {
+            let agg = out.entry(ev.path.clone()).or_insert(SpanAgg {
+                count: 0,
+                total_s: 0.0,
+                min_s: f64::INFINITY,
+                max_s: f64::NEG_INFINITY,
+            });
+            agg.count += 1;
+            agg.total_s += ev.dur_s;
+            agg.min_s = agg.min_s.min(ev.dur_s);
+            agg.max_s = agg.max_s.max(ev.dur_s);
+        }
+        out
+    }
+
+    /// Total seconds across every span whose **last** path segment is `leaf`
+    /// (sums the same logical phase across nesting contexts, e.g. the
+    /// tuner's `iteration/replay` and a baseline's root-level `replay`).
+    pub fn total_for(&self, leaf: &str) -> f64 {
+        // fold, not sum(): an empty f64 `sum()` is -0.0, which would render
+        // absent phases as "-0.000" in the breakdown tables.
+        self.spans
+            .iter()
+            .filter(|ev| ev.path.rsplit('/').next() == Some(leaf))
+            .map(|ev| ev.dur_s)
+            .fold(0.0, |acc, d| acc + d)
+    }
+
+    /// A counter's total (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram summary, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// Serializes to JSONL: one `span`, `counter`, or `hist` object per line.
+    pub fn to_jsonl(&self) -> Result<String, minjson::JsonError> {
+        let mut out = String::new();
+        for ev in &self.spans {
+            let mut obj = vec![
+                ("type".to_string(), Json::Str("span".to_string())),
+                ("path".to_string(), Json::Str(ev.path.clone())),
+                ("dur_s".to_string(), Json::Num(ev.dur_s)),
+            ];
+            if !ev.fields.is_empty() {
+                let fields =
+                    ev.fields.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect();
+                obj.push(("fields".to_string(), Json::Obj(fields)));
+            }
+            out.push_str(&Json::Obj(obj).render()?);
+            out.push('\n');
+        }
+        for (name, value) in &self.counters {
+            let obj = vec![
+                ("type".to_string(), Json::Str("counter".to_string())),
+                ("name".to_string(), Json::Str(name.clone())),
+                ("value".to_string(), Json::Num(*value as f64)),
+            ];
+            out.push_str(&Json::Obj(obj).render()?);
+            out.push('\n');
+        }
+        for (name, h) in &self.hists {
+            let obj = vec![
+                ("type".to_string(), Json::Str("hist".to_string())),
+                ("name".to_string(), Json::Str(name.clone())),
+                ("count".to_string(), Json::Num(h.count as f64)),
+                ("sum".to_string(), Json::Num(h.sum)),
+                ("min".to_string(), Json::Num(h.min)),
+                ("max".to_string(), Json::Num(h.max)),
+            ];
+            out.push_str(&Json::Obj(obj).render()?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses JSONL produced by [`TraceSnapshot::to_jsonl`].
+    pub fn from_jsonl(text: &str) -> Result<TraceSnapshot, minjson::JsonError> {
+        let mut snap = TraceSnapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Json::parse(line)
+                .map_err(|e| minjson::JsonError::new(format!("line {}: {e}", lineno + 1)))?;
+            let kind = v.field("type")?.as_str().unwrap_or_default().to_string();
+            match kind.as_str() {
+                "span" => {
+                    let path = v.field("path")?.as_str().unwrap_or_default().to_string();
+                    let dur_s = v.field("dur_s")?.as_f64().unwrap_or(0.0);
+                    let mut fields = Vec::new();
+                    if let Some(Json::Obj(fs)) = v.get("fields") {
+                        for (k, fv) in fs {
+                            fields.push((k.clone(), fv.as_f64().unwrap_or(0.0)));
+                        }
+                    }
+                    snap.spans.push(SpanEvent { path, dur_s, fields });
+                }
+                "counter" => {
+                    let name = v.field("name")?.as_str().unwrap_or_default().to_string();
+                    let value = v.field("value")?.as_f64().unwrap_or(0.0) as u64;
+                    snap.counters.insert(name, value);
+                }
+                "hist" => {
+                    let name = v.field("name")?.as_str().unwrap_or_default().to_string();
+                    snap.hists.insert(
+                        name,
+                        Hist {
+                            count: v.field("count")?.as_f64().unwrap_or(0.0) as u64,
+                            sum: v.field("sum")?.as_f64().unwrap_or(0.0),
+                            min: v.field("min")?.as_f64().unwrap_or(0.0),
+                            max: v.field("max")?.as_f64().unwrap_or(0.0),
+                        },
+                    );
+                }
+                other => {
+                    return Err(minjson::JsonError::new(format!(
+                        "line {}: unknown event type `{other}`",
+                        lineno + 1
+                    )));
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Writes the JSONL rendering to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let text = self
+            .to_jsonl()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global and Rust runs tests on parallel
+    // threads; serialize every test that records events.
+    fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing_but_still_measures() {
+        let _g = lock();
+        disable();
+        reset();
+        let sp = span!("quiet", x = 3);
+        count("quiet.counter", 5);
+        observe("quiet.hist", 1.0);
+        assert!(sp.finish_s() >= 0.0);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let _g = lock();
+        enable();
+        reset();
+        {
+            let outer = span!("outer");
+            {
+                let inner = span!("inner", k = 2);
+                let _ = inner.finish_s();
+            }
+            let _ = outer.finish_s();
+        }
+        disable();
+        let snap = snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|e| e.path.as_str()).collect();
+        // Inner finishes first; both carry full nesting paths.
+        assert_eq!(paths, vec!["outer/inner", "outer"]);
+        assert_eq!(snap.spans[0].fields, vec![("k".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn dropped_span_records_like_finish() {
+        let _g = lock();
+        enable();
+        reset();
+        {
+            let _sp = span!("via_drop");
+        }
+        disable();
+        assert_eq!(snapshot().span_agg()["via_drop"].count, 1);
+    }
+
+    #[test]
+    fn context_propagates_paths_onto_scoped_threads() {
+        let _g = lock();
+        enable();
+        reset();
+        {
+            let parent = span!("parent");
+            let ctx = current_context();
+            std::thread::scope(|scope| {
+                for i in 0..3 {
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let _guard = ctx.enter();
+                        let sp = span!("child", worker = i);
+                        let _ = sp.finish_s();
+                    });
+                }
+            });
+            let _ = parent.finish_s();
+        }
+        disable();
+        let agg = snapshot().span_agg();
+        assert_eq!(agg["parent/child"].count, 3);
+        assert_eq!(agg["parent"].count, 1);
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let _g = lock();
+        enable();
+        reset();
+        count("c.a", 2);
+        count("c.a", 3);
+        observe("h.x", 1.5);
+        observe("h.x", 0.5);
+        observe("h.x", f64::NAN); // dropped
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.counter("c.a"), 5);
+        let h = snap.hist("h.x").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 2.0, 0.5, 1.5));
+        assert_eq!(h.mean(), 1.0);
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_everything() {
+        let _g = lock();
+        enable();
+        reset();
+        {
+            let outer = span!("a", iter = 7);
+            let inner = span!("b");
+            let _ = inner.finish_s();
+            let _ = outer.finish_s();
+        }
+        count("evals", 11);
+        observe("sim_s", 123.456);
+        disable();
+        let snap = snapshot();
+        let text = snap.to_jsonl().unwrap();
+        let back = TraceSnapshot::from_jsonl(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.span_agg(), snap.span_agg());
+    }
+
+    #[test]
+    fn total_for_matches_leaf_segments_across_contexts() {
+        let snap = TraceSnapshot {
+            spans: vec![
+                SpanEvent { path: "iteration/replay".into(), dur_s: 1.0, fields: vec![] },
+                SpanEvent { path: "replay".into(), dur_s: 2.0, fields: vec![] },
+                SpanEvent { path: "replay/inner".into(), dur_s: 4.0, fields: vec![] },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(snap.total_for("replay"), 3.0);
+    }
+}

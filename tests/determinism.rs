@@ -60,6 +60,38 @@ fn same_seed_advisor_runs_are_bit_identical() {
 }
 
 #[test]
+fn tracing_on_and_off_runs_are_bit_identical() {
+    // The trace collector (DESIGN.md §10) reads clocks only — never RNG
+    // streams or observation values — so flipping it must not move a single
+    // bit of the tuning trace. Other tests in this binary are unaffected by
+    // the global toggle for the same reason.
+    let off = run_once(7, 10);
+    let mut config = quick_config(7);
+    config.trace = true;
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(7)
+        .build();
+    let on = TuningSession::new(env, config).run(10);
+    let snapshot = trace::snapshot();
+    trace::disable();
+    trace::reset();
+    assert!(
+        snapshot.counter("loop.iterations") >= 10,
+        "the traced run must actually have recorded events"
+    );
+    assert_eq!(off.history.len(), on.history.len());
+    for (ra, rb) in off.history.iter().zip(&on.history) {
+        assert_eq!(fingerprint(ra), fingerprint(rb), "iteration {} diverged", ra.iteration);
+    }
+    assert_eq!(off.best_objective, on.best_objective);
+    assert_eq!(format!("{:?}", off.best_config), format!("{:?}", on.best_config));
+}
+
+#[test]
 fn different_seeds_actually_diverge() {
     // Guards against the determinism test passing vacuously (e.g. a seed
     // that is ignored would also make same-seed runs identical).

@@ -25,6 +25,33 @@ fn find_manifests(root: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Expands the `members` globs of the root manifest's `[workspace]` section
+/// into concrete crate directories, so new workspace crates are covered by
+/// these guards automatically instead of via a hardcoded list.
+fn workspace_members(root: &Path) -> Vec<PathBuf> {
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let members_line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("members"))
+        .expect("root manifest declares workspace members");
+    let mut members = Vec::new();
+    for pattern in members_line.split('"').skip(1).step_by(2) {
+        if let Some(prefix) = pattern.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            for entry in fs::read_dir(&dir).expect("readable members dir") {
+                let path = entry.expect("dir entry").path();
+                if path.join("Cargo.toml").is_file() {
+                    members.push(path);
+                }
+            }
+        } else {
+            members.push(root.join(pattern));
+        }
+    }
+    members.sort();
+    members
+}
+
 /// True for section headers whose entries are dependency specs.
 fn is_dependency_section(header: &str) -> bool {
     let h = header.trim_matches(|c| c == '[' || c == ']');
@@ -40,7 +67,19 @@ fn every_dependency_is_a_path_dependency() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut manifests = Vec::new();
     find_manifests(root, &mut manifests);
-    assert!(manifests.len() >= 9, "expected the workspace manifests, found {}", manifests.len());
+    // The manifest walk must cover every declared workspace member — a crate
+    // added under crates/ is guarded without touching this test.
+    let members = workspace_members(root);
+    assert!(!members.is_empty(), "no workspace members declared");
+    for member in &members {
+        let manifest = member.join("Cargo.toml");
+        assert!(
+            manifests.contains(&manifest),
+            "workspace member {} not covered by the manifest walk",
+            member.display()
+        );
+    }
+    assert!(manifests.len() > members.len(), "root manifest missing from the walk");
 
     let mut violations = Vec::new();
     for manifest in &manifests {
