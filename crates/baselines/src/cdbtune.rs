@@ -10,55 +10,36 @@
 //! The state is the internal-metrics vector (normalized by the default
 //! observation so the network sees O(1) inputs); the action is the
 //! normalized knob vector.
+//!
+//! The agent is a [`CdbTuneProposer`] on the shared
+//! [`TuningDriver`]/[`EvalEngine`] loop: `propose` runs the actor
+//! (recommendation phase) and the post-replay training step happens in the
+//! [`Proposer::observe`] hook, whose wall-clock is attributed to the
+//! record's `model_update_s` *before* it is committed — no patching of
+//! stored records.
 
-use crate::loop_support::EvalLoop;
 use nn::{Ddpg, DdpgConfig, Transition};
+use restune_core::driver::{Proposal, ProposalTiming, Proposer, TuningDriver};
+use restune_core::engine::{EngineSettings, EvalEngine, HistoryView, IterationRecord};
+use restune_core::resilience::ReplayPolicy;
 use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningOutcome};
 
-/// The CDBTune-with-constraints baseline.
-pub struct CdbTuneWithConstraints {
-    eval: EvalLoop,
+/// The CDBTune strategy: a DDPG actor-critic proposing knob vectors, trained
+/// on the SLA-gated resource reward after each replay.
+pub struct CdbTuneProposer {
     agent: Ddpg,
     state_scale: Vec<f64>,
+    default_state: Vec<f64>,
+    default_objective: f64,
     prev: Option<(Vec<f64>, f64)>,
+    /// The (state, action, prev_objective) of the in-flight proposal,
+    /// consumed by `observe` once the replay resolves.
+    pending: Option<(Vec<f64>, Vec<f64>, f64)>,
     /// Gradient steps per evaluation (CDBTune trains on each observation).
     train_steps: usize,
 }
 
-impl CdbTuneWithConstraints {
-    /// Creates a run on `env`. `config` contributes only the seed; the agent
-    /// hyperparameters follow CDBTune's published defaults scaled down to the
-    /// tuning budget.
-    pub fn new(env: TuningEnvironment, config: RestuneConfig) -> Self {
-        if config.trace {
-            trace::enable();
-        }
-        let eval = EvalLoop::new(env);
-        let state_dim = dbsim::InternalMetrics::DIM;
-        let action_dim = eval.problem.knob_set.dim();
-        let agent = Ddpg::new(
-            state_dim,
-            action_dim,
-            DdpgConfig {
-                hidden: 48,
-                batch: 16,
-                noise: 0.5,
-                noise_decay: 0.99,
-                seed: config.seed,
-                ..Default::default()
-            },
-        );
-        // Normalize states by the default observation's metric magnitudes.
-        let state_scale: Vec<f64> = eval
-            .default_observation
-            .internal
-            .to_vec()
-            .iter()
-            .map(|v| v.abs().max(1.0))
-            .collect();
-        CdbTuneWithConstraints { eval, agent, state_scale, prev: None, train_steps: 4 }
-    }
-
+impl CdbTuneProposer {
     fn normalize_state(&self, metrics: &[f64]) -> Vec<f64> {
         metrics.iter().zip(&self.state_scale).map(|(v, s)| (v / s).clamp(-5.0, 5.0)).collect()
     }
@@ -67,7 +48,7 @@ impl CdbTuneWithConstraints {
     /// over the initial (default) resource usage, modulated by the
     /// step-over-step change, then SLA-gated.
     fn reward(&self, objective: f64, prev_objective: f64, feasible: bool) -> f64 {
-        let initial = self.eval.outcome().default_obj_value.max(1e-9);
+        let initial = self.default_objective.max(1e-9);
         let delta0 = (initial - objective) / initial;
         let delta_prev = (prev_objective - objective) / prev_objective.max(1e-9);
         let r = if delta0 > 0.0 {
@@ -82,31 +63,35 @@ impl CdbTuneWithConstraints {
             r
         }
     }
+}
 
-    /// One tuning iteration: act → apply → observe → reward → train.
-    pub fn step(&mut self) {
+impl Proposer for CdbTuneProposer {
+    fn propose(&mut self, _view: &HistoryView<'_>, _iter: usize, _seed: u64) -> Proposal {
         let recommendation_span = trace::span!("recommendation");
         let state = match &self.prev {
             Some((s, _)) => s.clone(),
-            None => self.normalize_state(&self.eval.default_observation.internal.to_vec()),
+            None => self.default_state.clone(),
         };
         let action = self.agent.act_noisy(&state);
         let recommendation_s = recommendation_span.finish_s();
+        let prev_objective =
+            self.prev.as_ref().map(|(_, o)| *o).unwrap_or(self.default_objective);
+        self.pending = Some((state, action.clone(), prev_objective));
+        Proposal {
+            point: action,
+            weights: None,
+            timing: ProposalTiming { recommendation_s, ..Default::default() },
+        }
+    }
 
-        let prev_objective = self
-            .prev
-            .as_ref()
-            .map(|(_, o)| *o)
-            .unwrap_or_else(|| self.eval.outcome().default_obj_value);
-
-        let (objective, feasible, metrics) = {
-            let record = self.eval.evaluate(action.clone(), 0.0, recommendation_s);
-            (record.objective, record.feasible, record.observation.internal.to_vec())
+    fn observe(&mut self, _view: &HistoryView<'_>, record: &IterationRecord) -> f64 {
+        let Some((state, action, prev_objective)) = self.pending.take() else {
+            return 0.0;
         };
-        let next_state = self.normalize_state(&metrics);
+        let next_state = self.normalize_state(&record.observation.internal.to_vec());
 
         let model_span = trace::span!("model_update");
-        let reward = self.reward(objective, prev_objective, feasible);
+        let reward = self.reward(record.objective, prev_objective, record.feasible);
         self.agent.observe(Transition {
             state,
             action,
@@ -118,25 +103,87 @@ impl CdbTuneWithConstraints {
             self.agent.train_step();
         }
         let model_update_s = model_span.finish_s();
-        // Attribute training time to the stored record.
-        if let Some(last) = self.eval_history_last_mut() {
-            last.timing.model_update_s = model_update_s;
+        self.prev = Some((next_state, record.objective));
+        model_update_s
+    }
+}
+
+/// The CDBTune-with-constraints baseline.
+pub struct CdbTuneWithConstraints {
+    driver: TuningDriver<CdbTuneProposer>,
+}
+
+impl CdbTuneWithConstraints {
+    /// Creates a run on `env`. `config` contributes the seed, retry policy,
+    /// and convergence window; the agent hyperparameters follow CDBTune's
+    /// published defaults scaled down to the tuning budget.
+    pub fn new(env: TuningEnvironment, config: RestuneConfig) -> Self {
+        if config.trace {
+            trace::enable();
         }
-        self.prev = Some((next_state, objective));
+        let action_dim = env.knob_set.dim();
+        let engine = EvalEngine::new(
+            env,
+            EngineSettings {
+                policy: ReplayPolicy {
+                    max_retries: config.max_retries,
+                    backoff_s: config.retry_backoff_s,
+                },
+                convergence_window: config.convergence_window,
+                convergence_epsilon: config.convergence_epsilon,
+                // The RL agent has no surrogate to seed; its state stream
+                // starts from the default observation instead.
+                seed_default_observation: false,
+            },
+        );
+        let state_dim = dbsim::InternalMetrics::DIM;
+        let agent = Ddpg::new(
+            state_dim,
+            action_dim,
+            DdpgConfig {
+                hidden: 48,
+                batch: 16,
+                noise: 0.5,
+                noise_decay: 0.99,
+                seed: config.seed,
+                ..Default::default()
+            },
+        );
+        // Normalize states by the default observation's metric magnitudes.
+        let default_metrics = engine.default_observation().internal.to_vec();
+        let state_scale: Vec<f64> =
+            default_metrics.iter().map(|v| v.abs().max(1.0)).collect();
+        let default_state: Vec<f64> = default_metrics
+            .iter()
+            .zip(&state_scale)
+            .map(|(v, s)| (v / s).clamp(-5.0, 5.0))
+            .collect();
+        let proposer = CdbTuneProposer {
+            agent,
+            state_scale,
+            default_state,
+            default_objective: engine.default_objective(),
+            prev: None,
+            pending: None,
+            train_steps: 4,
+        };
+        CdbTuneWithConstraints { driver: TuningDriver::new(engine, proposer, config.seed) }
     }
 
-    fn eval_history_last_mut(&mut self) -> Option<&mut restune_core::tuner::IterationRecord> {
-        // EvalLoop exposes history only via outcome(); patch through a small
-        // accessor instead of cloning the whole history.
-        self.eval.history_last_mut()
+    /// One tuning iteration: act → apply → observe → reward → train.
+    pub fn step(&mut self) {
+        self.driver.step();
     }
 
     /// Runs `iterations` steps and summarizes.
     pub fn run(&mut self, iterations: usize) -> TuningOutcome {
-        for _ in 0..iterations {
-            self.step();
-        }
-        self.eval.outcome()
+        self.driver.run(iterations)
+    }
+
+    /// Runs `iterations` steps and consumes the run into its outcome without
+    /// cloning the history.
+    pub fn run_into_outcome(self, iterations: usize) -> TuningOutcome {
+        self.driver.run_into_outcome(iterations)
     }
 }
 
@@ -167,14 +214,15 @@ mod tests {
     #[test]
     fn reward_gating_matches_the_paper() {
         let agent = CdbTuneWithConstraints::new(env(2), RestuneConfig::default());
-        let initial = agent.eval.outcome().default_obj_value;
+        let proposer = agent.driver.proposer();
+        let initial = agent.driver.engine().default_objective();
         // Resource decreased but SLA violated -> zero.
-        assert_eq!(agent.reward(initial * 0.5, initial, false), 0.0);
+        assert_eq!(proposer.reward(initial * 0.5, initial, false), 0.0);
         // Resource increased but SLA fine -> zero.
-        assert_eq!(agent.reward(initial * 1.5, initial, true), 0.0);
+        assert_eq!(proposer.reward(initial * 1.5, initial, true), 0.0);
         // Resource decreased and feasible -> positive.
-        assert!(agent.reward(initial * 0.5, initial, true) > 0.0);
+        assert!(proposer.reward(initial * 0.5, initial, true) > 0.0);
         // Resource increased and infeasible -> negative.
-        assert!(agent.reward(initial * 1.5, initial, false) < 0.0);
+        assert!(proposer.reward(initial * 1.5, initial, false) < 0.0);
     }
 }

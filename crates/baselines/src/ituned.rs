@@ -29,6 +29,12 @@ impl ITuned {
     pub fn run(&mut self, iterations: usize) -> TuningOutcome {
         self.session.run(iterations)
     }
+
+    /// Runs `iterations` steps and consumes the run into its outcome without
+    /// cloning the history.
+    pub fn run_into_outcome(self, iterations: usize) -> TuningOutcome {
+        self.session.run_into_outcome(iterations)
+    }
 }
 
 #[cfg(test)]

@@ -14,18 +14,22 @@
 //! * **Grid search** ([`grid`]) — the 8×8×8 ground-truth sweep of the §7.3
 //!   case study.
 //!
-//! All baselines produce the same [`restune_core::tuner::TuningOutcome`] so
-//! the experiment harnesses can overlay them directly.
+//! All baselines run through the shared
+//! [`restune_core::driver::TuningDriver`]/[`restune_core::engine::EvalEngine`]
+//! loop as [`restune_core::driver::Proposer`] implementations (GP-free
+//! strategies included), so replay retries, failure penalties, and
+//! incumbent/convergence bookkeeping are identical across methods and every
+//! baseline produces the same [`restune_core::tuner::TuningOutcome`] the
+//! experiment harnesses overlay directly.
 
 pub mod cdbtune;
 pub mod grid;
 pub mod ituned;
-pub mod loop_support;
 pub mod method;
 pub mod ottertune;
 
-pub use cdbtune::CdbTuneWithConstraints;
-pub use grid::grid_search;
+pub use cdbtune::{CdbTuneProposer, CdbTuneWithConstraints};
+pub use grid::{grid_search, grid_tuning, GridProposer};
 pub use ituned::ITuned;
 pub use method::{run_method, Method, MethodContext};
-pub use ottertune::OtterTuneWithConstraints;
+pub use ottertune::{OtterTuneProposer, OtterTuneWithConstraints};

@@ -133,40 +133,43 @@ pub fn run_method(
     iterations: usize,
     ctx: &MethodContext<'_>,
 ) -> TuningOutcome {
+    // Every arm runs through the shared `TuningDriver`/`EvalEngine` loop;
+    // the consuming `run_into_outcome` renders the final outcome without
+    // cloning the history.
     match method {
         Method::Restune => {
             let learners = ctx.base_learners(&env);
-            let mut session = TuningSession::with_base_learners(
+            TuningSession::with_base_learners(
                 env,
                 ctx.config.clone(),
                 learners,
                 ctx.target_meta_feature.clone(),
-            );
-            session.run(iterations)
+            )
+            .run_into_outcome(iterations)
         }
         Method::RestuneWithoutML => {
-            let mut session = TuningSession::new(env, ctx.config.clone());
-            session.run(iterations)
+            TuningSession::new(env, ctx.config.clone()).run_into_outcome(iterations)
         }
         Method::RestuneWithoutWorkload => {
             let learners = ctx.base_learners(&env);
             let mut config = ctx.config.clone();
             config.init_strategy = InitStrategy::Lhs;
-            let mut session = TuningSession::with_base_learners(
+            TuningSession::with_base_learners(
                 env,
                 config,
                 learners,
                 ctx.target_meta_feature.clone(),
-            );
-            session.run(iterations)
+            )
+            .run_into_outcome(iterations)
         }
-        Method::ITuned => ITuned::new(env, ctx.config.clone()).run(iterations),
+        Method::ITuned => ITuned::new(env, ctx.config.clone()).run_into_outcome(iterations),
         Method::OtterTuneWithConstraints => {
             let repo = ctx.filtered_repository(&env);
-            OtterTuneWithConstraints::new(env, ctx.config.clone(), repo).run(iterations)
+            OtterTuneWithConstraints::new(env, ctx.config.clone(), repo)
+                .run_into_outcome(iterations)
         }
         Method::CdbTuneWithConstraints => {
-            CdbTuneWithConstraints::new(env, ctx.config.clone()).run(iterations)
+            CdbTuneWithConstraints::new(env, ctx.config.clone()).run_into_outcome(iterations)
         }
     }
 }

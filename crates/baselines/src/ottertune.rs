@@ -11,50 +11,43 @@
 //! switches/s, threads running), so *absolute* distances match the wrong
 //! workload across instance types, and there is no mechanism to stop trusting
 //! a matched workload (negative transfer).
+//!
+//! The strategy is an [`OtterTuneProposer`] on the shared
+//! [`TuningDriver`]/[`EvalEngine`] loop, so replay retries, failure
+//! penalties, and incumbent/convergence bookkeeping are identical to every
+//! other method's.
 
-use crate::loop_support::EvalLoop;
 use restune_core::acquisition::ConstrainedExpectedImprovement;
+use restune_core::driver::{Proposal, ProposalTiming, Proposer, TuningDriver};
+use restune_core::engine::{EngineSettings, EvalEngine, HistoryView};
 use restune_core::lhs::latin_hypercube;
 use restune_core::repository::DataRepository;
+use restune_core::resilience::ReplayPolicy;
 use restune_core::surrogate::{GpTaskModel, TaskSurrogate};
 use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningOutcome};
 
-/// The OtterTune-with-constraints baseline.
-pub struct OtterTuneWithConstraints {
-    eval: EvalLoop,
-    repository: DataRepository,
+/// The OtterTune strategy: LHS bootstrap, then one merged GP over target +
+/// matched-workload data, optimized with CEI.
+pub struct OtterTuneProposer {
     config: RestuneConfig,
+    repository: DataRepository,
     lhs_plan: Vec<Vec<f64>>,
     /// The task_id matched at the latest iteration (for analysis output).
     pub last_match: Option<String>,
 }
 
-impl OtterTuneWithConstraints {
-    /// Creates a run on `env` transferring from `repository`.
-    pub fn new(env: TuningEnvironment, config: RestuneConfig, repository: DataRepository) -> Self {
-        if config.trace {
-            trace::enable();
-        }
-        let lhs_plan =
-            latin_hypercube(config.init_iters, env.knob_set.dim(), config.seed ^ 0x07);
-        OtterTuneWithConstraints {
-            eval: EvalLoop::new(env),
-            repository,
-            config,
-            lhs_plan,
-            last_match: None,
-        }
-    }
-
+impl OtterTuneProposer {
     /// Mean of the target's observed internal metric vectors.
-    fn target_signature(&self) -> Vec<f64> {
-        let n = self.eval.metrics.len();
+    fn target_signature(&self, view: &HistoryView<'_>) -> Vec<f64> {
+        let observed: Vec<&Vec<f64>> =
+            view.metrics.iter().filter(|m| !m.is_empty()).collect();
+        let n = observed.len();
         if n == 0 {
-            return self.eval.default_observation.internal.to_vec();
+            return view.default_observation.internal.to_vec();
         }
-        let dim = self.eval.metrics[0].len();
+        let dim = observed[0].len();
         let mut acc = vec![0.0; dim];
-        for m in &self.eval.metrics {
+        for m in observed {
             for (a, v) in acc.iter_mut().zip(m) {
                 *a += v;
             }
@@ -69,11 +62,11 @@ impl OtterTuneWithConstraints {
     /// distance between internal-metric signatures (each dimension scaled by
     /// the repository-wide standard deviation, mirroring OtterTune's metric
     /// binning — note the *values* still carry hardware scale).
-    fn match_task(&self) -> Option<usize> {
+    fn match_task(&self, view: &HistoryView<'_>) -> Option<usize> {
         if self.repository.is_empty() {
             return None;
         }
-        let target = self.target_signature();
+        let target = self.target_signature(view);
         let dim = target.len();
         // Repository-wide per-dimension std for scaling.
         let mut all: Vec<Vec<f64>> = Vec::new();
@@ -81,9 +74,9 @@ impl OtterTuneWithConstraints {
             all.push(t.mean_metrics());
         }
         let mut stds = vec![1e-9_f64; dim];
-        for d in 0..dim {
+        for (d, std) in stds.iter_mut().enumerate() {
             let col: Vec<f64> = all.iter().map(|m| m[d]).collect();
-            stds[d] = linalg::vector::std_dev(&col).max(1e-9);
+            *std = linalg::vector::std_dev(&col).max(1e-9);
         }
         let mut best: Option<(usize, f64)> = None;
         for (i, sig) in all.iter().enumerate() {
@@ -98,30 +91,28 @@ impl OtterTuneWithConstraints {
         }
         best.map(|(i, _)| i)
     }
+}
 
-    /// One tuning iteration.
-    pub fn step(&mut self) {
-        let iter = self.eval.iterations();
+impl Proposer for OtterTuneProposer {
+    fn propose(&mut self, view: &HistoryView<'_>, iter: usize, _seed: u64) -> Proposal {
         if iter < self.config.init_iters {
-            let point = self.lhs_plan[iter].clone();
-            self.eval.evaluate(point, 0.0, 0.0);
-            return;
+            return Proposal::point(self.lhs_plan[iter].clone());
         }
 
         let model_span = trace::span!("model_update");
         // Merge matched workload data (same knob space) with target data.
-        let mut points = self.eval.points.clone();
-        points.push(self.eval.default_point.clone());
-        let mut res = self.eval.res.clone();
-        res.push(self.eval.env.resource.value(&self.eval.default_observation));
-        let mut tps = self.eval.tps.clone();
-        tps.push(self.eval.default_observation.tps);
-        let mut lat = self.eval.lat.clone();
-        lat.push(self.eval.default_observation.p99_ms);
-        if let Some(idx) = self.match_task() {
+        let mut points = view.points.to_vec();
+        points.push(view.default_point.to_vec());
+        let mut res = view.res.to_vec();
+        res.push(view.default_objective);
+        let mut tps = view.tps.to_vec();
+        tps.push(view.default_observation.tps);
+        let mut lat = view.lat.to_vec();
+        lat.push(view.default_observation.p99_ms);
+        if let Some(idx) = self.match_task(view) {
             let task = &self.repository.tasks()[idx];
             self.last_match = Some(task.task_id.clone());
-            if task.knob_names == self.eval.problem.knob_set.names() {
+            if task.knob_names == view.problem.knob_set.names() {
                 for o in &task.observations {
                     points.push(o.point.clone());
                     res.push(o.res);
@@ -139,48 +130,97 @@ impl OtterTuneWithConstraints {
 
         let recommendation_span = trace::span!("recommendation");
         // CEI with thresholds at the merged model's default-point prediction.
-        let default_pred = model.predict(&self.eval.default_point);
-        let sla = self.eval.problem.constraints;
+        let default_pred = model.predict(view.default_point);
+        let sla = view.problem.constraints;
         let tps_floor =
             default_pred.tps.mean - sla.tolerance * sla.min_tps / model.scalers.tps.std;
         let lat_ceiling =
             default_pred.lat.mean + sla.tolerance * sla.max_p99_ms / model.scalers.lat.std;
         // Incumbent: best feasible target observation.
         let mut best_feasible: Option<(Vec<f64>, f64)> = None;
-        for (i, p) in self.eval.points.iter().enumerate() {
-            let feasible = self.eval.tps[i] >= sla.tps_floor()
-                && self.eval.lat[i] <= sla.lat_ceiling();
+        for (i, p) in view.points.iter().enumerate() {
+            let feasible =
+                view.tps[i] >= sla.tps_floor() && view.lat[i] <= sla.lat_ceiling();
             if feasible
-                && best_feasible.as_ref().map(|(_, v)| self.eval.res[i] < *v).unwrap_or(true)
+                && best_feasible.as_ref().map(|(_, v)| view.res[i] < *v).unwrap_or(true)
             {
-                best_feasible = Some((p.clone(), self.eval.res[i]));
+                best_feasible = Some((p.clone(), view.res[i]));
             }
         }
         let (anchors, incumbent) = match &best_feasible {
             Some((p, _)) => (vec![p.clone()], Some(model.predict(p).res.mean)),
-            None => (vec![self.eval.default_point.clone()], {
-                Some(model.predict(&self.eval.default_point).res.mean)
+            None => (vec![view.default_point.to_vec()], {
+                Some(model.predict(view.default_point).res.mean)
             }),
         };
         let cei =
             ConstrainedExpectedImprovement { best_feasible: incumbent, tps_floor, lat_ceiling };
+        // OtterTune keeps its own published seeding schedule (it predates the
+        // driver's per-iteration seed).
         let seed = self.config.seed.wrapping_add(iter as u64).wrapping_mul(0x51);
-        let point = self.config.optimizer.optimize(
-            self.eval.problem.dim(),
-            &anchors,
-            seed,
-            |p| cei.value(&model.predict(p)),
-        );
+        let point = self
+            .config
+            .optimizer
+            .optimize(view.problem.dim(), &anchors, seed, |p| cei.value(&model.predict(p)));
         let recommendation_s = recommendation_span.finish_s();
-        self.eval.evaluate(point, model_update_s, recommendation_s);
+        Proposal {
+            point,
+            weights: None,
+            timing: ProposalTiming { model_update_s, recommendation_s, ..Default::default() },
+        }
+    }
+}
+
+/// The OtterTune-with-constraints baseline.
+pub struct OtterTuneWithConstraints {
+    driver: TuningDriver<OtterTuneProposer>,
+}
+
+impl OtterTuneWithConstraints {
+    /// Creates a run on `env` transferring from `repository`.
+    pub fn new(env: TuningEnvironment, config: RestuneConfig, repository: DataRepository) -> Self {
+        if config.trace {
+            trace::enable();
+        }
+        let lhs_plan = latin_hypercube(config.init_iters, env.knob_set.dim(), config.seed ^ 0x07);
+        let engine = EvalEngine::new(
+            env,
+            EngineSettings {
+                policy: ReplayPolicy {
+                    max_retries: config.max_retries,
+                    backoff_s: config.retry_backoff_s,
+                },
+                convergence_window: config.convergence_window,
+                convergence_epsilon: config.convergence_epsilon,
+                // OtterTune keeps the default out of its observed columns and
+                // merges it into the GP explicitly, as published.
+                seed_default_observation: false,
+            },
+        );
+        let seed = config.seed;
+        let proposer = OtterTuneProposer { config, repository, lhs_plan, last_match: None };
+        OtterTuneWithConstraints { driver: TuningDriver::new(engine, proposer, seed) }
+    }
+
+    /// One tuning iteration.
+    pub fn step(&mut self) {
+        self.driver.step();
     }
 
     /// Runs `iterations` steps and summarizes.
     pub fn run(&mut self, iterations: usize) -> TuningOutcome {
-        for _ in 0..iterations {
-            self.step();
-        }
-        self.eval.outcome()
+        self.driver.run(iterations)
+    }
+
+    /// Runs `iterations` steps and consumes the run into its outcome without
+    /// cloning the history.
+    pub fn run_into_outcome(self, iterations: usize) -> TuningOutcome {
+        self.driver.run_into_outcome(iterations)
+    }
+
+    /// The task_id matched at the latest iteration (for analysis output).
+    pub fn last_match(&self) -> Option<&str> {
+        self.driver.proposer().last_match.as_deref()
     }
 }
 
@@ -233,7 +273,7 @@ mod tests {
         let outcome = ot.run(20);
         assert!(outcome.best_objective.unwrap() < outcome.default_obj_value);
         // It matched some workload after the bootstrap phase.
-        assert!(ot.last_match.is_some());
+        assert!(ot.last_match().is_some());
     }
 
     #[test]
@@ -249,6 +289,6 @@ mod tests {
             OtterTuneWithConstraints::new(env, quick_config(5), DataRepository::new());
         let outcome = ot.run(13);
         assert_eq!(outcome.history.len(), 13);
-        assert!(ot.last_match.is_none());
+        assert!(ot.last_match().is_none());
     }
 }

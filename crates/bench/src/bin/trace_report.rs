@@ -7,6 +7,12 @@
 //! Usage:
 //!   trace_report <file.trace.jsonl>
 //!   trace_report --session [iters] [--out <file.trace.jsonl>]
+//!   trace_report --baseline [iters] [--out <file.trace.jsonl>]
+//!
+//! `--baseline` runs a baseline method (CDBTune-w-Con) through the shared
+//! `TuningDriver` loop instead of ResTune, verifying that ported methods
+//! emit the driver's `iteration` root span with their own stages nested
+//! inside it.
 
 use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
 use restune_bench::report::results_dir;
@@ -83,8 +89,54 @@ fn traced_session(iters: usize) -> (TraceSnapshot, [(&'static str, f64); 5]) {
     (snap, sums)
 }
 
+/// Runs a traced baseline (CDBTune-w-Con) through the shared driver loop and
+/// returns the snapshot. The driver owns the `iteration` root span for every
+/// method, so a ported baseline's trace must show it with the baseline's own
+/// stages (`model_update`, `recommendation`) nested inside.
+fn traced_baseline(iters: usize) -> TraceSnapshot {
+    trace::enable();
+    trace::reset();
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(11)
+        .build();
+    let config = RestuneConfig { seed: 11, trace: true, ..Default::default() };
+    let mut agent = baselines::CdbTuneWithConstraints::new(env, config);
+    for _ in 0..iters {
+        agent.step();
+    }
+    let snap = trace::snapshot();
+    trace::disable();
+    snap
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--baseline") {
+        let iters: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| results_dir().join("baseline.trace.jsonl"));
+        let snap = traced_baseline(iters);
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create trace output dir");
+        }
+        snap.write_jsonl(&out).expect("write trace jsonl");
+        println!("traced {iters}-iteration baseline (CDBTune-w-Con) -> {}\n", out.display());
+        report(&snap);
+        let iterations = snap.span_agg().get("iteration").map(|a| a.count).unwrap_or(0);
+        assert_eq!(
+            iterations as usize, iters,
+            "baseline must emit one driver `iteration` root span per step"
+        );
+        return;
+    }
     if args.first().map(String::as_str) == Some("--session") {
         let iters: usize =
             args.get(1).and_then(|a| a.parse().ok()).unwrap_or(30);

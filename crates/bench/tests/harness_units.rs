@@ -54,7 +54,8 @@ fn repository_builder_from_explicit_tasks() {
         3,
     );
     assert_eq!(repo.len(), 2);
-    assert_eq!(repo.n_observations(), 20);
+    // Each task stores the default anchor plus its n LHS samples.
+    assert_eq!(repo.n_observations(), 2 * (10 + 1));
     let learners = fit_learners(&repo);
     assert_eq!(learners.len(), 2);
     assert_eq!(learners[0].instance, InstanceType::A);

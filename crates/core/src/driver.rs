@@ -1,0 +1,152 @@
+//! The tuning run loop: a [`TuningDriver`] repeatedly asks a [`Proposer`]
+//! for the next configuration point and hands it to the shared
+//! [`EvalEngine`](crate::engine::EvalEngine) to apply, replay, and record.
+//!
+//! This is the paper's Fig. 5 control flow with the strategy factored out:
+//! the *recommendation policy* (ResTune's meta-boosted CEI, OtterTune's
+//! workload mapping, CDBTune's DDPG agent, a grid, …) is a `Proposer`;
+//! everything that must be identical across methods for a fair §7
+//! comparison (replay retries, failure penalties, incumbent/convergence
+//! bookkeeping) lives in the engine. The driver owns the `iteration` trace
+//! span, so every proposer's phase spans nest under the same root.
+
+use crate::engine::{EvalEngine, HistoryView, IterationRecord, TuningOutcome};
+
+/// Proposal-side wall-clock breakdown (everything up to the replay; the
+/// engine fills `replay_s` in). Fields mirror
+/// [`IterationTiming`](crate::engine::IterationTiming).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProposalTiming {
+    /// Meta-data processing (scale unification, meta-feature handling).
+    pub meta_data_processing_s: f64,
+    /// Model update (surrogate fits + weight learning, or agent training
+    /// attributed pre-replay).
+    pub model_update_s: f64,
+    /// Subcomponent of `model_update_s`: target GP fits.
+    pub gp_fit_s: f64,
+    /// Subcomponent of `model_update_s`: ensemble weight learning.
+    pub weight_update_s: f64,
+    /// Knob recommendation (acquisition optimization / policy action).
+    pub recommendation_s: f64,
+}
+
+/// One proposed evaluation: the point plus everything the record should
+/// remember about how it was chosen.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// Normalized point to apply and replay.
+    pub point: Vec<f64>,
+    /// Ensemble weights at recommendation time, when meta-learning was
+    /// active.
+    pub weights: Option<Vec<f64>>,
+    /// Proposal-side timings.
+    pub timing: ProposalTiming,
+}
+
+impl Proposal {
+    /// A bare point with no weights and zero proposal-side timings (LHS
+    /// bootstraps, grid cells).
+    pub fn point(point: Vec<f64>) -> Self {
+        Proposal { point, weights: None, timing: ProposalTiming::default() }
+    }
+}
+
+/// A tuning strategy: proposes the next point from the observed history.
+///
+/// `propose` runs inside the driver's `iteration` span, so any spans it
+/// opens (`model_update`, `recommendation`, …) nest under `iteration/…`
+/// exactly as the paper's three-phase pipeline reads. `seed` is the
+/// driver's per-iteration seed (`driver_seed + iter`, mixed); strategies
+/// with their own published seeding schedule may ignore it.
+pub trait Proposer {
+    /// Picks the next point to evaluate.
+    fn propose(&mut self, view: &HistoryView<'_>, iter: usize, seed: u64) -> Proposal;
+
+    /// Hook run after the replay but before the record is committed —
+    /// strategies that learn from the outcome (an RL agent's training step)
+    /// do so here. Returns the wall-clock seconds of post-replay model
+    /// update to *add* to the record's `model_update_s`, so nothing ever
+    /// patches committed records in place.
+    fn observe(&mut self, _view: &HistoryView<'_>, _record: &IterationRecord) -> f64 {
+        0.0
+    }
+}
+
+/// The run loop tying a [`Proposer`] to an [`EvalEngine`].
+pub struct TuningDriver<P> {
+    engine: EvalEngine,
+    proposer: P,
+    seed: u64,
+}
+
+impl<P: Proposer> TuningDriver<P> {
+    /// Builds a driver over an already-constructed engine.
+    pub fn new(engine: EvalEngine, proposer: P, seed: u64) -> Self {
+        TuningDriver { engine, proposer, seed }
+    }
+
+    /// Runs one iteration; returns the committed record.
+    pub fn step(&mut self) -> IterationRecord {
+        let iter = self.engine.iterations();
+        let seed = self.seed.wrapping_add(iter as u64).wrapping_mul(0x9E37);
+        // All wall-clock fields of `IterationTiming` are the `finish_s()`
+        // values of spans opened here and inside the proposer — there is no
+        // second stopwatch (DESIGN.md §10). `replay_s` alone stays
+        // *simulated* seconds from the DBMS (part of the determinism
+        // fingerprint).
+        let iteration_span = trace::span!("iteration", iter = iter);
+        let proposal = self.proposer.propose(&self.engine.view(), iter, seed);
+        let mut record = self.engine.evaluate(proposal);
+        record.timing.model_update_s += self.proposer.observe(&self.engine.view(), &record);
+        self.engine.commit(record.clone());
+        trace::count("loop.iterations", 1);
+        let _ = iteration_span.finish_s();
+        record
+    }
+
+    /// Runs `iterations` steps and summarizes (cheap mid-run snapshot —
+    /// clones the history; prefer [`TuningDriver::into_outcome`] at end of
+    /// run).
+    pub fn run(&mut self, iterations: usize) -> TuningOutcome {
+        for _ in 0..iterations {
+            self.step();
+        }
+        self.engine.outcome()
+    }
+
+    /// Runs `iterations` steps and consumes the driver into the final
+    /// outcome without cloning the history.
+    pub fn run_into_outcome(mut self, iterations: usize) -> TuningOutcome {
+        for _ in 0..iterations {
+            self.step();
+        }
+        self.engine.into_outcome()
+    }
+
+    /// The evaluation engine.
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (seeding history into the surrogate's
+    /// training data).
+    pub fn engine_mut(&mut self) -> &mut EvalEngine {
+        &mut self.engine
+    }
+
+    /// The strategy.
+    pub fn proposer(&self) -> &P {
+        &self.proposer
+    }
+
+    /// Mutable access to the strategy.
+    pub fn proposer_mut(&mut self) -> &mut P {
+        &mut self.proposer
+    }
+
+    /// Consumes the driver into the final outcome without cloning the
+    /// history.
+    pub fn into_outcome(self) -> TuningOutcome {
+        self.engine.into_outcome()
+    }
+}

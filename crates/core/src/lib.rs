@@ -15,6 +15,8 @@
 //! | §6.4.2 dynamic ranking-loss weights (Eq. 9) | [`meta::dynamic_weights`] |
 //! | §6.4.3 adaptive weight schema | [`tuner`] |
 //! | §4 workflow, convergence, data repository | [`tuner`], [`repository`] |
+//! | Fig. 5 apply-and-replay evaluator | [`engine`] |
+//! | Fig. 5 iteration pipeline (strategy ↔ loop) | [`proposer`], [`driver`] |
 //! | §7.3 SHAP knob attribution (Fig. 7) | [`shap`] |
 //! | §7.6 TCO analysis (Tables 8–9) | [`tco`] |
 
@@ -24,9 +26,12 @@
 
 pub mod acquisition;
 pub mod advisor;
+pub mod driver;
+pub mod engine;
 pub mod lhs;
 pub mod meta;
 pub mod problem;
+pub mod proposer;
 pub mod repository;
 pub mod resilience;
 pub mod scale;
@@ -36,8 +41,11 @@ pub mod tco;
 pub mod tuner;
 
 pub use acquisition::{AcquisitionKind, ConstrainedExpectedImprovement};
+pub use driver::{Proposal, ProposalTiming, Proposer, TuningDriver};
+pub use engine::{EngineSettings, EvalEngine, HistoryView};
 pub use meta::{BaseLearner, MetaLearner, WeightStrategy};
 pub use problem::{ResourceKind, SlaConstraints, TuningProblem};
+pub use proposer::RestuneProposer;
 pub use repository::{DataRepository, TaskObservation, TaskRecord};
 pub use resilience::{FailureCounts, FailureKind, ReplayPolicy};
 pub use scale::Standardizer;

@@ -143,6 +143,16 @@ pub fn evaluate_with_retry(
     result
 }
 
+/// The objective value a crashed/timed-out replay records: safely above the
+/// worst *genuinely observed* value, scaled by the observed spread. Callers
+/// must compute `obs_worst`/`obs_best` over full observations only, so
+/// penalties never compound on each other. One shared formula — the loop in
+/// `engine.rs` and the penalty-EI surrogate encoding both call this, so the
+/// encodings can never drift apart.
+pub fn failure_penalty(obs_worst: f64, obs_best: f64) -> f64 {
+    obs_worst + 0.3 * (obs_worst - obs_best).max(1.0)
+}
+
 /// The synthetic observation a crashed/timed-out replay contributes.
 ///
 /// Every field is finite so downstream code (serialization, convergence
@@ -229,6 +239,14 @@ mod tests {
             assert!(r.replay_s > 5.0 + 10.0, "backoff must be charged: {}", r.replay_s);
             assert_eq!(dbms.evaluations(), 3, "each attempt consumes an eval index");
         }
+    }
+
+    #[test]
+    fn failure_penalty_sits_above_the_worst_observation() {
+        assert_eq!(failure_penalty(80.0, 20.0), 80.0 + 0.3 * 60.0);
+        // A degenerate spread still clears the worst value by a margin.
+        assert_eq!(failure_penalty(50.0, 50.0), 50.3);
+        assert!(failure_penalty(120.0, 40.0) > 120.0);
     }
 
     #[test]

@@ -2,24 +2,25 @@
 //! then iterate *recommend → apply → replay → observe*, with the adaptive
 //! weight schema of §6.4.3 (meta-feature static weights for the first
 //! iterations, ranking-loss dynamic weights afterwards).
+//!
+//! [`TuningSession`] is a thin facade: the run loop is
+//! [`crate::driver::TuningDriver`], the recommendation policy is
+//! [`crate::proposer::RestuneProposer`], and the apply/replay/record side is
+//! [`crate::engine::EvalEngine`] (see DESIGN.md §11). This module keeps the
+//! environment builder, the configuration, and the session API the rest of
+//! the workspace programs against.
 
-use crate::acquisition::{
-    AcquisitionKind, AcquisitionOptimizer, ConstrainedExpectedImprovement, expected_improvement,
-};
-use crate::meta::{
-    static_weights, BaseLearner, MetaLearner, TargetObservations,
-};
-use crate::problem::{ResourceKind, SlaConstraints, TuningProblem};
-use crate::resilience::{
-    evaluate_with_retry, penalty_observation, FailureCounts, FailureKind, ReplayPolicy,
-};
-use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
-use dbsim::{
-    Configuration, EvalOutcome, FaultPlan, InstanceType, KnobSet, Observation, SimulatedDbms,
-    WorkloadSpec,
-};
+use crate::acquisition::{AcquisitionKind, AcquisitionOptimizer};
+use crate::driver::TuningDriver;
+use crate::engine::{EngineSettings, EvalEngine};
+use crate::meta::BaseLearner;
+use crate::problem::{ResourceKind, SlaConstraints};
+use crate::proposer::RestuneProposer;
+use crate::resilience::{FailureCounts, ReplayPolicy};
+use dbsim::{FaultPlan, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSpec};
 use gp::GpConfig;
-use xrand::{RngExt, SeedableRng};
+
+pub use crate::engine::{IterationRecord, IterationTiming, TuningOutcome};
 
 /// The target DBMS copy plus the search space and objective.
 #[derive(Debug, Clone)]
@@ -215,107 +216,11 @@ impl Default for RestuneConfig {
     }
 }
 
-/// Wall-clock breakdown of a single iteration (Table 3's rows).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct IterationTiming {
-    /// Meta-data processing (scale unification, meta-feature handling).
-    pub meta_data_processing_s: f64,
-    /// Model update (GP fits + weight learning).
-    pub model_update_s: f64,
-    /// Subcomponent of `model_update_s`: fitting the target's three metric
-    /// GPs.
-    pub gp_fit_s: f64,
-    /// Subcomponent of `model_update_s`: ensemble weight learning (static
-    /// kernel weights or ranking-loss posterior sampling).
-    pub weight_update_s: f64,
-    /// Knob recommendation (acquisition optimization).
-    pub recommendation_s: f64,
-    /// Target workload replay (simulated seconds).
-    pub replay_s: f64,
-}
-
-impl IterationTiming {
-    /// Total iteration time. `gp_fit_s` and `weight_update_s` are already
-    /// inside `model_update_s` and do not count again.
-    pub fn total_s(&self) -> f64 {
-        self.meta_data_processing_s + self.model_update_s + self.recommendation_s + self.replay_s
-    }
-}
-
-/// One tuning iteration's record.
-#[derive(Debug, Clone)]
-pub struct IterationRecord {
-    /// 0-based iteration index.
-    pub iteration: usize,
-    /// Normalized point that was evaluated.
-    pub point: Vec<f64>,
-    /// Raw observation.
-    pub observation: Observation,
-    /// Raw objective value.
-    pub objective: f64,
-    /// Whether the observation met the SLA.
-    pub feasible: bool,
-    /// Running best feasible objective (includes the default as incumbent).
-    pub best_feasible_objective: f64,
-    /// Ensemble weights at recommendation time (base learners..., target),
-    /// when meta-learning was active.
-    pub weights: Option<Vec<f64>>,
-    /// How the replay failed, if it did. `Crash`/`Timeout` iterations carry a
-    /// synthetic penalized observation; `Partial` carries the truncated one.
-    pub failure: Option<FailureKind>,
-    /// Transient-failure retries this iteration consumed.
-    pub retries: usize,
-    /// Timing breakdown.
-    pub timing: IterationTiming,
-}
-
-/// Result of a tuning run.
-#[derive(Debug, Clone)]
-pub struct TuningOutcome {
-    /// Per-iteration records.
-    pub history: Vec<IterationRecord>,
-    /// The default-configuration observation that fixed the SLA.
-    pub default_observation: Observation,
-    /// The SLA constraints.
-    pub sla: SlaConstraints,
-    /// Best feasible configuration found (the default if nothing better).
-    pub best_config: Configuration,
-    /// Best feasible objective value.
-    pub best_objective: Option<f64>,
-    /// Iteration (0-based) at which the best was found; `None` if the default
-    /// was never improved.
-    pub best_iteration: Option<usize>,
-    /// Iteration at which the §4 convergence criterion first held.
-    pub converged_at: Option<usize>,
-    /// The default configuration's objective value (the tuning baseline).
-    pub default_obj_value: f64,
-    /// Replay-failure tally across the run.
-    pub failures: FailureCounts,
-}
-
-impl TuningOutcome {
-    /// The best-feasible-objective curve per iteration (what Figures 3–5
-    /// plot).
-    pub fn best_curve(&self) -> Vec<f64> {
-        self.history.iter().map(|r| r.best_feasible_objective).collect()
-    }
-
-    /// Relative improvement of the best feasible objective over the default.
-    pub fn improvement(&self) -> f64 {
-        let default = self.default_obj_value.max(1e-12);
-        match self.best_objective {
-            Some(best) => (default - best) / default,
-            None => 0.0,
-        }
-    }
-
-    /// The default configuration's objective value.
-    pub fn default_objective(&self) -> f64 {
-        self.default_obj_value
-    }
-}
-
 /// A running ResTune tuning session.
+///
+/// A facade over the shared [`TuningDriver`] run loop: the session owns a
+/// driver whose strategy is [`RestuneProposer`] and whose evaluation side is
+/// the [`EvalEngine`] every method shares (DESIGN.md §11).
 ///
 /// # Examples
 ///
@@ -343,30 +248,7 @@ impl TuningOutcome {
 /// assert!(outcome.best_objective.unwrap() <= outcome.default_obj_value);
 /// ```
 pub struct TuningSession {
-    env: TuningEnvironment,
-    config: RestuneConfig,
-    base_learners: Vec<BaseLearner>,
-    target_meta_feature: Vec<f64>,
-    problem: TuningProblem,
-    default_observation: Observation,
-    default_point: Vec<f64>,
-    /// All observed points (default first).
-    points: Vec<Vec<f64>>,
-    res: Vec<f64>,
-    tps: Vec<f64>,
-    lat: Vec<f64>,
-    history: Vec<IterationRecord>,
-    best: Option<(usize, f64, Vec<f64>)>,
-    lhs_plan: Vec<Vec<f64>>,
-    converged_at: Option<usize>,
-    use_meta: bool,
-    last_improvement: usize,
-    failures: FailureCounts,
-    /// Worst/best objective over *full* (non-synthetic) observations — the
-    /// basis for the failure penalty, kept separate from `res` so penalty
-    /// values never compound on each other.
-    obs_worst: f64,
-    obs_best: f64,
+    driver: TuningDriver<RestuneProposer>,
 }
 
 impl TuningSession {
@@ -405,7 +287,7 @@ impl TuningSession {
     }
 
     fn build(
-        mut env: TuningEnvironment,
+        env: TuningEnvironment,
         config: RestuneConfig,
         base_learners: Vec<BaseLearner>,
         target_meta_feature: Vec<f64>,
@@ -414,50 +296,24 @@ impl TuningSession {
         if config.trace {
             trace::enable();
         }
-        let default_observation = env.dbms.evaluate(&Configuration::dba_default());
-        let sla = SlaConstraints::from_default_observation(&default_observation);
-        let problem = TuningProblem {
-            knob_set: env.knob_set.clone(),
-            resource: env.resource,
-            constraints: sla,
-        };
-        let default_point = env.knob_set.default_point();
-        let default_objective = env.resource.value(&default_observation);
-        let lhs_plan =
-            crate::lhs::latin_hypercube(config.init_iters, env.knob_set.dim(), config.seed ^ 0x5A);
-        let mut session = TuningSession {
+        let dim = env.knob_set.dim();
+        let engine = EvalEngine::new(
             env,
-            config,
-            base_learners,
-            target_meta_feature,
-            problem,
-            default_observation: default_observation.clone(),
-            default_point: default_point.clone(),
-            points: Vec::new(),
-            res: Vec::new(),
-            tps: Vec::new(),
-            lat: Vec::new(),
-            history: Vec::new(),
-            best: None,
-            lhs_plan,
-            converged_at: None,
-            use_meta,
-            last_improvement: 0,
-            failures: FailureCounts::default(),
-            obs_worst: default_objective,
-            obs_best: default_objective,
-        };
-        // The default observation seeds the model and the incumbent.
-        session.record_data(default_point, &default_observation);
-        session.best = Some((0, default_objective, session.default_point.clone()));
-        session
-    }
-
-    fn record_data(&mut self, point: Vec<f64>, obs: &Observation) {
-        self.points.push(point);
-        self.res.push(self.env.resource.value(obs));
-        self.tps.push(obs.tps);
-        self.lat.push(obs.p99_ms);
+            EngineSettings {
+                policy: ReplayPolicy {
+                    max_retries: config.max_retries,
+                    backoff_s: config.retry_backoff_s,
+                },
+                convergence_window: config.convergence_window,
+                convergence_epsilon: config.convergence_epsilon,
+                // The default observation seeds the model and the incumbent.
+                seed_default_observation: true,
+            },
+        );
+        let seed = config.seed;
+        let proposer =
+            RestuneProposer::new(config, base_learners, target_meta_feature, use_meta, dim);
+        TuningSession { driver: TuningDriver::new(engine, proposer, seed) }
     }
 
     /// Appends an externally collected observation tuple to the surrogate's
@@ -467,474 +323,65 @@ impl TuningSession {
     /// degrades the next recommendations to uniform exploration until enough
     /// clean data accumulates (see DESIGN.md §9).
     pub fn seed_history(&mut self, point: Vec<f64>, res: f64, tps: f64, lat: f64) {
-        self.points.push(point);
-        self.res.push(res);
-        self.tps.push(tps);
-        self.lat.push(lat);
+        self.driver.engine_mut().seed_history(point, res, tps, lat);
     }
 
     /// Replay-failure tally so far.
     pub fn failures(&self) -> FailureCounts {
-        self.failures
-    }
-
-    /// The objective value a crashed/timed-out replay records: safely above
-    /// the worst *genuinely observed* value, scaled by the observed spread.
-    /// Computed over full observations only, so penalties never compound.
-    fn failure_penalty(&self) -> f64 {
-        self.obs_worst + 0.3 * (self.obs_worst - self.obs_best).max(1.0)
+        self.driver.engine().failures()
     }
 
     /// The SLA in force.
     pub fn sla(&self) -> SlaConstraints {
-        self.problem.constraints
+        self.driver.engine().sla()
     }
 
     /// The default observation.
     pub fn default_observation(&self) -> &Observation {
-        &self.default_observation
+        self.driver.engine().default_observation()
     }
 
     /// Completed iterations.
     pub fn iterations(&self) -> usize {
-        self.history.len()
-    }
-
-    fn fit_target(
-        &self,
-        res: &[f64],
-        scalers: crate::scale::TaskScalers,
-    ) -> Result<GpTaskModel, gp::GpError> {
-        let n = self.points.len();
-        let iter = self.history.len();
-        let mut gp_config = self.config.gp.clone();
-        gp_config.optimize_hypers = self.config.gp.optimize_hypers
-            && (n <= 40 || iter.is_multiple_of(self.config.refit_hypers_every));
-        gp_config.seed = self.config.seed;
-        // Cache-style tally of the hyperparameter-refit schedule: a "miss"
-        // pays the full marginal-likelihood optimization, a "hit" reuses the
-        // previous hyperparameters.
-        if gp_config.optimize_hypers {
-            trace::count("gp.hypers.refit", 1);
-        } else {
-            trace::count("gp.hypers.reuse", 1);
-        }
-        GpTaskModel::fit_with_scalers(
-            &self.points,
-            res,
-            &self.tps,
-            &self.lat,
-            scalers,
-            &gp_config,
-            self.config.parallel,
-        )
-    }
-
-    fn penalized_res(&self) -> Vec<f64> {
-        let sla = self.problem.constraints;
-        let worst = self.res.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let best = self.res.iter().cloned().fold(f64::INFINITY, f64::min);
-        let penalty = worst + 0.3 * (worst - best).max(1.0);
-        self.res
-            .iter()
-            .zip(self.tps.iter().zip(&self.lat))
-            .map(|(r, (t, l))| {
-                if *t >= sla.tps_floor() && *l <= sla.lat_ceiling() {
-                    *r
-                } else {
-                    penalty
-                }
-            })
-            .collect()
+        self.driver.engine().iterations()
     }
 
     /// Runs one iteration; returns the new record.
     pub fn step(&mut self) -> IterationRecord {
-        let iter = self.history.len();
-        let seed = self.config.seed.wrapping_add(iter as u64).wrapping_mul(0x9E37);
-        // All wall-clock fields of `IterationTiming` are the `finish_s()`
-        // values of the spans below — there is no second stopwatch
-        // (DESIGN.md §10). `replay_s` alone stays *simulated* seconds from
-        // the DBMS (it is part of the determinism fingerprint).
-        let iteration_span = trace::span!("iteration", iter = iter);
-
-        // ---- meta-data processing: scale unification ----------------------
-        // Builds the objective column the surrogate trains on (penalized for
-        // the penalty-EI ablation) and fits the standardizers the model
-        // update below *uses* — not a throwaway probe.
-        let meta_span = trace::span!("meta_data_processing");
-        let res_col = match self.config.acquisition {
-            // Penalty-based constrained BO (§2's simple alternative): the
-            // surrogate is fit on a *penalized* objective — infeasible
-            // observations are pushed above the worst feasible value, so
-            // plain EI steers away from them.
-            AcquisitionKind::PenalizedExpectedImprovement => self.penalized_res(),
-            _ => self.res.clone(),
-        };
-        let scalers = crate::scale::TaskScalers::fit(&res_col, &self.tps, &self.lat);
-        let meta_data_processing_s = meta_span.finish_s();
-
-        // ---- model update: surrogate fit + weights + ensemble ---------------
-        let model_span = trace::span!("model_update");
-        let fit_span = trace::span!("gp_fit", n_obs = self.points.len());
-        let fit = self.fit_target(&res_col, scalers);
-        let gp_fit_s = fit_span.finish_s();
-        let (point, weights, model_update_s, weight_update_s, recommendation_s) = match fit {
-            Ok(target) => {
-                let weight_span = trace::span!("weight_update");
-                let (surrogate, weights): (MetaLearner, Option<Vec<f64>>) = if self.use_meta
-                    && !self.base_learners.is_empty()
-                {
-                    let w = if iter < self.config.init_iters {
-                        static_weights(
-                            &self.base_learners,
-                            &self.target_meta_feature,
-                            self.config.static_bandwidth,
-                        )
-                    } else {
-                        let res_std = target.scalers.res.transform_all(&self.res);
-                        let tps_std = target.scalers.tps.transform_all(&self.tps);
-                        let lat_std = target.scalers.lat.transform_all(&self.lat);
-                        let obs = TargetObservations {
-                            points: &self.points,
-                            res: &res_std,
-                            tps: &tps_std,
-                            lat: &lat_std,
-                        };
-                        crate::meta::dynamic_weights_with_options(
-                            &self.base_learners,
-                            &target,
-                            &obs,
-                            self.config.dynamic_samples,
-                            self.config.max_rank_points,
-                            self.config.dilution_guard,
-                            self.config.parallel,
-                            seed,
-                        )
-                    };
-                    let learner = MetaLearner::new(self.base_learners.clone(), target, w.clone());
-                    (learner, Some(w))
-                } else {
-                    (MetaLearner::target_only(target), None)
-                };
-                let weight_update_s = weight_span.finish_s();
-                let model_update_s = model_span.finish_s();
-
-                // ---- knob recommendation ---------------------------------
-                let recommendation_span = trace::span!("recommendation");
-                let lhs_init = iter < self.config.init_iters
-                    && (!self.use_meta || self.config.init_strategy == InitStrategy::Lhs);
-                // During the static bootstrap the ensemble mixes base-learners from
-                // heterogeneous hardware whose *feasibility* surfaces can disagree
-                // with the target instance (a small machine's optimal concurrency
-                // throttles a big one). Constraint predictions therefore come from
-                // the target learner until dynamic (ranking-loss) weights take over —
-                // ranking loss scores tps/lat orderings explicitly, so the dynamic
-                // ensemble is safe for constraints.
-                let constraints_from_target = self.use_meta
-                    && iter < self.config.init_iters
-                    && self.config.static_constraints_from_target;
-                // Stagnation safeguard: when the incumbent has not moved for a long
-                // stretch (a misled ensemble or a degenerate surrogate can pin the
-                // acquisition in a dead region), interleave a uniform exploration
-                // point every few iterations — standard ε-greedy insurance in BO
-                // implementations.
-                let stagnated = iter >= self.config.init_iters
-                    && iter.saturating_sub(self.last_improvement) >= 8
-                    && iter.is_multiple_of(4);
-                let point = if lhs_init {
-                    // Non-meta methods (and the w/o-Workload ablation) bootstrap with
-                    // LHS (§7 Setting).
-                    self.lhs_plan[iter].clone()
-                } else if stagnated {
-                    let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xE5C4);
-                    (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect()
-                } else {
-                    self.optimize_acquisition(&surrogate, constraints_from_target, seed)
-                };
-                let recommendation_s = recommendation_span.finish_s();
-                (point, weights, model_update_s, weight_update_s, recommendation_s)
-            }
-            Err(_) => {
-                // A degenerate observation set (non-finite values, pathological
-                // kernel) must not abort the session: degrade to a seeded
-                // uniform exploration point — the next full observation both
-                // makes progress and feeds the surrogate fresh, usable data.
-                let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xFA11);
-                let point: Vec<f64> =
-                    (0..self.problem.dim()).map(|_| rng.random::<f64>()).collect();
-                let model_update_s = model_span.finish_s();
-                (point, None, model_update_s, 0.0, 0.0)
-            }
-        };
-
-        // ---- apply + replay ---------------------------------------------------
-        let config =
-            self.problem.knob_set.to_configuration(&point, &Configuration::dba_default());
-        let policy = ReplayPolicy {
-            max_retries: self.config.max_retries,
-            backoff_s: self.config.retry_backoff_s,
-        };
-        let replay = evaluate_with_retry(&mut self.env.dbms, &config, &policy);
-        let replay_s = replay.replay_s;
-        let retries = replay.retries;
-        let failure = FailureKind::from_outcome(&replay.outcome);
-        let observation = match replay.outcome {
-            EvalOutcome::Ok(obs) => obs,
-            EvalOutcome::Partial { observation, .. } => observation,
-            // Crash/timeout: no sample came back. Record a finite synthetic
-            // observation that is infeasible by construction and penalized
-            // above the worst genuine value, so CEI steers away from the
-            // region (the penalty encoding of §2, applied to failures).
-            EvalOutcome::Crashed { .. } | EvalOutcome::TimedOut { .. } => penalty_observation(
-                config.clone(),
-                self.env.resource,
-                self.failure_penalty(),
-                self.problem.constraints.lat_ceiling(),
-                replay_s,
-            ),
-        };
-
-        let objective = self.env.resource.value(&observation);
-        let feasible = self.problem.constraints.is_feasible(&observation);
-        self.record_data(point.clone(), &observation);
-        if failure.is_none() {
-            // Only full replays update the penalty basis and may certify a
-            // new incumbent; a truncated sample's SLA reading is not trusted.
-            self.obs_worst = self.obs_worst.max(objective);
-            self.obs_best = self.obs_best.min(objective);
-            if feasible && objective < self.best.as_ref().map(|b| b.1).unwrap_or(f64::INFINITY) {
-                self.best = Some((iter, objective, point.clone()));
-                self.last_improvement = iter;
-            }
-        }
-        self.failures.record(failure, retries);
-
-        let record = IterationRecord {
-            iteration: iter,
-            point,
-            observation,
-            objective,
-            feasible,
-            best_feasible_objective: self.best.as_ref().map(|b| b.1).unwrap(),
-            weights,
-            failure,
-            retries,
-            timing: IterationTiming {
-                meta_data_processing_s,
-                model_update_s,
-                gp_fit_s,
-                weight_update_s,
-                recommendation_s,
-                replay_s,
-            },
-        };
-        self.history.push(record.clone());
-        self.check_convergence();
-        trace::count("loop.iterations", 1);
-        let _ = iteration_span.finish_s();
-        record
-    }
-
-    fn optimize_acquisition(
-        &self,
-        surrogate: &MetaLearner,
-        constraints_from_target: bool,
-        seed: u64,
-    ) -> Vec<f64> {
-        // Joint prediction with constraints optionally sourced from the
-        // target learner alone.
-        let predict = |p: &[f64]| {
-            let mut pred = surrogate.predict(p);
-            if constraints_from_target {
-                let t = surrogate.target();
-                pred.tps = t.tps.predict(p).expect("dim");
-                pred.lat = t.lat.predict(p).expect("dim");
-            }
-            pred
-        };
-        // Re-scaled constraint bounds λ' = L_M(θ_d) (§6.1), widened by the
-        // 5 % tolerance expressed in target-σ units.
-        let default_pred = predict(&self.default_point);
-        let scalers = surrogate.target().scalers;
-        let tol = self.problem.constraints.tolerance;
-        let tps_floor =
-            default_pred.tps.mean - tol * self.problem.constraints.min_tps / scalers.tps.std;
-        let lat_ceiling =
-            default_pred.lat.mean + tol * self.problem.constraints.max_p99_ms / scalers.lat.std;
-
-        let (best_feasible, mut anchors) = match &self.best {
-            Some((_, _, point)) => {
-                let incumbent = predict(point).res.mean;
-                (Some(incumbent), vec![point.clone()])
-            }
-            None => (None, Vec::new()),
-        };
-        // Seed local refinement with the best observed points of the
-        // highest-weight base-learners: "suggest knobs that are promising
-        // according to similar historical tasks" (§6.4.3).
-        let weights = surrogate.weights();
-        let mut ranked: Vec<(usize, f64)> = surrogate
-            .base_learners()
-            .iter()
-            .enumerate()
-            .map(|(i, _)| (i, weights[i]))
-            .collect();
-        // Total order, not `partial_cmp(..).unwrap()`: a NaN weight (e.g. a
-        // degenerate ranking-loss posterior) must not panic the ranking. NaN
-        // sorts below every real weight and the positivity gate drops it.
-        ranked.sort_by(|a, b| {
-            let key = |w: f64| if w.is_nan() { f64::NEG_INFINITY } else { w };
-            key(b.1).total_cmp(&key(a.1))
-        });
-        for (i, w) in ranked.into_iter().take(3) {
-            if !(w > 0.0) {
-                break;
-            }
-            // Anchor on the learner's best point that met its own task's SLA
-            // — the raw resource minimum is usually a throttled violator.
-            if let Some(p) = &surrogate.base_learners()[i].promising_point {
-                anchors.push(p.clone());
-            }
-        }
-
-        // Per-prediction acquisition value. Resolving the incumbent up front
-        // keeps the scoring closure pure (no RNG, no per-call setup), which
-        // is what allows batched/parallel candidate scoring below.
-        enum Scorer {
-            Cei(ConstrainedExpectedImprovement),
-            Ei { incumbent: f64 },
-        }
-        let scorer = match self.config.acquisition {
-            AcquisitionKind::ConstrainedExpectedImprovement => {
-                Scorer::Cei(ConstrainedExpectedImprovement { best_feasible, tps_floor, lat_ceiling })
-            }
-            AcquisitionKind::PenalizedExpectedImprovement => {
-                // Plain EI on the penalized surrogate; the penalty encoded at
-                // fit time does the constraint handling.
-                let incumbent = self
-                    .best
-                    .as_ref()
-                    .map(|(_, _, p)| predict(p).res.mean)
-                    .unwrap_or_else(|| predict(&self.default_point).res.mean);
-                Scorer::Ei { incumbent }
-            }
-            AcquisitionKind::ExpectedImprovement => {
-                // Unconstrained EI over the *overall* best (iTuned's behavior
-                // after the objective swap): ignores the SLA entirely.
-                // Filter non-finite objectives before taking the minimum: a
-                // seeded-in NaN observation must degrade, not panic.
-                let best_overall = self
-                    .points
-                    .iter()
-                    .zip(&self.res)
-                    .filter(|(_, r)| r.is_finite())
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(p, _)| predict(p).res.mean);
-                Scorer::Ei { incumbent: best_overall.unwrap_or(0.0) }
-            }
-        };
-        let value = |pred: &SurrogatePrediction| -> f64 {
-            match &scorer {
-                Scorer::Cei(cei) => cei.value(pred),
-                Scorer::Ei { incumbent } => {
-                    expected_improvement(pred.res.mean, pred.res.std_dev(), *incumbent)
-                }
-            }
-        };
-
-        if self.config.parallel {
-            // Joint *batched* prediction with the same constraint override as
-            // `predict`; each batch is one blocked solve per metric GP.
-            let predict_batch = |pts: &[Vec<f64>]| -> Vec<SurrogatePrediction> {
-                let mut preds = surrogate.predict_batch(pts);
-                if constraints_from_target {
-                    let t = surrogate.target();
-                    let tps = t.tps.predict_batch(pts).expect("dim");
-                    let lat = t.lat.predict_batch(pts).expect("dim");
-                    for ((pred, tps), lat) in preds.iter_mut().zip(tps).zip(lat) {
-                        pred.tps = tps;
-                        pred.lat = lat;
-                    }
-                }
-                preds
-            };
-            self.config.optimizer.optimize_batch(self.problem.dim(), &anchors, seed, true, |pts| {
-                predict_batch(pts).iter().map(&value).collect()
-            })
-        } else {
-            self.config.optimizer.optimize(self.problem.dim(), &anchors, seed, |p| {
-                value(&predict(p))
-            })
-        }
-    }
-
-    fn check_convergence(&mut self) {
-        if self.converged_at.is_some() {
-            return;
-        }
-        let w = self.config.convergence_window;
-        if self.history.len() < w + 1 {
-            return;
-        }
-        let eps = self.config.convergence_epsilon;
-        let tail = &self.history[self.history.len() - w - 1..];
-        let within = |get: fn(&IterationRecord) -> f64| {
-            let base = get(&tail[0]).abs().max(1e-12);
-            tail.iter().all(|r| (get(r) - get(&tail[0])).abs() / base <= eps)
-        };
-        // §4: resource utilization, throughput and latency all stable.
-        if within(|r| r.best_feasible_objective)
-            && within(|r| r.observation.tps)
-            && within(|r| r.observation.p99_ms)
-        {
-            self.converged_at = Some(self.history.len() - 1);
-        }
+        self.driver.step()
     }
 
     /// Runs `iterations` steps and summarizes.
     pub fn run(&mut self, iterations: usize) -> TuningOutcome {
-        for _ in 0..iterations {
-            self.step();
-        }
-        self.outcome()
+        self.driver.run(iterations)
     }
 
-    /// Summarizes what has been observed so far.
+    /// Runs `iterations` steps and consumes the session into the final
+    /// outcome without cloning the history.
+    pub fn run_into_outcome(self, iterations: usize) -> TuningOutcome {
+        self.driver.run_into_outcome(iterations)
+    }
+
+    /// Summarizes what has been observed so far (clones the history — prefer
+    /// [`TuningSession::into_outcome`] at end of run).
     pub fn outcome(&self) -> TuningOutcome {
-        let (best_iteration, best_objective, best_config) = match &self.best {
-            Some((it, obj, point)) => {
-                let config = self
-                    .problem
-                    .knob_set
-                    .to_configuration(point, &Configuration::dba_default());
-                // Iteration 0 in `best` means "the default"; report None then.
-                let default_obj = self.env.resource.value(&self.default_observation);
-                if (obj - default_obj).abs() < 1e-12 && point == &self.default_point {
-                    (None, Some(*obj), config)
-                } else {
-                    (Some(*it), Some(*obj), config)
-                }
-            }
-            None => (None, None, Configuration::dba_default()),
-        };
-        TuningOutcome {
-            history: self.history.clone(),
-            default_observation: self.default_observation.clone(),
-            sla: self.problem.constraints,
-            best_config,
-            best_objective,
-            best_iteration,
-            converged_at: self.converged_at,
-            default_obj_value: self.env.resource.value(&self.default_observation),
-            failures: self.failures,
-        }
+        self.driver.engine().outcome()
+    }
+
+    /// Consumes the session into its final outcome without cloning the
+    /// history.
+    pub fn into_outcome(self) -> TuningOutcome {
+        self.driver.into_outcome()
     }
 }
+
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::FailureKind;
+    use crate::surrogate::GpTaskModel;
+    use xrand::{RngExt, SeedableRng};
 
     fn quick_config(seed: u64) -> RestuneConfig {
         RestuneConfig {
