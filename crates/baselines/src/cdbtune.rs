@@ -185,6 +185,12 @@ impl CdbTuneWithConstraints {
     pub fn run_into_outcome(self, iterations: usize) -> TuningOutcome {
         self.driver.run_into_outcome(iterations)
     }
+
+    /// Decomposes into the underlying driver (fleet tenants step it
+    /// themselves).
+    pub fn into_driver(self) -> TuningDriver<CdbTuneProposer> {
+        self.driver
+    }
 }
 
 #[cfg(test)]

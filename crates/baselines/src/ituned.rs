@@ -35,6 +35,12 @@ impl ITuned {
     pub fn run_into_outcome(self, iterations: usize) -> TuningOutcome {
         self.session.run_into_outcome(iterations)
     }
+
+    /// Decomposes into the underlying driver (fleet tenants step it
+    /// themselves).
+    pub fn into_driver(self) -> restune_core::TuningDriver<restune_core::RestuneProposer> {
+        self.session.into_driver()
+    }
 }
 
 #[cfg(test)]

@@ -31,5 +31,5 @@ pub mod ottertune;
 pub use cdbtune::{CdbTuneProposer, CdbTuneWithConstraints};
 pub use grid::{grid_search, grid_tuning, GridProposer};
 pub use ituned::ITuned;
-pub use method::{run_method, Method, MethodContext};
+pub use method::{method_driver, run_method, Method, MethodContext};
 pub use ottertune::{OtterTuneProposer, OtterTuneWithConstraints};

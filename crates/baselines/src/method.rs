@@ -4,6 +4,7 @@
 use crate::cdbtune::CdbTuneWithConstraints;
 use crate::ituned::ITuned;
 use crate::ottertune::OtterTuneWithConstraints;
+use restune_core::driver::{BoxProposer, TuningDriver};
 use restune_core::repository::DataRepository;
 use restune_core::tuner::{
     InitStrategy, RestuneConfig, TuningEnvironment, TuningOutcome, TuningSession,
@@ -126,16 +127,15 @@ impl MethodContext<'_> {
     }
 }
 
-/// Runs `method` on `env` for `iterations` and returns its outcome.
-pub fn run_method(
+/// Builds `method`'s ready-to-run driver on `env`, type-erased behind
+/// [`BoxProposer`]. This is the unit the fleet service schedules: every
+/// method becomes a tenant the same way, and stepping the returned driver is
+/// bit-identical to [`run_method`] with the same inputs.
+pub fn method_driver(
     method: Method,
     env: TuningEnvironment,
-    iterations: usize,
     ctx: &MethodContext<'_>,
-) -> TuningOutcome {
-    // Every arm runs through the shared `TuningDriver`/`EvalEngine` loop;
-    // the consuming `run_into_outcome` renders the final outcome without
-    // cloning the history.
+) -> TuningDriver<BoxProposer> {
     match method {
         Method::Restune => {
             let learners = ctx.base_learners(&env);
@@ -145,10 +145,11 @@ pub fn run_method(
                 learners,
                 ctx.target_meta_feature.clone(),
             )
-            .run_into_outcome(iterations)
+            .into_driver()
+            .boxed()
         }
         Method::RestuneWithoutML => {
-            TuningSession::new(env, ctx.config.clone()).run_into_outcome(iterations)
+            TuningSession::new(env, ctx.config.clone()).into_driver().boxed()
         }
         Method::RestuneWithoutWorkload => {
             let learners = ctx.base_learners(&env);
@@ -160,18 +161,31 @@ pub fn run_method(
                 learners,
                 ctx.target_meta_feature.clone(),
             )
-            .run_into_outcome(iterations)
+            .into_driver()
+            .boxed()
         }
-        Method::ITuned => ITuned::new(env, ctx.config.clone()).run_into_outcome(iterations),
+        Method::ITuned => ITuned::new(env, ctx.config.clone()).into_driver().boxed(),
         Method::OtterTuneWithConstraints => {
             let repo = ctx.filtered_repository(&env);
-            OtterTuneWithConstraints::new(env, ctx.config.clone(), repo)
-                .run_into_outcome(iterations)
+            OtterTuneWithConstraints::new(env, ctx.config.clone(), repo).into_driver().boxed()
         }
         Method::CdbTuneWithConstraints => {
-            CdbTuneWithConstraints::new(env, ctx.config.clone()).run_into_outcome(iterations)
+            CdbTuneWithConstraints::new(env, ctx.config.clone()).into_driver().boxed()
         }
     }
+}
+
+/// Runs `method` on `env` for `iterations` and returns its outcome.
+pub fn run_method(
+    method: Method,
+    env: TuningEnvironment,
+    iterations: usize,
+    ctx: &MethodContext<'_>,
+) -> TuningOutcome {
+    // Every arm runs through the shared `TuningDriver`/`EvalEngine` loop;
+    // the consuming `run_into_outcome` renders the final outcome without
+    // cloning the history.
+    method_driver(method, env, ctx).run_into_outcome(iterations)
 }
 
 #[cfg(test)]

@@ -222,6 +222,12 @@ impl OtterTuneWithConstraints {
     pub fn last_match(&self) -> Option<&str> {
         self.driver.proposer().last_match.as_deref()
     }
+
+    /// Decomposes into the underlying driver (fleet tenants step it
+    /// themselves).
+    pub fn into_driver(self) -> TuningDriver<OtterTuneProposer> {
+        self.driver
+    }
 }
 
 #[cfg(test)]

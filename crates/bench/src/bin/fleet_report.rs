@@ -1,0 +1,143 @@
+//! Runs a traced, fault-injected tenant fleet and reports per-tenant span
+//! trees plus shared-store statistics (DESIGN.md §12). `--smoke` is the CI
+//! gate: 64 tenants with seeded transient faults, asserting that every
+//! tenant completes, emits its own complete span tree, and that a rerun at a
+//! different worker count reproduces the per-tenant records byte-for-byte.
+//!
+//! Usage:
+//!   fleet_report [--tenants N] [--iters K] [--workers W] [--out <file.trace.jsonl>]
+//!   fleet_report --smoke
+
+use restune_bench::report::results_dir;
+use restune_core::acquisition::AcquisitionOptimizer;
+use restune_core::fleet::{mix_seed, FleetConfig, FleetOutcome, FleetService, Tenant};
+use restune_core::problem::ResourceKind;
+use restune_core::tuner::{RestuneConfig, TuningEnvironment};
+use dbsim::{FaultPlan, InstanceType, KnobSet, WorkloadSpec};
+use trace::TraceSnapshot;
+
+fn tenant(id: u64, iters: usize) -> Tenant {
+    let seed = mix_seed(0x5EED_F1EE7, id);
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::fleet_tenant(id))
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(seed)
+        // Seeded transient faults on every tenant: the fleet must tolerate a
+        // steady background failure rate without cross-tenant interference.
+        .fault_plan(FaultPlan::none().with_transient_rate(0.2).with_seed(seed ^ 0xFA))
+        .build();
+    let config = RestuneConfig {
+        optimizer: AcquisitionOptimizer { n_candidates: 80, n_local: 20, local_sigma: 0.1 },
+        gp: gp::GpConfig { restarts: 1, adam_iters: 5, ..Default::default() },
+        dynamic_samples: 4,
+        init_iters: 2,
+        seed,
+        trace: true,
+        ..Default::default()
+    };
+    Tenant::restune(id, format!("tenant-{id}"), env, config, iters)
+}
+
+fn run_fleet(tenants: usize, iters: usize, workers: usize) -> (FleetOutcome, TraceSnapshot) {
+    trace::enable();
+    trace::reset();
+    let service = FleetService::new(FleetConfig { workers, slice: 2, shards: 16 });
+    let out = service.run((0..tenants as u64).map(|id| tenant(id, iters)).collect());
+    let snap = trace::snapshot();
+    trace::disable();
+    (out, snap)
+}
+
+/// Per-tenant span-tree summary: path → count within one task tag.
+fn tenant_tree(snap: &TraceSnapshot, task: u64) -> Vec<(String, usize)> {
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for ev in snap.spans_for_task(task) {
+        *counts.entry(ev.path.clone()).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}
+
+fn report(out: &FleetOutcome, snap: &TraceSnapshot, iters: usize) {
+    println!("fleet: {} tenants, {} workers, {:.3}s wall ({:.1} tenants/s)",
+        out.tenants.len(), out.workers, out.wall_s, out.tenants_per_s());
+    let retries: usize = out.tenants.iter().map(|t| t.outcome.failures.retries).sum();
+    let penalties: usize = out
+        .tenants
+        .iter()
+        .map(|t| t.outcome.failures.crashes + t.outcome.failures.timeouts)
+        .sum();
+    println!("faults: {retries} transient retries, {penalties} penalized iterations");
+    let tasks = snap.tasks();
+    println!("trace: {} tagged tenant span trees", tasks.len());
+    if let Some(&first) = tasks.first() {
+        println!("\n== span tree, tenant {first} ==");
+        for (path, n) in tenant_tree(snap, first) {
+            println!("  {n:>4}x {path}");
+        }
+    }
+    // Every tenant's tree must be complete: one `tenant` slice span per
+    // scheduled slice and exactly `iters` nested `iteration` spans.
+    for t in &out.tenants {
+        let tree = tenant_tree(snap, t.id);
+        let iterations: usize = tree
+            .iter()
+            .filter(|(p, _)| p == "fleet/tenant/iteration")
+            .map(|(_, n)| *n)
+            .sum();
+        assert_eq!(
+            iterations, iters,
+            "tenant {} trace is missing iterations (got {iterations}, want {iters})",
+            t.id
+        );
+    }
+    println!("\nper-tenant traces complete: {} x {} iteration spans", out.tenants.len(), iters);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ncpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let tenants: usize =
+        get("--tenants").and_then(|v| v.parse().ok()).unwrap_or(if smoke { 64 } else { 16 });
+    let iters: usize = get("--iters").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let workers: usize = get("--workers").and_then(|v| v.parse().ok()).unwrap_or(ncpu);
+
+    let (out, snap) = run_fleet(tenants, iters, workers);
+    report(&out, &snap, iters);
+
+    let trace_path = get("--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("fleet.trace.jsonl"));
+    if let Some(parent) = trace_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create trace output dir");
+    }
+    snap.write_jsonl(&trace_path).expect("write trace jsonl");
+    println!("trace -> {}", trace_path.display());
+
+    assert_eq!(out.tenants.len(), tenants);
+    assert_eq!(out.poisoned().count(), 0, "no tenant may be poisoned by seeded faults");
+
+    if smoke {
+        // Rerun at a different worker count: per-tenant records must be
+        // byte-identical (the fleet determinism contract, end to end).
+        let other_workers = if workers == 1 { 4 } else { 1 };
+        let (again, _) = run_fleet(tenants, iters, other_workers);
+        for (a, b) in out.tenants.iter().zip(&again.tenants) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.record_json().unwrap(),
+                b.record_json().unwrap(),
+                "tenant {} records diverged between workers={workers} and workers={other_workers}",
+                a.id
+            );
+        }
+        println!(
+            "smoke ok: {tenants} tenants bit-identical at workers={workers} and workers={other_workers}"
+        );
+    }
+}

@@ -72,6 +72,20 @@ pub trait Proposer {
     }
 }
 
+/// A type-erased, sendable strategy: what the fleet scheduler moves between
+/// pool workers when tenants run heterogeneous methods.
+pub type BoxProposer = Box<dyn Proposer + Send>;
+
+impl Proposer for BoxProposer {
+    fn propose(&mut self, view: &HistoryView<'_>, iter: usize, seed: u64) -> Proposal {
+        (**self).propose(view, iter, seed)
+    }
+
+    fn observe(&mut self, view: &HistoryView<'_>, record: &IterationRecord) -> f64 {
+        (**self).observe(view, record)
+    }
+}
+
 /// The run loop tying a [`Proposer`] to an [`EvalEngine`].
 pub struct TuningDriver<P> {
     engine: EvalEngine,
@@ -148,5 +162,22 @@ impl<P: Proposer> TuningDriver<P> {
     /// history.
     pub fn into_outcome(self) -> TuningOutcome {
         self.engine.into_outcome()
+    }
+
+    /// Decomposes the driver into its engine, strategy, and seed — the exact
+    /// state [`TuningDriver::new`] reassembles, so callers can re-wrap the
+    /// strategy (e.g. box it for a heterogeneous fleet) without perturbing
+    /// the seed schedule.
+    pub fn into_parts(self) -> (EvalEngine, P, u64) {
+        (self.engine, self.proposer, self.seed)
+    }
+}
+
+impl<P: Proposer + Send + 'static> TuningDriver<P> {
+    /// Type-erases the strategy: the same driver, bit-for-bit, behind
+    /// [`BoxProposer`] so heterogeneous tenants fit one fleet.
+    pub fn boxed(self) -> TuningDriver<BoxProposer> {
+        let (engine, proposer, seed) = self.into_parts();
+        TuningDriver::new(engine, Box::new(proposer), seed)
     }
 }

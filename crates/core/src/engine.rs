@@ -413,6 +413,13 @@ impl EvalEngine {
         &self.problem
     }
 
+    /// The tuning environment (DBMS copy, knob set, resource) — what a fleet
+    /// needs to label a tenant's task record (`workload@instance`) without
+    /// threading that identity separately.
+    pub fn environment(&self) -> &TuningEnvironment {
+        &self.env
+    }
+
     /// The default observation.
     pub fn default_observation(&self) -> &Observation {
         &self.default_observation

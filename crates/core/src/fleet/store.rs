@@ -1,0 +1,262 @@
+//! The fleet's shared meta-repository: a sharded store with copy-on-write
+//! snapshot reads (DESIGN.md §12).
+//!
+//! The paper's setting is one vendor accumulating tuning history across
+//! thousands of tenant instances into a single repository (§4). At fleet
+//! scale that repository is written concurrently — every tenant that
+//! finishes (or checkpoints) commits its task record while hundreds of
+//! siblings are mid-read building base-learners. The store resolves the
+//! tension with two mechanisms:
+//!
+//! - **Sharding**: commits hash by tenant id onto `n_shards` independent
+//!   locks, so unrelated tenants never contend on one mutex.
+//! - **Copy-on-write shard states**: each shard holds an `Arc<ShardState>`;
+//!   a commit builds the successor state (cloning only `Arc` pointers, never
+//!   task records) and swaps it in. A snapshot clones one `Arc` per shard
+//!   and is immutable from that moment — weight computation reads a
+//!   consistent view no matter how many commits land while it runs.
+//!
+//! The consistency contract, pinned by the propcheck suite
+//! (`crates/core/tests/proptest_fleet_store.rs`): every snapshot of a shard
+//! is a **prefix** of that shard's eventual commit sequence — no torn reads,
+//! no lost or reordered observations. Cross-shard, a snapshot is
+//! prefix-consistent per shard (shards are read one lock at a time; there is
+//! deliberately no global lock to make a fleet-wide atomic cut).
+//!
+//! Rendering a snapshot to a [`DataRepository`] sorts records by
+//! `(tenant, commit order)`, so the merged repository — and its JSON — is
+//! identical regardless of how tenant commits interleaved at run time.
+
+use std::sync::{Arc, RwLock};
+
+use crate::repository::{DataRepository, TaskRecord};
+
+/// One committed task record, tagged with the committing tenant.
+#[derive(Debug, Clone)]
+pub struct CommitEntry {
+    /// Committing tenant's id.
+    pub tenant: u64,
+    /// The record, shared between the shard log and every live snapshot.
+    pub record: Arc<TaskRecord>,
+}
+
+/// An immutable shard state: the shard's commit log at some point in time.
+#[derive(Debug, Default)]
+pub struct ShardState {
+    entries: Vec<CommitEntry>,
+}
+
+impl ShardState {
+    /// The shard's commits, oldest first.
+    pub fn entries(&self) -> &[CommitEntry] {
+        &self.entries
+    }
+}
+
+/// The sharded, concurrently-updated meta-repository store.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<RwLock<Arc<ShardState>>>,
+}
+
+/// splitmix64 finalizer — decorrelates consecutive tenant ids across shards
+/// (and seeds; see [`mix_seed`]).
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Derives a tenant's algorithm/simulation seed from the fleet seed and the
+/// tenant's **id** (never its position in a tenant list), so adding or
+/// removing one tenant cannot shift any sibling's seed schedule — the
+/// property the fault-isolation regression test relies on.
+pub fn mix_seed(fleet_seed: u64, tenant: u64) -> u64 {
+    mix64(fleet_seed ^ mix64(tenant.wrapping_add(0x9E3779B97F4A7C15)))
+}
+
+impl ShardedStore {
+    /// An empty store over `n_shards` independent shards (at least one).
+    pub fn new(n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        ShardedStore {
+            shards: (0..n).map(|_| RwLock::new(Arc::new(ShardState::default()))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a tenant's commits land on.
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        (mix64(tenant) % self.shards.len() as u64) as usize
+    }
+
+    /// Commits `record` for `tenant`: builds the shard's successor state and
+    /// swaps it in. Snapshots taken before the commit keep the predecessor
+    /// alive and unchanged (copy-on-write).
+    pub fn commit(&self, tenant: u64, record: TaskRecord) {
+        self.commit_shared(tenant, Arc::new(record));
+    }
+
+    /// [`ShardedStore::commit`] for an already-shared record.
+    pub fn commit_shared(&self, tenant: u64, record: Arc<TaskRecord>) {
+        let lock = &self.shards[self.shard_of(tenant)];
+        // A poisoned shard only means a sibling panicked while committing;
+        // the log itself is swapped atomically, never half-written.
+        let mut guard = lock.write().unwrap_or_else(|e| e.into_inner());
+        let mut entries = guard.entries.clone();
+        entries.push(CommitEntry { tenant, record });
+        *guard = Arc::new(ShardState { entries });
+        trace::count("fleet.store.commits", 1);
+    }
+
+    /// A consistent read view: one `Arc` clone per shard, immutable from
+    /// this moment on. O(n_shards), no record is copied.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        trace::count("fleet.store.snapshots", 1);
+        StoreSnapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|l| Arc::clone(&l.read().unwrap_or_else(|e| e.into_inner())))
+                .collect(),
+        }
+    }
+
+    /// Total committed records right now (counted over a fresh snapshot).
+    pub fn n_records(&self) -> usize {
+        self.snapshot().n_records()
+    }
+}
+
+/// An immutable view of the store at snapshot time.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    shards: Vec<Arc<ShardState>>,
+}
+
+impl StoreSnapshot {
+    /// Per-shard states, in shard order.
+    pub fn shards(&self) -> &[Arc<ShardState>] {
+        &self.shards
+    }
+
+    /// Total records across shards.
+    pub fn n_records(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Whether the snapshot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.n_records() == 0
+    }
+
+    /// Every entry ordered by `(tenant id, commit order)` — a schedule-
+    /// independent ordering: however tenant commits interleaved, the same
+    /// set of commits renders the same sequence.
+    pub fn entries_by_tenant(&self) -> Vec<&CommitEntry> {
+        let mut out: Vec<(usize, &CommitEntry)> = Vec::with_capacity(self.n_records());
+        for shard in &self.shards {
+            for (pos, e) in shard.entries.iter().enumerate() {
+                out.push((pos, e));
+            }
+        }
+        // A tenant's commits are serialized (one live task per tenant), so
+        // within a tenant the shard position is the commit order.
+        out.sort_by_key(|(pos, e)| (e.tenant, *pos));
+        out.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Renders the snapshot as a plain [`DataRepository`] (records cloned,
+    /// ordered by tenant id) — the input shape `base_learners` and the JSON
+    /// serializer already understand. Byte-stable across schedules.
+    pub fn to_repository(&self) -> DataRepository {
+        let mut repo = DataRepository::new();
+        for e in self.entries_by_tenant() {
+            repo.add((*e.record).clone());
+        }
+        repo
+    }
+
+    /// Whether `self` is a per-shard prefix of `later` (same shard count,
+    /// every shard's entry list a pointer-equal prefix of the later one).
+    /// This is the snapshot-isolation invariant the propcheck suite asserts
+    /// between any observed snapshot and the final state.
+    pub fn is_prefix_of(&self, later: &StoreSnapshot) -> bool {
+        self.shards.len() == later.shards.len()
+            && self.shards.iter().zip(&later.shards).all(|(a, b)| {
+                a.entries.len() <= b.entries.len()
+                    && a.entries
+                        .iter()
+                        .zip(&b.entries)
+                        .all(|(x, y)| x.tenant == y.tenant && Arc::ptr_eq(&x.record, &y.record))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ResourceKind;
+    use dbsim::InstanceType;
+
+    fn record(tenant: u64, seq: usize) -> TaskRecord {
+        TaskRecord {
+            task_id: format!("t{tenant}#{seq}"),
+            workload: format!("w{tenant}"),
+            instance: InstanceType::A,
+            resource: ResourceKind::Cpu,
+            knob_names: vec!["a".into()],
+            meta_feature: vec![0.5],
+            observations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshots_are_copy_on_write() {
+        let store = ShardedStore::new(4);
+        store.commit(1, record(1, 0));
+        let snap = store.snapshot();
+        assert_eq!(snap.n_records(), 1);
+        store.commit(2, record(2, 0));
+        store.commit(1, record(1, 1));
+        // The old snapshot is frozen; a new one sees all three commits.
+        assert_eq!(snap.n_records(), 1);
+        assert_eq!(store.snapshot().n_records(), 3);
+        assert!(snap.is_prefix_of(&store.snapshot()));
+    }
+
+    #[test]
+    fn rendering_orders_by_tenant_not_commit_schedule() {
+        // Same commits, opposite interleavings → identical repositories.
+        let a = ShardedStore::new(2);
+        a.commit(7, record(7, 0));
+        a.commit(3, record(3, 0));
+        a.commit(7, record(7, 1));
+        let b = ShardedStore::new(2);
+        b.commit(3, record(3, 0));
+        b.commit(7, record(7, 0));
+        b.commit(7, record(7, 1));
+        let ja = a.snapshot().to_repository().to_json().unwrap();
+        let jb = b.snapshot().to_repository().to_json().unwrap();
+        assert_eq!(ja, jb);
+        let ids: Vec<String> =
+            a.snapshot().to_repository().tasks().iter().map(|t| t.task_id.clone()).collect();
+        assert_eq!(ids, vec!["t3#0", "t7#0", "t7#1"]);
+    }
+
+    #[test]
+    fn seed_mixing_is_position_independent_and_spreads() {
+        assert_eq!(mix_seed(5, 10), mix_seed(5, 10));
+        assert_ne!(mix_seed(5, 10), mix_seed(5, 11));
+        assert_ne!(mix_seed(5, 10), mix_seed(6, 10));
+        // Consecutive tenants land on assorted shards, not one hot shard.
+        let store = ShardedStore::new(8);
+        let shards: std::collections::BTreeSet<usize> =
+            (0..64).map(|t| store.shard_of(t)).collect();
+        assert!(shards.len() >= 4, "ids clump onto {shards:?}");
+    }
+}

@@ -17,6 +17,7 @@
 //! | §4 workflow, convergence, data repository | [`tuner`], [`repository`] |
 //! | Fig. 5 apply-and-replay evaluator | [`engine`] |
 //! | Fig. 5 iteration pipeline (strategy ↔ loop) | [`proposer`], [`driver`] |
+//! | §4/§7.5 fleet-scale multi-tenant deployment | [`fleet`] |
 //! | §7.3 SHAP knob attribution (Fig. 7) | [`shap`] |
 //! | §7.6 TCO analysis (Tables 8–9) | [`tco`] |
 
@@ -28,6 +29,7 @@ pub mod acquisition;
 pub mod advisor;
 pub mod driver;
 pub mod engine;
+pub mod fleet;
 pub mod lhs;
 pub mod meta;
 pub mod problem;
@@ -41,8 +43,12 @@ pub mod tco;
 pub mod tuner;
 
 pub use acquisition::{AcquisitionKind, ConstrainedExpectedImprovement};
-pub use driver::{Proposal, ProposalTiming, Proposer, TuningDriver};
+pub use driver::{BoxProposer, Proposal, ProposalTiming, Proposer, TuningDriver};
 pub use engine::{EngineSettings, EvalEngine, HistoryView};
+pub use fleet::{
+    mix_seed, FleetConfig, FleetOutcome, FleetService, ShardedStore, StoreSnapshot, Tenant,
+    TenantResult,
+};
 pub use meta::{BaseLearner, MetaLearner, WeightStrategy};
 pub use problem::{ResourceKind, SlaConstraints, TuningProblem};
 pub use proposer::RestuneProposer;

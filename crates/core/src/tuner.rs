@@ -373,6 +373,13 @@ impl TuningSession {
     pub fn into_outcome(self) -> TuningOutcome {
         self.driver.into_outcome()
     }
+
+    /// Unwraps the session into the underlying driver — the same loop state,
+    /// bit-for-bit, for callers (the fleet service) that schedule drivers
+    /// directly instead of running the facade to completion.
+    pub fn into_driver(self) -> TuningDriver<RestuneProposer> {
+        self.driver
+    }
 }
 
 

@@ -1,0 +1,188 @@
+//! Property-based snapshot-isolation suite for the fleet's sharded
+//! copy-on-write store (DESIGN.md §12): under randomly interleaved
+//! concurrent commits and snapshots, every snapshot must be a
+//! prefix-consistent view — no torn reads, no lost or reordered
+//! observations — and rendering must be independent of the commit schedule.
+
+use std::sync::Arc;
+
+use propcheck::{check, Config};
+use restune_core::fleet::{ShardedStore, StoreSnapshot};
+use restune_core::problem::ResourceKind;
+use restune_core::repository::TaskRecord;
+use dbsim::InstanceType;
+
+/// A tiny record labelled by committing tenant and per-tenant sequence
+/// number, so any reordering or loss is visible in the task id.
+fn record(tenant: u64, seq: usize) -> TaskRecord {
+    TaskRecord {
+        task_id: format!("t{tenant}#{seq}"),
+        workload: format!("w{tenant}"),
+        instance: InstanceType::A,
+        resource: ResourceKind::Cpu,
+        knob_names: vec!["k".into()],
+        meta_feature: vec![tenant as f64, seq as f64],
+        observations: Vec::new(),
+    }
+}
+
+/// Every tenant's entries in `snap` must be exactly `t#0..t#j` in order —
+/// a gapless prefix of that tenant's commit sequence (the "no torn reads,
+/// no lost observations" half of the isolation contract).
+fn assert_tenant_prefixes(snap: &StoreSnapshot) -> Result<(), String> {
+    let mut per_tenant: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    for shard in snap.shards() {
+        for e in shard.entries() {
+            per_tenant.entry(e.tenant).or_default().push(e.record.task_id.clone());
+        }
+    }
+    for (tenant, ids) in per_tenant {
+        for (i, id) in ids.iter().enumerate() {
+            let want = format!("t{tenant}#{i}");
+            if *id != want {
+                return Err(format!(
+                    "tenant {tenant} snapshot is not a gapless prefix: \
+                     position {i} holds {id}, want {want}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn concurrent_snapshots_are_prefix_consistent_and_nothing_is_lost() {
+    check(
+        "concurrent_snapshots_are_prefix_consistent_and_nothing_is_lost",
+        Config::default().cases(24).seed(0xF1EE70001),
+        |g| {
+            let n_shards = g.usize_in(1, 8);
+            let n_tenants = g.usize_in(1, 6) as u64;
+            let commits_per_tenant = g.usize_in(1, 8);
+            let n_snapshotters = g.usize_in(1, 3);
+            let snaps_per_reader = g.usize_in(2, 6);
+
+            let store = Arc::new(ShardedStore::new(n_shards));
+            // Committers and snapshotters race freely; the properties below
+            // must hold for every interleaving the OS produces.
+            let observed: Vec<Vec<StoreSnapshot>> = std::thread::scope(|scope| {
+                for tenant in 0..n_tenants {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        for seq in 0..commits_per_tenant {
+                            store.commit(tenant, record(tenant, seq));
+                        }
+                    });
+                }
+                let readers: Vec<_> = (0..n_snapshotters)
+                    .map(|_| {
+                        let store = Arc::clone(&store);
+                        scope.spawn(move || {
+                            (0..snaps_per_reader)
+                                .map(|_| {
+                                    std::thread::yield_now();
+                                    store.snapshot()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                readers.into_iter().map(|h| h.join().expect("snapshotter")).collect()
+            });
+
+            // Nothing lost: the final state holds every commit, each tenant's
+            // sequence complete and in order.
+            let fin = store.snapshot();
+            propcheck::prop_assert_eq!(
+                fin.n_records(),
+                n_tenants as usize * commits_per_tenant
+            );
+            assert_tenant_prefixes(&fin)?;
+
+            for snaps in &observed {
+                for snap in snaps {
+                    // Prefix-consistent: pointer-equal per-shard prefix of
+                    // the final state (no torn or half-applied commits)...
+                    propcheck::prop_assert!(
+                        snap.is_prefix_of(&fin),
+                        "an observed snapshot is not a prefix of the final state"
+                    );
+                    // ...and internally gapless per tenant.
+                    assert_tenant_prefixes(snap)?;
+                }
+                // One reader's successive snapshots are monotone.
+                for pair in snaps.windows(2) {
+                    propcheck::prop_assert!(
+                        pair[0].is_prefix_of(&pair[1]),
+                        "snapshots taken by one reader went backwards"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rendering_is_independent_of_commit_interleaving() {
+    check(
+        "rendering_is_independent_of_commit_interleaving",
+        Config::default().cases(32).seed(0xF1EE70002),
+        |g| {
+            let n_shards = g.usize_in(1, 6);
+            let n_tenants = g.usize_in(1, 5) as u64;
+            let commits_per_tenant = g.usize_in(1, 6);
+
+            // Two random interleavings of the same per-tenant sequences:
+            // repeatedly pick a tenant with commits remaining.
+            let interleave = |gen: &mut propcheck::Gen| {
+                let store = ShardedStore::new(n_shards);
+                let mut next_seq = vec![0usize; n_tenants as usize];
+                let mut remaining = n_tenants as usize * commits_per_tenant;
+                while remaining > 0 {
+                    let t = gen.usize_in(0, n_tenants as usize - 1);
+                    if next_seq[t] < commits_per_tenant {
+                        store.commit(t as u64, record(t as u64, next_seq[t]));
+                        next_seq[t] += 1;
+                        remaining -= 1;
+                    }
+                }
+                store.snapshot().to_repository().to_json().expect("render")
+            };
+            let a = interleave(g);
+            let b = interleave(g);
+            propcheck::prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn snapshots_pinned_before_commits_never_move() {
+    check(
+        "snapshots_pinned_before_commits_never_move",
+        Config::default().cases(16).seed(0xF1EE70003),
+        |g| {
+            let store = ShardedStore::new(g.usize_in(1, 8));
+            let before_commits = g.usize_in(0, 5);
+            for seq in 0..before_commits {
+                store.commit(1, record(1, seq));
+            }
+            let pinned = store.snapshot();
+            let frozen_json = pinned.to_repository().to_json().expect("render");
+            // Commits from other tenants (and tenant 1 itself) land after
+            // the pin; the pinned view must not see any of them.
+            for seq in before_commits..before_commits + g.usize_in(1, 6) {
+                store.commit(1, record(1, seq));
+                store.commit(2, record(2, seq - before_commits));
+            }
+            propcheck::prop_assert_eq!(pinned.n_records(), before_commits);
+            propcheck::prop_assert_eq!(
+                pinned.to_repository().to_json().expect("render"),
+                frozen_json
+            );
+            propcheck::prop_assert!(pinned.is_prefix_of(&store.snapshot()));
+            Ok(())
+        },
+    );
+}

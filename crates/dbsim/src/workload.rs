@@ -1,6 +1,7 @@
 //! Workload specifications matching Table 2 of the paper, plus the knobs the
 //! performance model needs (per-transaction work, contention, skew).
 
+use xrand::{RngExt, SplitMix64};
 
 /// Workload families used in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -273,6 +274,34 @@ impl WorkloadSpec {
         assert_eq!(out.len(), 17);
         out
     }
+
+    /// A simulated fleet tenant's workload: tenant `id` cycles through the
+    /// five evaluation mixes and perturbs size, request rate, and R/W mix
+    /// with jitter seeded by the **id alone** — a pure function of `id`, so
+    /// a tenant's workload never depends on fleet composition or ordering
+    /// (the same position-independence contract as the fleet seed mixing).
+    pub fn fleet_tenant(id: u64) -> WorkloadSpec {
+        let mut base = match id % 5 {
+            0 => WorkloadSpec::sysbench(),
+            1 => WorkloadSpec::twitter(),
+            2 => WorkloadSpec::tpcc(),
+            3 => WorkloadSpec::hotel(),
+            _ => WorkloadSpec::sales(),
+        };
+        let mut rng = SplitMix64::new(id ^ 0xF1EE7_7E4A47);
+        // Size ×[0.75, 1.5), rate ×[0.8, 1.2), and a mild write-mix tilt —
+        // enough spread that sibling tenants genuinely differ, small enough
+        // that every tenant stays in the simulator's calibrated regime.
+        let size = base.data_gb * (0.75 + 0.75 * rng.random::<f64>());
+        let rate_scale = 0.8 + 0.4 * rng.random::<f64>();
+        let tilt = 0.8 + 0.4 * rng.random::<f64>();
+        let name = format!("{}-t{id}", base.name);
+        base.data_gb = size;
+        base.request_rate = base.request_rate.map(|r| r * rate_scale);
+        base.write_parts *= tilt;
+        base.name = name;
+        base
+    }
 }
 
 /// TPC-C dataset size by warehouse count, interpolating Table 7's anchors.
@@ -344,6 +373,24 @@ mod tests {
         for pair in vars.windows(2) {
             assert!(pair[1].write_fraction() > pair[0].write_fraction());
         }
+    }
+
+    #[test]
+    fn fleet_tenants_are_deterministic_distinct_and_calibrated() {
+        for id in 0..50u64 {
+            let a = WorkloadSpec::fleet_tenant(id);
+            let b = WorkloadSpec::fleet_tenant(id);
+            assert_eq!(a, b, "tenant {id} must be a pure function of its id");
+            assert!(a.data_gb > 0.0 && a.write_fraction() > 0.0 && a.write_fraction() < 1.0);
+        }
+        let names: std::collections::HashSet<_> =
+            (0..50u64).map(|id| WorkloadSpec::fleet_tenant(id).name).collect();
+        assert_eq!(names.len(), 50, "tenant names must be unique");
+        // Same family, different ids → different parameters (the jitter bites).
+        let w0 = WorkloadSpec::fleet_tenant(0);
+        let w5 = WorkloadSpec::fleet_tenant(5);
+        assert_eq!(w0.kind, w5.kind);
+        assert_ne!(w0.data_gb, w5.data_gb);
     }
 
     #[test]

@@ -87,14 +87,53 @@ pub fn reset() {
 // Spans
 // ---------------------------------------------------------------------------
 
+/// Per-thread span-nesting state. `generation` stamps the identity of the
+/// stack currently installed: a [`Span`] pops its segment on close only if
+/// the stamp (and depth) still match its creation, so a span that outlives
+/// the context it was created in — held across a [`TraceContext::enter`]
+/// guard, leaked by a panicking tenant, or simply forgotten — can never pop
+/// a path segment it did not push. Without the guard, a pooled worker reused
+/// across tasks would inherit the previous task's leftover parent path and
+/// every later span would nest under it.
+///
+/// Fresh stamps are drawn from the monotonic `next_gen` counter;
+/// [`ContextGuard`] *restores* the previous stamp on drop, so a balanced
+/// same-thread `enter()`/drop pair (the serial GP-fit path re-enters its own
+/// context) is transparent to enclosing spans, while distinct installs never
+/// share a stamp.
+struct PathState {
+    stack: Vec<&'static str>,
+    generation: u64,
+    next_gen: u64,
+    task: Option<u64>,
+}
+
+impl PathState {
+    /// Stamps the state with a fresh, never-reused generation.
+    fn fresh_generation(&mut self) {
+        self.next_gen += 1;
+        self.generation = self.next_gen;
+    }
+}
+
 thread_local! {
-    static PATH_STACK: std::cell::RefCell<Vec<&'static str>> =
-        const { std::cell::RefCell::new(Vec::new()) };
+    static PATH: std::cell::RefCell<PathState> = const {
+        std::cell::RefCell::new(PathState {
+            stack: Vec::new(),
+            generation: 0,
+            next_gen: 0,
+            task: None,
+        })
+    };
 }
 
 fn joined_path(stack: &[&'static str]) -> String {
     stack.join("/")
 }
+
+/// Field key under which a span records the task tag of the thread that
+/// created it (see [`task_scope`]).
+pub const TASK_FIELD: &str = "task";
 
 /// One finished span occurrence.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,18 +158,26 @@ pub struct Span {
 struct SpanRec {
     path: String,
     fields: Vec<(String, f64)>,
+    /// Path-stack generation at creation: the pop on close is skipped when a
+    /// context switch or task boundary has since replaced the stack.
+    generation: u64,
+    /// Stack depth right after the push; the pop additionally requires the
+    /// depth to still match, so out-of-order closes cannot pop a parent.
+    depth: usize,
+    /// Task tag of the creating thread (stamped into the event's fields).
+    task: Option<u64>,
 }
 
 impl Span {
     /// Starts a span named `name` nested under this thread's current path.
     pub fn new(name: &'static str) -> Span {
         let rec = if enabled() {
-            let path = PATH_STACK.with(|s| {
+            let (path, generation, depth, task) = PATH.with(|s| {
                 let mut s = s.borrow_mut();
-                s.push(name);
-                joined_path(&s)
+                s.stack.push(name);
+                (joined_path(&s.stack), s.generation, s.stack.len(), s.task)
             });
-            Some(SpanRec { path, fields: Vec::new() })
+            Some(SpanRec { path, fields: Vec::new(), generation, depth, task })
         } else {
             None
         };
@@ -155,10 +202,20 @@ impl Span {
 
     fn close(&mut self, dur_s: f64) {
         if let Some(rec) = self.rec.take() {
-            PATH_STACK.with(|s| {
-                s.borrow_mut().pop();
+            PATH.with(|s| {
+                let mut s = s.borrow_mut();
+                // Only pop the segment this span pushed: if the stack has
+                // been swapped (context/task switch) or deeper frames were
+                // abandoned, the segment is already gone.
+                if s.generation == rec.generation && s.stack.len() == rec.depth {
+                    s.stack.pop();
+                }
             });
-            collector().spans.push(SpanEvent { path: rec.path, dur_s, fields: rec.fields });
+            let mut fields = rec.fields;
+            if let Some(task) = rec.task {
+                fields.push((TASK_FIELD.to_string(), task as f64));
+            }
+            collector().spans.push(SpanEvent { path: rec.path, dur_s, fields });
         }
     }
 }
@@ -186,13 +243,15 @@ macro_rules! span {
 // Cross-thread context propagation
 // ---------------------------------------------------------------------------
 
-/// The ambient span path of the capturing thread, for hand-off to
-/// `std::thread::scope` workers: capture with [`current_context`] before
-/// spawning, call [`TraceContext::enter`] inside the closure, and spans
-/// created by the worker nest under the capturing thread's path.
+/// The ambient span path (and task tag) of the capturing thread, for
+/// hand-off to `std::thread::scope` workers: capture with
+/// [`current_context`] before spawning, call [`TraceContext::enter`] inside
+/// the closure, and spans created by the worker nest under the capturing
+/// thread's path — tagged with the capturing thread's task, if any.
 #[derive(Debug, Clone, Default)]
 pub struct TraceContext {
     stack: Vec<&'static str>,
+    task: Option<u64>,
 }
 
 /// Captures the current thread's span path (empty when tracing is disabled,
@@ -201,26 +260,87 @@ pub fn current_context() -> TraceContext {
     if !enabled() {
         return TraceContext::default();
     }
-    TraceContext { stack: PATH_STACK.with(|s| s.borrow().clone()) }
+    PATH.with(|s| {
+        let s = s.borrow();
+        TraceContext { stack: s.stack.clone(), task: s.task }
+    })
 }
 
 impl TraceContext {
     /// Installs this context on the current thread until the guard drops.
+    /// The install gets a fresh stack generation (spans that straddle the
+    /// boundary record correctly but cannot pop segments of a stack they did
+    /// not push onto); the drop restores the *previous* generation along
+    /// with the previous stack, so a balanced same-thread enter/exit is
+    /// invisible to spans that enclose it.
     pub fn enter(&self) -> ContextGuard {
-        let prev = PATH_STACK.with(|s| std::mem::replace(&mut *s.borrow_mut(), self.stack.clone()));
-        ContextGuard { prev }
+        let (prev_stack, prev_generation, prev_task) = PATH.with(|s| {
+            let mut s = s.borrow_mut();
+            let prev_generation = s.generation;
+            s.fresh_generation();
+            let prev_stack = std::mem::replace(&mut s.stack, self.stack.clone());
+            let prev_task = std::mem::replace(&mut s.task, self.task);
+            (prev_stack, prev_generation, prev_task)
+        });
+        ContextGuard { prev_stack, prev_generation, prev_task }
     }
 }
 
-/// Restores the previous thread-local path on drop.
+/// Restores the previous thread-local path (and its generation stamp) on
+/// drop.
 pub struct ContextGuard {
-    prev: Vec<&'static str>,
+    prev_stack: Vec<&'static str>,
+    prev_generation: u64,
+    prev_task: Option<u64>,
 }
 
 impl Drop for ContextGuard {
     fn drop(&mut self) {
-        let prev = std::mem::take(&mut self.prev);
-        PATH_STACK.with(|s| *s.borrow_mut() = prev);
+        let prev_stack = std::mem::take(&mut self.prev_stack);
+        let prev_generation = self.prev_generation;
+        let prev_task = self.prev_task;
+        PATH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.generation = prev_generation;
+            s.stack = prev_stack;
+            s.task = prev_task;
+        });
+    }
+}
+
+/// Marks a unit of pooled work on the current thread: installs `ctx` as the
+/// ambient span path and tags every span created until the guard drops with
+/// `task` (recorded as the [`TASK_FIELD`] field, so one shared collector can
+/// be sliced back into complete per-task span trees).
+///
+/// Unlike [`TraceContext::enter`], dropping the guard resets the thread's
+/// span state to **empty** rather than to whatever preceded the task:
+/// persistent pool workers are reused across unrelated tasks, and any
+/// residue — a leaked span from a panicked task, a parent path from the
+/// previous tenant — must not prefix the next task's paths.
+pub fn task_scope(ctx: &TraceContext, task: u64) -> TaskGuard {
+    PATH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.fresh_generation();
+        s.stack = ctx.stack.clone();
+        s.task = Some(task);
+    });
+    TaskGuard { _priv: () }
+}
+
+/// Resets the thread's span state to empty on drop (see [`task_scope`]).
+pub struct TaskGuard {
+    _priv: (),
+}
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        PATH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.fresh_generation();
+            s.stack.clear();
+            s.task = None;
+        });
     }
 }
 
@@ -348,6 +468,28 @@ impl TraceSnapshot {
             .filter(|ev| ev.path.rsplit('/').next() == Some(leaf))
             .map(|ev| ev.dur_s)
             .fold(0.0, |acc, d| acc + d)
+    }
+
+    /// The task tag carried by a span event, if any (see [`task_scope`]).
+    pub fn task_of(ev: &SpanEvent) -> Option<u64> {
+        ev.fields
+            .iter()
+            .find(|(k, _)| k == TASK_FIELD)
+            .map(|(_, v)| *v as u64)
+    }
+
+    /// Every span event tagged with task `task`, in completion order — one
+    /// task's complete span tree out of the shared collector.
+    pub fn spans_for_task(&self, task: u64) -> Vec<&SpanEvent> {
+        self.spans.iter().filter(|ev| Self::task_of(ev) == Some(task)).collect()
+    }
+
+    /// The distinct task tags present in the snapshot, ascending.
+    pub fn tasks(&self) -> Vec<u64> {
+        let mut tags: Vec<u64> = self.spans.iter().filter_map(Self::task_of).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
     }
 
     /// A counter's total (0 when never incremented).
@@ -583,6 +725,91 @@ mod tests {
         let back = TraceSnapshot::from_jsonl(&text).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.span_agg(), snap.span_agg());
+    }
+
+    #[test]
+    fn task_scope_tags_spans_and_resets_on_drop() {
+        let _g = lock();
+        enable();
+        reset();
+        let ctx = TraceContext { stack: vec!["fleet"], task: None };
+        {
+            let _t = task_scope(&ctx, 42);
+            let sp = span!("tenant");
+            let _ = sp.finish_s();
+        }
+        {
+            // Worker reused for a different task: no residue from task 42.
+            let _t = task_scope(&ctx, 43);
+            let sp = span!("tenant");
+            let _ = sp.finish_s();
+        }
+        // After the guard, the thread is back to a clean root.
+        let sp = span!("untagged");
+        let _ = sp.finish_s();
+        disable();
+        let snap = snapshot();
+        let t42 = snap.spans_for_task(42);
+        let t43 = snap.spans_for_task(43);
+        assert_eq!(t42.len(), 1);
+        assert_eq!(t42[0].path, "fleet/tenant");
+        assert_eq!(t43.len(), 1);
+        assert_eq!(t43[0].path, "fleet/tenant");
+        assert_eq!(snap.tasks(), vec![42, 43]);
+        let untagged = snap.spans.iter().find(|e| e.path == "untagged").unwrap();
+        assert!(TraceSnapshot::task_of(untagged).is_none());
+    }
+
+    #[test]
+    fn leaked_span_does_not_leak_parent_paths_into_the_next_task() {
+        let _g = lock();
+        enable();
+        reset();
+        let ctx = TraceContext { stack: vec!["fleet"], task: None };
+        {
+            let _t = task_scope(&ctx, 1);
+            // A span the task never closes (e.g. held across a panic that the
+            // pool's catch_unwind swallowed, or simply forgotten).
+            std::mem::forget(span!("leaky"));
+        }
+        {
+            let _t = task_scope(&ctx, 2);
+            let sp = span!("clean");
+            let _ = sp.finish_s();
+        }
+        disable();
+        let snap = snapshot();
+        let clean = snap.spans_for_task(2);
+        assert_eq!(clean.len(), 1);
+        assert_eq!(
+            clean[0].path, "fleet/clean",
+            "the next task's spans must not nest under the leaked `leaky` path"
+        );
+    }
+
+    #[test]
+    fn span_closed_after_its_context_cannot_pop_a_foreign_stack() {
+        let _g = lock();
+        enable();
+        reset();
+        let ctx = TraceContext { stack: vec!["root"], task: None };
+        let straddler = {
+            let _g2 = ctx.enter();
+            span!("straddler")
+        };
+        // The guard has restored the (empty) previous stack; build fresh
+        // nesting, then close the straddler: it must not pop `outer`.
+        let outer = span!("outer");
+        let _ = straddler.finish_s();
+        {
+            let inner = span!("inner");
+            let _ = inner.finish_s();
+        }
+        let _ = outer.finish_s();
+        disable();
+        let snap = snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, vec!["root/straddler", "outer/inner", "outer"]);
     }
 
     #[test]

@@ -176,6 +176,92 @@ fn parallel_and_serial_step_paths_agree_for_arbitrary_seeds() {
 }
 
 #[test]
+fn fleet_runs_are_bit_identical_across_worker_counts_and_to_single_driver() {
+    use restune::core::fleet::{mix_seed, FleetConfig, FleetService, Tenant};
+
+    // The fleet determinism contract (DESIGN.md §12): per-tenant outcomes
+    // and repository JSON depend only on each tenant's own spec — never on
+    // worker count, scheduling, or fleet composition — and equal a plain
+    // single-driver run of the same configuration.
+    let tenant_config = |seed: u64| {
+        let mut config = quick_config(seed);
+        config.optimizer =
+            AcquisitionOptimizer { n_candidates: 100, n_local: 25, local_sigma: 0.1 };
+        config.init_iters = 2;
+        config.parallel = false;
+        config
+    };
+    let tenant_env = |id: u64, seed: u64| {
+        TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::fleet_tenant(id))
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::cpu())
+            .seed(seed)
+            .build()
+    };
+    let iters = 5;
+    let build_tenants = || -> Vec<Tenant> {
+        (0..6u64)
+            .map(|id| {
+                let seed = mix_seed(42, id);
+                Tenant::restune(
+                    id,
+                    format!("tenant-{id}"),
+                    tenant_env(id, seed),
+                    tenant_config(seed),
+                    iters,
+                )
+            })
+            .collect()
+    };
+    let run_fleet = |workers: usize| {
+        FleetService::new(FleetConfig { workers, slice: 2, shards: 4 }).run(build_tenants())
+    };
+
+    let ncpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let baseline = run_fleet(1);
+    for workers in [4, ncpu] {
+        let out = run_fleet(workers);
+        assert_eq!(out.tenants.len(), baseline.tenants.len());
+        for (a, b) in baseline.tenants.iter().zip(&out.tenants) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.record_json().unwrap(),
+                b.record_json().unwrap(),
+                "tenant {} repository JSON diverged between workers=1 and workers={workers}",
+                a.id
+            );
+            for (ra, rb) in a.outcome.history.iter().zip(&b.outcome.history) {
+                assert_eq!(
+                    fingerprint(ra),
+                    fingerprint(rb),
+                    "tenant {} iteration {} diverged at workers={workers}",
+                    a.id,
+                    ra.iteration
+                );
+            }
+        }
+    }
+
+    // Single-driver baseline: each tenant alone, no fleet machinery at all.
+    for t in &baseline.tenants {
+        let seed = mix_seed(42, t.id);
+        let solo = TuningSession::new(tenant_env(t.id, seed), tenant_config(seed)).run(iters);
+        assert_eq!(solo.history.len(), t.outcome.history.len());
+        for (ra, rb) in solo.history.iter().zip(&t.outcome.history) {
+            assert_eq!(
+                fingerprint(ra),
+                fingerprint(rb),
+                "tenant {} diverged from its single-driver baseline",
+                t.id
+            );
+        }
+        assert_eq!(solo.best_objective, t.outcome.best_objective);
+    }
+}
+
+#[test]
 fn repository_serialization_is_byte_identical_across_runs() {
     let json_a = build_repository(11).to_json().expect("serializes");
     let json_b = build_repository(11).to_json().expect("serializes");

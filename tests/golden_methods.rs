@@ -7,7 +7,7 @@
 //! `TuningDriver`/`EvalEngine` path must reproduce them exactly.
 
 use baselines::method::Setting;
-use baselines::{run_method, Method, MethodContext};
+use baselines::{method_driver, run_method, Method, MethodContext};
 use dbsim::{FaultPlan, InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
 use restune::core::acquisition::AcquisitionOptimizer;
 use restune::core::repository::{DataRepository, TaskRecord};
@@ -144,4 +144,46 @@ fn all_six_method_outcomes_match_the_pre_refactor_golden_digests() {
         "golden digests diverged; current values:\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn a_heterogeneous_fleet_reproduces_the_golden_digests() {
+    use restune::core::fleet::{FleetConfig, FleetService, Tenant};
+
+    // All six methods as concurrent tenants of one fleet: scheduling onto a
+    // shared worker pool, slicing, and the shared store must not move a
+    // single bit of any method's trace — each tenant's outcome digest equals
+    // the single-driver golden value.
+    let repo = golden_repo();
+    let expected: [(Method, u64); 6] = [
+        (Method::Restune, 0xcc6dbe5ce8a15164),
+        (Method::RestuneWithoutML, 0xe8fa879b05cddef6),
+        (Method::RestuneWithoutWorkload, 0x14a563f7ce21bb78),
+        (Method::ITuned, 0xe8fa879b05cddef6),
+        (Method::OtterTuneWithConstraints, 0x51a113af4a26805d),
+        (Method::CdbTuneWithConstraints, 0x3d4488db1ff68922),
+    ];
+    let tenants: Vec<Tenant> = expected
+        .iter()
+        .enumerate()
+        .map(|(id, (method, _))| {
+            let driver = method_driver(*method, golden_env(), &golden_ctx(&repo));
+            Tenant::new(id as u64, method.name(), ITERS, Vec::new(), driver)
+        })
+        .collect();
+    let service = FleetService::new(FleetConfig { workers: 3, slice: 2, shards: 4 });
+    let out = service.run(tenants);
+    assert_eq!(out.tenants.len(), expected.len());
+    for (t, (method, want)) in out.tenants.iter().zip(&expected) {
+        assert!(!t.panicked, "{} panicked in the fleet", method.name());
+        assert_eq!(t.outcome.history.len(), ITERS, "{}", method.name());
+        assert_eq!(
+            outcome_digest(&t.outcome),
+            *want,
+            "{} diverged from its golden digest when run as a fleet tenant",
+            method.name()
+        );
+    }
+    // Completed tenants committed their records to the shared store.
+    assert_eq!(service.store().snapshot().n_records(), expected.len());
 }

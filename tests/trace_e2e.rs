@@ -7,7 +7,7 @@ use dbsim::{FaultPlan, InstanceType, KnobSet, WorkloadSpec};
 use restune::core::acquisition::AcquisitionOptimizer;
 use restune::prelude::*;
 use std::sync::{Mutex, MutexGuard};
-use trace::TraceSnapshot;
+use trace::{SpanEvent, TraceSnapshot};
 
 /// The collector is process-global and the test harness runs on parallel
 /// threads: every test here records into it, so they serialize on one lock.
@@ -167,6 +167,113 @@ fn counters_match_known_eval_and_retry_counts_from_a_seeded_faulty_run() {
         snap.counter("dbsim.outcome.crash") as usize >= outcome.failures.crashes,
         "attempt-level crashes must include resolution-level ones"
     );
+}
+
+#[test]
+fn pooled_worker_reuse_does_not_leak_span_paths_across_task_boundaries() {
+    let _g = trace_lock();
+    trace::enable();
+    trace::reset();
+    // A coordinator opens the fleet root span and hands its context to one
+    // persistent worker thread, which runs two tasks back to back — the
+    // pool-reuse shape. Task 1 misbehaves: an inner span is leaked (as after
+    // a panic unwound past it), so the worker's path stack still holds
+    // `fleet/tenant/iteration` when the task ends.
+    let root = trace::span!("fleet");
+    let ctx = trace::current_context();
+    std::thread::spawn(move || {
+        {
+            let _t1 = trace::task_scope(&ctx, 1);
+            let tenant_span = trace::span!("tenant");
+            let leaked = trace::span!("iteration");
+            std::mem::forget(leaked);
+            drop(tenant_span);
+        }
+        // Task 2 reuses the worker. The task boundary must have cleared the
+        // residue: its spans are rooted at the handed-off context, not under
+        // task 1's abandoned path.
+        {
+            let _t2 = trace::task_scope(&ctx, 2);
+            let tenant_span = trace::span!("tenant");
+            let iter_span = trace::span!("iteration");
+            drop(iter_span);
+            drop(tenant_span);
+        }
+    })
+    .join()
+    .expect("worker");
+    drop(root);
+    let snap = trace::snapshot();
+    trace::reset();
+    trace::disable();
+    assert_eq!(snap.tasks(), vec![1, 2]);
+    // Task 1's closed span recorded at its true path; the leaked span never
+    // produced an event (it never closed) and never prefixed anyone else.
+    let t1: Vec<&str> = snap.spans_for_task(1).iter().map(|e| e.path.as_str()).collect();
+    assert_eq!(t1, vec!["fleet/tenant"]);
+    let t2: Vec<&str> = snap.spans_for_task(2).iter().map(|e| e.path.as_str()).collect();
+    assert_eq!(t2, vec!["fleet/tenant/iteration", "fleet/tenant"]);
+    // The coordinator's root span is untouched by the workers' stack churn.
+    let roots: Vec<&SpanEvent> = snap.spans.iter().filter(|e| e.path == "fleet").collect();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(TraceSnapshot::task_of(roots[0]), None);
+}
+
+#[test]
+fn fleet_run_emits_a_complete_span_tree_per_tenant() {
+    use restune::core::fleet::{mix_seed, FleetConfig, FleetService, Tenant};
+
+    let _g = trace_lock();
+    trace::enable();
+    trace::reset();
+    const ITERS: usize = 4;
+    const SLICE: usize = 2;
+    let n_tenants = 4u64;
+    let tenants: Vec<Tenant> = (0..n_tenants)
+        .map(|id| {
+            let seed = mix_seed(0x7E57, id);
+            let env = TuningEnvironment::builder()
+                .instance(InstanceType::A)
+                .workload(WorkloadSpec::fleet_tenant(id))
+                .resource(ResourceKind::Cpu)
+                .knob_set(KnobSet::cpu())
+                .seed(seed)
+                .build();
+            let mut config = quick_config(seed);
+            config.optimizer =
+                AcquisitionOptimizer { n_candidates: 80, n_local: 20, local_sigma: 0.1 };
+            config.init_iters = 2;
+            Tenant::restune(id, format!("tenant-{id}"), env, config, ITERS)
+        })
+        .collect();
+    let out = FleetService::new(FleetConfig { workers: 2, slice: SLICE, shards: 4 })
+        .run(tenants);
+    let snap = trace::snapshot();
+    trace::reset();
+    trace::disable();
+    assert_eq!(out.tenants.len(), n_tenants as usize);
+    // The shared collector slices back into one complete tree per tenant,
+    // even though two workers interleaved four tenants' slices.
+    assert_eq!(snap.tasks(), (0..n_tenants).collect::<Vec<_>>());
+    for id in 0..n_tenants {
+        let spans = snap.spans_for_task(id);
+        for ev in &spans {
+            assert!(
+                ev.path == "fleet/tenant" || ev.path.starts_with("fleet/tenant/"),
+                "tenant {id} span escaped its tree: {}",
+                ev.path
+            );
+        }
+        let at = |path: &str| spans.iter().filter(|e| e.path == path).count();
+        assert_eq!(at("fleet/tenant/iteration"), ITERS, "tenant {id} iteration spans");
+        assert_eq!(at("fleet/tenant/iteration/model_update/gp_fit"), ITERS, "tenant {id}");
+        assert_eq!(at("fleet/tenant/iteration/recommendation"), ITERS, "tenant {id}");
+        // One `tenant` span per scheduled slice of the iteration budget.
+        assert_eq!(at("fleet/tenant"), ITERS.div_ceil(SLICE), "tenant {id} slice spans");
+    }
+    // Exactly one untagged root span from the coordinating thread.
+    let agg = snap.span_agg();
+    assert_eq!(agg["fleet"].count, 1);
 }
 
 #[test]
