@@ -19,7 +19,7 @@
 //!   alone, because only target observations should shrink uncertainty.
 
 use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
-use gp::{GaussianProcess, GpError, Prediction};
+use gp::{GpError, Prediction, SurrogateGp};
 use xrand::rngs::StdRng;
 use xrand::{Rng, SeedableRng, SplitMix64};
 
@@ -137,7 +137,7 @@ pub fn ranking_loss(pred: &[f64], actual: &[f64]) -> usize {
 
 /// Posterior draws of a GP at `points`: one `Vec<f64>` per sample.
 fn posterior_draws(
-    gp: &GaussianProcess,
+    gp: &SurrogateGp,
     points: &[Vec<f64>],
     n_samples: usize,
     rng: &mut impl Rng,
@@ -155,7 +155,7 @@ fn posterior_draws(
 /// indices `start..` are drawn, matching the (possibly truncated) ranking
 /// window at `points`.
 fn loo_draws(
-    gp: &GaussianProcess,
+    gp: &SurrogateGp,
     points: &[Vec<f64>],
     start: usize,
     n_samples: usize,
@@ -174,7 +174,7 @@ fn loo_draws(
 /// debug builds).
 fn draws_from_loo(
     loo: Result<Vec<Prediction>, GpError>,
-    gp: &GaussianProcess,
+    gp: &SurrogateGp,
     points: &[Vec<f64>],
     start: usize,
     n_samples: usize,
@@ -262,7 +262,7 @@ pub fn dynamic_weights_with_options(
         let _trace_guard = trace_ctx.enter();
         let span = trace::span!("learner_draws", learner = li);
         let model = if li == t { target } else { &base[li].model };
-        let metric = |m: usize, gp: &GaussianProcess| -> Vec<Vec<f64>> {
+        let metric = |m: usize, gp: &SurrogateGp| -> Vec<Vec<f64>> {
             let mut rng = StdRng::seed_from_u64(stream_seeds[li * 3 + m]);
             if li == t {
                 loo_draws(gp, points, start, samples, &mut rng)

@@ -24,6 +24,10 @@ pub struct RestuneProposer {
     target_meta_feature: Vec<f64>,
     use_meta: bool,
     lhs_plan: Vec<Vec<f64>>,
+    /// The previous iteration's fitted target model, kept so no-hyperopt
+    /// iterations can grow it by a rank-1 Cholesky append instead of paying
+    /// a from-scratch `O(n^3)` refit. `None` until the first successful fit.
+    target_cache: Option<GpTaskModel>,
 }
 
 impl RestuneProposer {
@@ -38,7 +42,14 @@ impl RestuneProposer {
         dim: usize,
     ) -> Self {
         let lhs_plan = crate::lhs::latin_hypercube(config.init_iters, dim, config.seed ^ 0x5A);
-        RestuneProposer { config, base_learners, target_meta_feature, use_meta, lhs_plan }
+        RestuneProposer {
+            config,
+            base_learners,
+            target_meta_feature,
+            use_meta,
+            lhs_plan,
+            target_cache: None,
+        }
     }
 
     /// The objective column for the penalty-EI ablation: infeasible
@@ -78,9 +89,14 @@ impl RestuneProposer {
 
     /// Stage 2a — target surrogate fit, with hyperparameter refits gated to
     /// every `refit_hypers_every` iterations once the observation set grows
-    /// past 40 points.
+    /// past 40 points. On no-refit iterations, the previous iteration's
+    /// cached model is grown *incrementally* by a rank-1 Cholesky append
+    /// (`O(n^2)`) when exactly one observation arrived since; any mismatch
+    /// (restarted history, failed extension, sparse model) falls back to the
+    /// full fit. The successful model is always re-cached for the next
+    /// iteration.
     fn fit_target(
-        &self,
+        &mut self,
         view: &HistoryView<'_>,
         iter: usize,
         res: &[f64],
@@ -99,7 +115,29 @@ impl RestuneProposer {
         } else {
             trace::count("gp.hypers.reuse", 1);
         }
-        GpTaskModel::fit_with_scalers(
+        if !gp_config.optimize_hypers && self.config.incremental_refit {
+            if let Some(mut cached) = self.target_cache.take() {
+                if cached.n() + 1 == n
+                    && cached.trained_on(&view.points[..n - 1])
+                    && cached
+                        .extend_with_scalers(
+                            view.points,
+                            res,
+                            view.tps,
+                            view.lat,
+                            scalers,
+                            &gp_config,
+                        )
+                        .is_ok()
+                {
+                    trace::count("gp.fit.incremental", 1);
+                    self.target_cache = Some(cached.clone());
+                    return Ok(cached);
+                }
+            }
+        }
+        trace::count("gp.fit.full", 1);
+        let fitted = GpTaskModel::fit_with_scalers(
             view.points,
             res,
             view.tps,
@@ -107,7 +145,9 @@ impl RestuneProposer {
             scalers,
             &gp_config,
             self.config.parallel,
-        )
+        )?;
+        self.target_cache = Some(fitted.clone());
+        Ok(fitted)
     }
 
     /// Stage 2b — ensemble weight learning (§6.4.3 adaptive schema):

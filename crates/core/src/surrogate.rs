@@ -4,7 +4,7 @@
 //! observations (§6.1).
 
 use crate::scale::TaskScalers;
-use gp::{GaussianProcess, GpConfig, GpError, Prediction};
+use gp::{GaussianProcess, GpConfig, GpError, Prediction, SparseGp, SparseGpConfig, SurrogateGp};
 
 /// Joint prediction of the three modeled outputs, in standardized units.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,14 +33,18 @@ pub trait TaskSurrogate {
 }
 
 /// A single task's surrogate: three GPs on standardized outputs.
+///
+/// Each metric model is a [`SurrogateGp`]: dense for target tasks (which stay
+/// small and need incremental extension + leave-one-out predictions), sparse
+/// for large base-task histories from the meta-repository.
 #[derive(Debug, Clone)]
 pub struct GpTaskModel {
     /// GP over the standardized resource objective.
-    pub res: GaussianProcess,
+    pub res: SurrogateGp,
     /// GP over standardized throughput.
-    pub tps: GaussianProcess,
+    pub tps: SurrogateGp,
     /// GP over standardized latency.
-    pub lat: GaussianProcess,
+    pub lat: SurrogateGp,
     /// The scalers used (needed to map SLA bounds into model space).
     pub scalers: TaskScalers,
 }
@@ -105,7 +109,89 @@ impl GpTaskModel {
                 timed_fit("fit_lat", pts, lat_std),
             )
         };
-        Ok(GpTaskModel { res: res?, tps: tps?, lat: lat?, scalers })
+        Ok(GpTaskModel {
+            res: SurrogateGp::Dense(res?),
+            tps: SurrogateGp::Dense(tps?),
+            lat: SurrogateGp::Dense(lat?),
+            scalers,
+        })
+    }
+
+    /// Fits the three metric models as inducing-point sparse GPs — the
+    /// large-history path for base learners whose observation count makes a
+    /// dense `O(n^3)` fit unaffordable. Hyperparameters come from a dense fit
+    /// on the inducing subset (see [`SparseGp::fit`]).
+    pub fn fit_sparse(
+        points: &[Vec<f64>],
+        res_raw: &[f64],
+        tps_raw: &[f64],
+        lat_raw: &[f64],
+        config: &SparseGpConfig,
+    ) -> Result<Self, GpError> {
+        let scalers = TaskScalers::fit(res_raw, tps_raw, lat_raw);
+        let fit_one = |ys: Vec<f64>| -> Result<SurrogateGp, GpError> {
+            Ok(SurrogateGp::Sparse(SparseGp::fit(points.to_vec(), ys, config)?))
+        };
+        Ok(GpTaskModel {
+            res: fit_one(scalers.res.transform_all(res_raw))?,
+            tps: fit_one(scalers.tps.transform_all(tps_raw))?,
+            lat: fit_one(scalers.lat.transform_all(lat_raw))?,
+            scalers,
+        })
+    }
+
+    /// Appends the latest observation *incrementally*: each dense metric GP
+    /// grows its Cholesky factor by one rank-1 row (`O(n^2)`) instead of
+    /// refactoring from scratch (`O(n^3)`), keeping the kernel
+    /// hyperparameters it already carries. Standardization is re-fit on the
+    /// full raw columns every iteration, so all targets are rewritten through
+    /// [`GaussianProcess::set_targets`] (an `O(n^2)` solve against the grown
+    /// factor).
+    ///
+    /// `points`/`*_raw` are the FULL history including the new last entry;
+    /// the model must currently hold exactly `points.len() - 1` observations,
+    /// with a training set bit-equal to `points[..n-1]`. Errors if any metric
+    /// model is sparse (target models never are) — the caller falls back to a
+    /// full fit.
+    pub fn extend_with_scalers(
+        &mut self,
+        points: &[Vec<f64>],
+        res_raw: &[f64],
+        tps_raw: &[f64],
+        lat_raw: &[f64],
+        scalers: TaskScalers,
+        config: &GpConfig,
+    ) -> Result<(), GpError> {
+        let n = points.len();
+        if n == 0 || self.n() + 1 != n {
+            return Err(GpError::DataMismatch { n_x: n, n_y: self.n() + 1 });
+        }
+        let x_new = &points[n - 1];
+        let extend_one =
+            |gp: &mut SurrogateGp, std_col: Vec<f64>| -> Result<(), GpError> {
+                let dense = gp.as_dense_mut().ok_or_else(|| {
+                    GpError::Factorization("cannot extend a sparse surrogate".into())
+                })?;
+                dense.extend(x_new.clone(), std_col[n - 1], config)?;
+                dense.set_targets(std_col)
+            };
+        extend_one(&mut self.res, scalers.res.transform_all(res_raw))?;
+        extend_one(&mut self.tps, scalers.tps.transform_all(tps_raw))?;
+        extend_one(&mut self.lat, scalers.lat.transform_all(lat_raw))?;
+        self.scalers = scalers;
+        Ok(())
+    }
+
+    /// Whether the model's training inputs are exactly `prefix` — the guard
+    /// the proposer's incremental cache uses before extending.
+    pub fn trained_on(&self, prefix: &[Vec<f64>]) -> bool {
+        let Some(dense) = self.res.as_dense() else { return false };
+        let train = dense.train_x();
+        train.len() == prefix.len()
+            && train
+                .iter()
+                .zip(prefix)
+                .all(|(a, b)| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y))
     }
 
     /// Number of observations the model was fitted on.

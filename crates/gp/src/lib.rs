@@ -25,11 +25,15 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod kernel;
+pub mod model;
 pub mod process;
 pub mod rand_util;
+pub mod sparse;
 
 pub use kernel::{Kernel, Matern52, SquaredExponential};
+pub use model::SurrogateGp;
 pub use process::{GaussianProcess, GpConfig, GpError, Prediction};
+pub use sparse::{InducingSelector, SparseGp, SparseGpConfig};
 
 /// Standard normal cumulative distribution function.
 ///

@@ -127,6 +127,11 @@ pub struct GaussianProcess {
     alpha: Vec<f64>,
     /// Lower Cholesky factor of K_y, flattened row-major.
     chol_l: Matrix,
+    /// Diagonal jitter the stored factor needed (0.0 for a strict
+    /// factorization). The incremental [`GaussianProcess::extend`] path only
+    /// grows unjittered factors: growing a jittered one would drift from the
+    /// escalation schedule a fresh factorization runs.
+    chol_jitter: f64,
     dim: usize,
 }
 
@@ -175,6 +180,7 @@ impl GaussianProcess {
             log_noise_variance: (config.initial_noise.max(config.min_noise).powi(2)).ln(),
             alpha: Vec::new(),
             chol_l: Matrix::zeros(0, 0),
+            chol_jitter: 0.0,
             dim,
         };
 
@@ -233,6 +239,7 @@ impl GaussianProcess {
         if n == 0 {
             self.alpha.clear();
             self.chol_l = Matrix::zeros(0, 0);
+            self.chol_jitter = 0.0;
             return Ok(());
         }
         let noise_var = self.log_noise_variance.exp().max(min_noise * min_noise);
@@ -243,8 +250,97 @@ impl GaussianProcess {
         self.alpha = chol
             .solve(&self.y_centered)
             .map_err(|e| GpError::Factorization(e.to_string()))?;
-        self.chol_l = chol.l().clone();
+        self.chol_jitter = chol.jitter();
+        self.chol_l = chol.into_factor();
         Ok(())
+    }
+
+    /// Replaces the whole target column without touching the kernel matrix:
+    /// recomputes the empirical mean, centered targets, and `alpha` by one
+    /// O(n²) solve against the stored factor. Used by the incremental refit
+    /// path, where per-iteration re-standardization rewrites every target
+    /// value but the inputs (and therefore `K_y`) are unchanged.
+    ///
+    /// Bit-compatibility contract: the resulting model is bit-identical to a
+    /// full non-hyperopt fit of the same `(x, y)` with the same kernel, noise,
+    /// and factor.
+    pub fn set_targets(&mut self, y: Vec<f64>) -> Result<(), GpError> {
+        if y.len() != self.x.len() {
+            return Err(GpError::DataMismatch { n_x: self.x.len(), n_y: y.len() });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite);
+        }
+        if self.x.is_empty() {
+            self.y = y;
+            self.y_centered.clear();
+            self.mean_offset = 0.0;
+            self.alpha.clear();
+            return Ok(());
+        }
+        self.mean_offset = linalg::vector::mean(&y);
+        self.y_centered = y.iter().map(|v| v - self.mean_offset).collect();
+        self.y = y;
+        self.alpha = self
+            .chol()
+            .solve(&self.y_centered)
+            .map_err(|e| GpError::Factorization(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Appends one observation *incrementally*: the stored Cholesky factor
+    /// grows by one row ([`linalg::Cholesky::append_row`], O(n²)) instead of
+    /// being refactored from scratch (O(n³)), keeping the current kernel and
+    /// noise hyperparameters. `alpha` and the empirical mean are refreshed
+    /// against the grown factor.
+    ///
+    /// Falls back to a full refactorization when there is no factor to grow
+    /// (empty GP), the stored factor needed jitter, or the appended row makes
+    /// the extension numerically non-SPD — so the call succeeds whenever a
+    /// full fit would. Callers that re-optimize hyperparameters must use a
+    /// full [`GaussianProcess::fit`] instead; this path deliberately reuses
+    /// the last optimized values.
+    ///
+    /// Bit-compatibility contract: on the incremental path the result is
+    /// bit-identical to a from-scratch non-hyperopt
+    /// [`GaussianProcess::fit_with_kernel`] of the extended data with the
+    /// same kernel and noise (pinned by tests) — `append_row` reproduces the
+    /// full factorization bit-for-bit, and every downstream quantity is
+    /// recomputed the same way.
+    pub fn extend(&mut self, x_new: Vec<f64>, y_new: f64, config: &GpConfig) -> Result<(), GpError> {
+        if x_new.len() != self.dim {
+            return Err(GpError::DimensionMismatch { expected: self.dim, found: x_new.len() });
+        }
+        if x_new.iter().any(|v| !v.is_finite()) || !y_new.is_finite() {
+            return Err(GpError::NonFinite);
+        }
+        let n = self.x.len();
+        self.x.push(x_new);
+        self.y.push(y_new);
+        self.mean_offset = linalg::vector::mean(&self.y);
+        self.y_centered = self.y.iter().map(|v| v - self.mean_offset).collect();
+        if n == 0 || self.chol_jitter != 0.0 {
+            return self.refactor(config.min_noise);
+        }
+        let noise_var = self.log_noise_variance.exp().max(config.min_noise * config.min_noise);
+        let x_last = self.x.last().expect("just pushed");
+        let cross: Vec<f64> =
+            self.x[..n].iter().map(|xi| self.kernel.value(x_last, xi)).collect();
+        let diag = self.kernel.value(x_last, x_last) + noise_var;
+        let mut chol = Cholesky::from_factor(std::mem::replace(&mut self.chol_l, Matrix::zeros(0, 0)));
+        if chol.append_row(&cross, diag).is_err() {
+            // Numerically non-SPD extension: the full path's jitter
+            // escalation handles it.
+            return self.refactor(config.min_noise);
+        }
+        match chol.solve(&self.y_centered) {
+            Ok(alpha) => {
+                self.alpha = alpha;
+                self.chol_l = chol.into_factor();
+                Ok(())
+            }
+            Err(e) => Err(GpError::Factorization(e.to_string())),
+        }
     }
 
     fn chol(&self) -> Cholesky {
@@ -492,16 +588,24 @@ impl GaussianProcess {
                 p[kp] = rand_util::normal(&mut rng, (0.01_f64).ln(), 1.0);
                 p
             };
-            // Adam ascent on LML == descent on NLL.
+            // Adam ascent on LML == descent on NLL. The restart's candidate
+            // is the best-NLL iterate seen *along* the trajectory, not the
+            // last one: Adam does not descend monotonically, and a diverging
+            // final step used to be selected over an earlier better point.
             let mut m = vec![0.0; kp + 1];
             let mut v = vec![0.0; kp + 1];
             let (b1, b2, eps) = (0.9, 0.999, 1e-8);
-            let mut current_nll = f64::INFINITY;
+            let mut restart_best: Option<(f64, Vec<f64>)> = None;
+            let note = |nll: f64, params: &[f64], best: &mut Option<(f64, Vec<f64>)>| {
+                if nll.is_finite() && best.as_ref().map(|(b, _)| nll < *b).unwrap_or(true) {
+                    *best = Some((nll, params.to_vec()));
+                }
+            };
             for t in 1..=config.adam_iters {
                 let Some((nll, grad)) = self.nll_and_grad(&params, config.min_noise) else {
                     break;
                 };
-                current_nll = nll;
+                note(nll, &params, &mut restart_best);
                 for i in 0..params.len() {
                     m[i] = b1 * m[i] + (1.0 - b1) * grad[i];
                     v[i] = b2 * v[i] + (1.0 - b2) * grad[i] * grad[i];
@@ -516,13 +620,15 @@ impl GaussianProcess {
                 }
                 params[kp] = params[kp].clamp(noise_bounds.0, noise_bounds.1);
             }
+            // The post-loop iterate was stepped to but never evaluated inside
+            // the loop; it competes on equal terms.
             if let Some((final_nll, _)) = self.nll_and_grad(&params, config.min_noise) {
-                current_nll = final_nll;
+                note(final_nll, &params, &mut restart_best);
             }
-            if best.as_ref().map(|(b, _)| current_nll < *b).unwrap_or(true)
-                && current_nll.is_finite()
-            {
-                best = Some((current_nll, params.clone()));
+            if let Some((nll, p)) = restart_best {
+                if best.as_ref().map(|(b, _)| nll < *b).unwrap_or(true) {
+                    best = Some((nll, p));
+                }
             }
         }
         if let Some((_, params)) = best {
@@ -545,6 +651,7 @@ minjson::json_struct!(GaussianProcess {
     log_noise_variance,
     alpha,
     chol_l,
+    chol_jitter,
     dim,
 });
 
@@ -718,6 +825,107 @@ mod tests {
         let p = gp.predict(&[0.41]).unwrap();
         let q = back.predict(&[0.41]).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn extend_is_bit_identical_to_full_refit_with_same_hypers() {
+        let (xs, ys) = toy_data();
+        let cfg = GpConfig::fixed();
+        let mut gp = GaussianProcess::fit(xs[..10].to_vec(), ys[..10].to_vec(), &cfg).unwrap();
+        gp.extend(xs[10].clone(), ys[10], &cfg).unwrap();
+        gp.extend(xs[11].clone(), ys[11], &cfg).unwrap();
+        let full = GaussianProcess::fit(xs.clone(), ys.clone(), &cfg).unwrap();
+        assert_eq!(gp.n(), full.n());
+        for p in [vec![0.13], vec![0.5], vec![0.97]] {
+            let a = gp.predict(&p).unwrap();
+            let b = full.predict(&p).unwrap();
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "mean at {p:?}");
+            assert_eq!(a.variance.to_bits(), b.variance.to_bits(), "variance at {p:?}");
+        }
+        assert_eq!(gp.log_marginal_likelihood().to_bits(), full.log_marginal_likelihood().to_bits());
+    }
+
+    #[test]
+    fn extend_from_empty_and_bad_input_are_handled() {
+        let cfg = GpConfig::fixed();
+        let mut gp = GaussianProcess::fit(Vec::new(), Vec::new(), &cfg).unwrap();
+        // Empty GPs default to dim 1; extending from empty takes the full
+        // refit path.
+        gp.extend(vec![0.4], 1.0, &cfg).unwrap();
+        assert_eq!(gp.n(), 1);
+        assert!(gp.predict(&[0.4]).unwrap().variance.is_finite());
+        assert!(matches!(
+            gp.extend(vec![0.1, 0.2], 0.0, &cfg),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(gp.extend(vec![f64::NAN], 0.0, &cfg), Err(GpError::NonFinite)));
+        assert!(matches!(gp.extend(vec![0.5], f64::INFINITY, &cfg), Err(GpError::NonFinite)));
+        assert_eq!(gp.n(), 1, "rejected extensions must not grow the training set");
+    }
+
+    #[test]
+    fn set_targets_matches_fresh_fit_bitwise() {
+        let (xs, ys) = toy_data();
+        let cfg = GpConfig::fixed();
+        let mut gp = GaussianProcess::fit(xs.clone(), ys.clone(), &cfg).unwrap();
+        // Re-standardized targets: every value changes, inputs don't.
+        let ys2: Vec<f64> = ys.iter().map(|v| 2.5 * v - 0.3).collect();
+        gp.set_targets(ys2.clone()).unwrap();
+        let full = GaussianProcess::fit(xs, ys2, &cfg).unwrap();
+        for p in [vec![0.21], vec![0.76]] {
+            let a = gp.predict(&p).unwrap();
+            let b = full.predict(&p).unwrap();
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+        }
+        assert!(matches!(gp.set_targets(vec![1.0]), Err(GpError::DataMismatch { .. })));
+        assert!(matches!(
+            gp.set_targets(vec![f64::NAN; gp.n()]),
+            Err(GpError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn extended_gp_survives_json_roundtrip() {
+        let (xs, ys) = toy_data();
+        let cfg = GpConfig::fixed();
+        let mut gp = GaussianProcess::fit(xs[..11].to_vec(), ys[..11].to_vec(), &cfg).unwrap();
+        gp.extend(xs[11].clone(), ys[11], &cfg).unwrap();
+        let json = minjson::to_string(&gp).unwrap();
+        let back: GaussianProcess = minjson::from_str(&json).unwrap();
+        assert_eq!(gp.predict(&[0.63]).unwrap(), back.predict(&[0.63]).unwrap());
+    }
+
+    #[test]
+    fn hyperopt_keeps_the_best_iterate_not_the_last() {
+        // Regression for the last-iterate bug: warm-start a single restart
+        // from *already optimized* hyperparameters, then run Adam with an
+        // absurdly large learning rate so it diverges — the last iterate is
+        // strictly worse than the warm start (an intermediate trajectory
+        // point). Best-iterate selection must keep the warm start; the old
+        // code kept the diverged final step.
+        let (xs, ys) = toy_data();
+        let tuned = GaussianProcess::fit(
+            xs.clone(),
+            ys.clone(),
+            &GpConfig { adam_iters: 60, seed: 2, ..Default::default() },
+        )
+        .unwrap();
+        let cfg = GpConfig {
+            restarts: 1,
+            adam_iters: 8,
+            learning_rate: 5.0,
+            initial_noise: tuned.noise_std(),
+            ..Default::default()
+        };
+        let refit =
+            GaussianProcess::fit_with_kernel(xs, ys, tuned.kernel().clone(), &cfg).unwrap();
+        assert!(
+            refit.log_marginal_likelihood() >= tuned.log_marginal_likelihood() - 1e-6,
+            "best-iterate hyperopt must not end below its warm start: refit {} < warm {}",
+            refit.log_marginal_likelihood(),
+            tuned.log_marginal_likelihood()
+        );
     }
 
     #[test]

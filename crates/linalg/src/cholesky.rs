@@ -27,9 +27,25 @@ impl Cholesky {
     /// Factors `a`, escalating diagonal jitter from `1e-10 * mean(diag)` by
     /// factors of 10 until the factorization succeeds or the jitter exceeds
     /// `1e-2 * mean(diag)`.
+    ///
+    /// Jitter can only rescue a matrix that is positive definite up to
+    /// floating-point error; a non-square or non-finite input fails
+    /// identically at every jitter level and is rejected after the first
+    /// attempt instead of paying up to 9 more O(n³) factorizations.
     pub fn factor_with_jitter(a: &Matrix) -> Result<Self> {
-        if let Ok(c) = Self::factor_impl(a, 0.0) {
-            return Ok(c);
+        Self::factor_with_jitter_counted(a).0
+    }
+
+    /// [`Cholesky::factor_with_jitter`] exposing how many `factor_impl`
+    /// attempts were spent — the unit that pins the early-return contract.
+    fn factor_with_jitter_counted(a: &Matrix) -> (Result<Self>, usize) {
+        let mut attempts = 1;
+        match Self::factor_impl(a, 0.0) {
+            Ok(c) => return (Ok(c), attempts),
+            Err(e @ (LinalgError::NonFinite | LinalgError::NotSquare { .. })) => {
+                return (Err(e), attempts)
+            }
+            Err(_) => {}
         }
         let n = a.rows();
         let mean_diag =
@@ -37,11 +53,12 @@ impl Cholesky {
         let mut jitter = 1e-10 * mean_diag;
         let max_jitter = 1e-2 * mean_diag;
         loop {
+            attempts += 1;
             match Self::factor_impl(a, jitter) {
-                Ok(c) => return Ok(c),
+                Ok(c) => return (Ok(c), attempts),
                 Err(e) => {
                     if jitter >= max_jitter {
-                        return Err(e);
+                        return (Err(e), attempts);
                     }
                     jitter *= 10.0;
                 }
@@ -100,6 +117,12 @@ impl Cholesky {
     /// The lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l
+    }
+
+    /// Consumes the factorization, yielding the factor without a copy (used
+    /// by the incremental GP refit to hand the grown factor back to storage).
+    pub fn into_factor(self) -> Matrix {
+        self.l
     }
 
     /// Jitter added to succeed (0.0 if none).
@@ -225,6 +248,132 @@ impl Cholesky {
         let y = self.solve_lower(b)?;
         Ok(crate::vector::dot(&y, &y))
     }
+
+    // ---- rank-1 updates --------------------------------------------------
+
+    /// Rank-1 *update*: replaces this factor of `A` with the factor of
+    /// `A + v vᵀ` in O(n²) via a sweep of Givens-style rotations
+    /// (Golub & Van Loan §6.5.4), instead of an O(n³) refactorization.
+    ///
+    /// Adding `v vᵀ` to an SPD matrix keeps it SPD, so this cannot fail for
+    /// finite `v` of the right length.
+    pub fn update(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: v.len() });
+        }
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(LinalgError::NonFinite);
+        }
+        trace::count("linalg.cholesky.update", 1);
+        let mut w = v.to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let r = (lkk * lkk + w[k] * w[k]).sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            self.l[(k, k)] = r;
+            for i in (k + 1)..n {
+                self.l[(i, k)] = (self.l[(i, k)] + s * w[i]) / c;
+                w[i] = c * w[i] - s * self.l[(i, k)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-1 *downdate*: replaces this factor of `A` with the factor of
+    /// `A - v vᵀ` in O(n²). Fails with [`LinalgError::NotPositiveDefinite`]
+    /// when the downdated matrix is no longer SPD; the stored factor is left
+    /// untouched on any failure.
+    pub fn downdate(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: v.len() });
+        }
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(LinalgError::NonFinite);
+        }
+        trace::count("linalg.cholesky.update", 1);
+        // Work on a copy and commit only on success: a rejected downdate must
+        // not leave a half-rotated (invalid) factor behind.
+        let mut l = self.l.clone();
+        let mut w = v.to_vec();
+        for k in 0..n {
+            let lkk = l[(k, k)];
+            let r2 = lkk * lkk - w[k] * w[k];
+            if r2 <= 0.0 || !r2.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: k, value: r2 });
+            }
+            let r = r2.sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            l[(k, k)] = r;
+            for i in (k + 1)..n {
+                l[(i, k)] = (l[(i, k)] - s * w[i]) / c;
+                w[i] = c * w[i] - s * l[(i, k)];
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    /// Grows the factor of an `n x n` matrix `A` to the factor of the
+    /// `(n+1) x (n+1)` extension whose new off-diagonal row is `cross` and
+    /// whose new diagonal entry is `diag`, in O(n²): one forward solve for
+    /// the new row `l₁₂ = L⁻¹ cross` plus `l₂₂ = sqrt(diag - l₁₂ᵀl₁₂)`.
+    ///
+    /// Bit-compatibility contract: because row `i` of a Cholesky factor
+    /// depends only on rows `0..=i` of the input, the grown factor is
+    /// *bit-identical* to a from-scratch [`Cholesky::factor`] of the extended
+    /// matrix — the forward solve and the final diagonal accumulate terms in
+    /// exactly `factor`'s order (pinned by a property test). The caller is
+    /// responsible for folding any jitter into `diag` themselves; the stored
+    /// jitter is preserved unchanged.
+    ///
+    /// Fails with [`LinalgError::NotPositiveDefinite`] when the extension is
+    /// not SPD (the Schur complement `diag - l₁₂ᵀl₁₂` is non-positive),
+    /// leaving the factor untouched.
+    pub fn append_row(&mut self, cross: &[f64], diag: f64) -> Result<()> {
+        let n = self.dim();
+        if cross.len() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, found: cross.len() });
+        }
+        if cross.iter().any(|x| !x.is_finite()) || !diag.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        trace::count("linalg.cholesky.update", 1);
+        // Forward solve, inlined rather than via `solve_lower` so the
+        // accumulation order matches `factor_impl`'s inner loop exactly
+        // (sequential k, one subtraction of the accumulated sum).
+        let mut l12 = cross.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut acc = 0.0;
+            for k in 0..i {
+                acc += l12[k] * row[k];
+            }
+            let sum = l12[i] - acc;
+            l12[i] = sum / row[i];
+        }
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += l12[k] * l12[k];
+        }
+        let schur = diag - acc;
+        if schur <= 0.0 || !schur.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n, value: schur });
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            let (dst, src) = (grown.row_mut(i), self.l.row(i));
+            dst[..n].copy_from_slice(src);
+        }
+        let last = grown.row_mut(n);
+        last[..n].copy_from_slice(&l12);
+        last[n] = schur.sqrt();
+        self.l = grown;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +467,125 @@ mod tests {
             for j in 0..3 {
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!((prod[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_escalation_stops_immediately_on_non_finite_input() {
+        // Regression: jitter cannot fix a NaN/Inf matrix, so the escalation
+        // loop must not burn up to 9 more O(n³) factorizations on one.
+        let a = Matrix::from_vec(2, 2, vec![1.0, f64::NAN, f64::NAN, 1.0]);
+        let (res, attempts) = Cholesky::factor_with_jitter_counted(&a);
+        assert!(matches!(res, Err(LinalgError::NonFinite)));
+        assert_eq!(attempts, 1, "non-finite input must fail on the first attempt");
+
+        let inf = Matrix::from_vec(2, 2, vec![1.0, f64::INFINITY, f64::INFINITY, 1.0]);
+        let (res, attempts) = Cholesky::factor_with_jitter_counted(&inf);
+        assert!(matches!(res, Err(LinalgError::NonFinite)));
+        assert_eq!(attempts, 1);
+
+        // A genuinely semidefinite matrix still goes through the escalation.
+        let semi = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let (res, attempts) = Cholesky::factor_with_jitter_counted(&semi);
+        assert!(res.is_ok());
+        assert!(attempts > 1, "jitter escalation should have been exercised");
+    }
+
+    #[test]
+    fn rank1_update_reconstructs_a_plus_vvt() {
+        let a = spd3();
+        let mut c = Cholesky::factor(&a).unwrap();
+        let v = vec![0.7, -1.2, 0.4];
+        c.update(&v).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = a[(i, j)] + v[i] * v[j];
+                assert!((recon[(i, j)] - want).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_inverts_update() {
+        let a = spd3();
+        let base = Cholesky::factor(&a).unwrap();
+        let v = vec![0.3, 0.9, -0.5];
+        let mut c = base.clone();
+        c.update(&v).unwrap();
+        c.downdate(&v).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert!(
+                    (c.l()[(i, j)] - base.l()[(i, j)]).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    c.l()[(i, j)],
+                    base.l()[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_downdate_is_rejected_and_leaves_factor_intact() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 2.0]);
+        let mut c = Cholesky::factor(&a).unwrap();
+        let before = c.l().clone();
+        // Subtracting 9·e₀e₀ᵀ makes the (0,0) entry negative: not SPD.
+        let err = c.downdate(&[3.0, 0.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(c.l()[(i, j)].to_bits(), before[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn append_row_matches_from_scratch_factorization_bitwise() {
+        // A 4x4 SPD matrix; factor the leading 3x3 block, then append the
+        // last row/column and compare against factoring the whole thing.
+        let b = Matrix::from_fn(4, 3, |i, j| (i as f64 + 0.3) * (j as f64 - 1.1) + 0.7);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(4.0);
+        let lead = Matrix::from_fn(3, 3, |i, j| a[(i, j)]);
+        let mut c = Cholesky::factor(&lead).unwrap();
+        let cross: Vec<f64> = (0..3).map(|j| a[(3, j)]).collect();
+        c.append_row(&cross, a[(3, 3)]).unwrap();
+        let full = Cholesky::factor(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..=i {
+                assert_eq!(
+                    c.l()[(i, j)].to_bits(),
+                    full.l()[(i, j)].to_bits(),
+                    "({i},{j}): {} vs {}",
+                    c.l()[(i, j)],
+                    full.l()[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_row_rejects_non_spd_extension_and_bad_input() {
+        let mut c = Cholesky::factor(&spd3()).unwrap();
+        let before = c.l().clone();
+        // Huge cross-covariances make the Schur complement negative.
+        let err = c.append_row(&[100.0, 100.0, 100.0], 1.0).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 3, .. }));
+        assert!(matches!(
+            c.append_row(&[f64::NAN, 0.0, 0.0], 1.0),
+            Err(LinalgError::NonFinite)
+        ));
+        assert!(matches!(
+            c.append_row(&[1.0], 1.0),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert_eq!(c.dim(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.l()[(i, j)].to_bits(), before[(i, j)].to_bits());
             }
         }
     }

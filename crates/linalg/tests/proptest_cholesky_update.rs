@@ -1,0 +1,172 @@
+//! Property-based tests for the rank-1 Cholesky update/downdate/append
+//! operations the incremental GP-refit path builds on.
+//!
+//! Runs on the in-tree `propcheck` harness with fixed suite seeds, so the
+//! exact case sequence is reproducible offline.
+
+use linalg::{Cholesky, LinalgError, Matrix};
+use propcheck::{check, Config, Gen};
+
+/// Builds a random SPD matrix `A = B B^T + n*I` from a flat coefficient vector.
+fn spd_from_coeffs(n: usize, coeffs: &[f64]) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| coeffs[i * n + j]);
+    let mut a = b.matmul(&b.transpose()).unwrap();
+    a.add_diagonal(n as f64);
+    a
+}
+
+/// Draws a dimension in `2..8` and a matching SPD matrix.
+fn draw_spd(g: &mut Gen) -> (usize, Matrix) {
+    let n = g.usize_in(2, 7);
+    let coeffs = g.vec_f64(n * n, -3.0, 3.0);
+    (n, spd_from_coeffs(n, &coeffs))
+}
+
+#[test]
+fn update_reconstructs_a_plus_vvt() {
+    check("update_reconstructs_a_plus_vvt", Config::default().cases(64).seed(0xC0DE_0011), |g| {
+        let (n, a) = draw_spd(g);
+        let v = g.vec_f64(n, -2.0, 2.0);
+        let mut c = Cholesky::factor(&a).unwrap();
+        c.update(&v).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for i in 0..n {
+            for j in 0..n {
+                let want = a[(i, j)] + v[i] * v[j];
+                propcheck::prop_assert!((recon[(i, j)] - want).abs() <= 1e-8 * scale);
+            }
+        }
+        // The updated factor stays a valid lower-triangular Cholesky factor.
+        for i in 0..n {
+            propcheck::prop_assert!(c.l()[(i, i)] > 0.0);
+            for j in (i + 1)..n {
+                propcheck::prop_assert!(c.l()[(i, j)] == 0.0);
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn downdate_round_trips_update() {
+    check("downdate_round_trips_update", Config::default().cases(64).seed(0xC0DE_0012), |g| {
+        let (n, a) = draw_spd(g);
+        let v = g.vec_f64(n, -2.0, 2.0);
+        let base = Cholesky::factor(&a).unwrap();
+        let mut c = base.clone();
+        c.update(&v).unwrap();
+        c.downdate(&v).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for i in 0..n {
+            for j in 0..=i {
+                propcheck::prop_assert!(
+                    (c.l()[(i, j)] - base.l()[(i, j)]).abs() <= 1e-7 * scale
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn append_row_matches_from_scratch_factor_bitwise() {
+    check(
+        "append_row_matches_from_scratch_factor_bitwise",
+        Config::default().cases(64).seed(0xC0DE_0013),
+        |g| {
+            // Draw an (n+1)-dimensional SPD matrix, factor its leading n x n
+            // block, then append the final row/column. The grown factor must
+            // be bit-identical to factoring the whole matrix from scratch —
+            // the contract the incremental GP refit path relies on.
+            let m = g.usize_in(3, 8);
+            let coeffs = g.vec_f64(m * m, -3.0, 3.0);
+            let a = spd_from_coeffs(m, &coeffs);
+            let n = m - 1;
+            let lead = Matrix::from_fn(n, n, |i, j| a[(i, j)]);
+            let mut c = Cholesky::factor(&lead).unwrap();
+            let cross: Vec<f64> = (0..n).map(|j| a[(n, j)]).collect();
+            c.append_row(&cross, a[(n, n)]).unwrap();
+            let full = Cholesky::factor(&a).unwrap();
+            propcheck::prop_assert!(c.dim() == m);
+            for i in 0..m {
+                for j in 0..=i {
+                    propcheck::prop_assert!(
+                        c.l()[(i, j)].to_bits() == full.l()[(i, j)].to_bits()
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn non_spd_downdates_are_rejected_cleanly() {
+    check(
+        "non_spd_downdates_are_rejected_cleanly",
+        Config::default().cases(64).seed(0xC0DE_0014),
+        |g| {
+            let (n, a) = draw_spd(g);
+            let mut c = Cholesky::factor(&a).unwrap();
+            let before = c.l().clone();
+            // Scale a random direction until vᵀv far exceeds the largest
+            // diagonal entry: A - vvᵀ then has a negative eigenvalue.
+            let mut v = g.vec_f64(n, 0.5, 2.0);
+            let max_diag = (0..n).map(|i| a[(i, i)]).fold(0.0_f64, f64::max);
+            let norm2: f64 = v.iter().map(|x| x * x).sum();
+            let blow_up = (4.0 * n as f64 * max_diag / norm2).sqrt();
+            for x in &mut v {
+                *x *= blow_up;
+            }
+            let err = c.downdate(&v).unwrap_err();
+            propcheck::prop_assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+            // The factor is untouched bit-for-bit after the rejection.
+            for i in 0..n {
+                for j in 0..n {
+                    propcheck::prop_assert!(c.l()[(i, j)].to_bits() == before[(i, j)].to_bits());
+                }
+            }
+            // And it is still usable: a benign update succeeds afterwards.
+            let w = vec![0.1; n];
+            propcheck::prop_assert!(c.update(&w).is_ok());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn update_then_append_keeps_solves_consistent() {
+    check(
+        "update_then_append_keeps_solves_consistent",
+        Config::default().cases(32).seed(0xC0DE_0015),
+        |g| {
+            // Mixed workload: update then append, verifying solves against
+            // the explicitly assembled matrix.
+            let (n, a) = draw_spd(g);
+            let v = g.vec_f64(n, -1.0, 1.0);
+            let mut c = Cholesky::factor(&a).unwrap();
+            c.update(&v).unwrap();
+            // Extend A + vvᵀ by a diagonally dominant row.
+            let cross = g.vec_f64(n, -0.5, 0.5);
+            let diag = 2.0 * n as f64;
+            c.append_row(&cross, diag).unwrap();
+            let mut big = Matrix::zeros(n + 1, n + 1);
+            for i in 0..n {
+                for j in 0..n {
+                    big[(i, j)] = a[(i, j)] + v[i] * v[j];
+                }
+                big[(i, n)] = cross[i];
+                big[(n, i)] = cross[i];
+            }
+            big[(n, n)] = diag;
+            let x = g.vec_f64(n + 1, -3.0, 3.0);
+            let b = big.matvec(&x).unwrap();
+            let solved = c.solve(&b).unwrap();
+            for i in 0..=n {
+                propcheck::prop_assert!((solved[i] - x[i]).abs() <= 1e-5 * (1.0 + x[i].abs()));
+            }
+            Ok(())
+        },
+    );
+}

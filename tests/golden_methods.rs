@@ -3,8 +3,12 @@
 //! incumbents, weights, failure tallies and the simulated replay clock), so
 //! any refactor of the evaluation loop that moves a single bit fails loudly.
 //!
-//! The digests were captured from the pre-driver-refactor code; the shared
-//! `TuningDriver`/`EvalEngine` path must reproduce them exactly.
+//! The digests were captured from the pre-driver-refactor code and re-pinned
+//! once when the Adam hyperparameter search was fixed to keep the best-NLL
+//! iterate instead of the last one (an outcome-improving bugfix: at this seed
+//! ResTune's best objective moved 22.39 → 21.70 and ResTune-w/o-ML / iTuned
+//! 21.283 → 21.265; OtterTune and CDBTune digests were unaffected). The
+//! shared `TuningDriver`/`EvalEngine` path must reproduce them exactly.
 
 use baselines::method::Setting;
 use baselines::{method_driver, run_method, Method, MethodContext};
@@ -108,10 +112,10 @@ fn all_six_method_outcomes_match_the_pre_refactor_golden_digests() {
     // seed: the case-study space is feasible almost everywhere, so CEI's
     // feasibility weighting never changes EI's argmax over these 12 iters.
     let expected: [(Method, u64); 6] = [
-        (Method::Restune, 0xcc6dbe5ce8a15164),
-        (Method::RestuneWithoutML, 0xe8fa879b05cddef6),
-        (Method::RestuneWithoutWorkload, 0x14a563f7ce21bb78),
-        (Method::ITuned, 0xe8fa879b05cddef6),
+        (Method::Restune, 0xb984c088dab258c2),
+        (Method::RestuneWithoutML, 0x10eb1b854e46af55),
+        (Method::RestuneWithoutWorkload, 0xad8f86a8a3470277),
+        (Method::ITuned, 0x10eb1b854e46af55),
         (Method::OtterTuneWithConstraints, 0x51a113af4a26805d),
         (Method::CdbTuneWithConstraints, 0x3d4488db1ff68922),
     ];
@@ -156,10 +160,10 @@ fn a_heterogeneous_fleet_reproduces_the_golden_digests() {
     // the single-driver golden value.
     let repo = golden_repo();
     let expected: [(Method, u64); 6] = [
-        (Method::Restune, 0xcc6dbe5ce8a15164),
-        (Method::RestuneWithoutML, 0xe8fa879b05cddef6),
-        (Method::RestuneWithoutWorkload, 0x14a563f7ce21bb78),
-        (Method::ITuned, 0xe8fa879b05cddef6),
+        (Method::Restune, 0xb984c088dab258c2),
+        (Method::RestuneWithoutML, 0x10eb1b854e46af55),
+        (Method::RestuneWithoutWorkload, 0xad8f86a8a3470277),
+        (Method::ITuned, 0x10eb1b854e46af55),
         (Method::OtterTuneWithConstraints, 0x51a113af4a26805d),
         (Method::CdbTuneWithConstraints, 0x3d4488db1ff68922),
     ];
