@@ -121,7 +121,7 @@ impl CdbTuneWithConstraints {
         if config.trace {
             trace::enable();
         }
-        let action_dim = env.knob_set.dim();
+        let action_dim = env.search_dim();
         let engine = EvalEngine::new(
             env,
             EngineSettings {

@@ -112,7 +112,9 @@ impl Proposer for OtterTuneProposer {
         if let Some(idx) = self.match_task(view) {
             let task = &self.repository.tasks()[idx];
             self.last_match = Some(task.task_id.clone());
-            if task.knob_names == view.problem.knob_set.names() {
+            if task.knob_names == view.problem.knob_set.names()
+                && task.space_id == view.problem.space.id
+            {
                 for o in &task.observations {
                     points.push(o.point.clone());
                     res.push(o.res);
@@ -182,7 +184,7 @@ impl OtterTuneWithConstraints {
         if config.trace {
             trace::enable();
         }
-        let lhs_plan = latin_hypercube(config.init_iters, env.knob_set.dim(), config.seed ^ 0x07);
+        let lhs_plan = latin_hypercube(config.init_iters, env.search_dim(), config.seed ^ 0x07);
         let engine = EvalEngine::new(
             env,
             EngineSettings {

@@ -11,7 +11,7 @@
 //! rendering. What point to evaluate next is the [`crate::driver::Proposer`]'s
 //! job; the run loop tying the two together is [`crate::driver::TuningDriver`].
 
-use crate::problem::{SlaConstraints, TuningProblem};
+use crate::problem::{SlaConstraints, SpaceInfo, TuningProblem};
 use crate::resilience::{
     evaluate_with_retry, failure_penalty, penalty_observation, FailureCounts, FailureKind,
     ReplayPolicy,
@@ -207,12 +207,24 @@ impl EvalEngine {
     pub fn new(mut env: TuningEnvironment, settings: EngineSettings) -> Self {
         let default_observation = env.dbms.evaluate(&Configuration::dba_default());
         let sla = SlaConstraints::from_default_observation(&default_observation);
+        // With a transform installed, everything proposer-facing — the
+        // problem dimension, the default point, history, surrogates — lives
+        // in the low-dimensional search space; only the two lift seams below
+        // (evaluate, render) ever see native coordinates.
+        let space = match &env.space {
+            Some(t) => SpaceInfo { dim: t.dim(), id: t.id() },
+            None => SpaceInfo::native(env.knob_set.dim()),
+        };
         let problem = TuningProblem {
             knob_set: env.knob_set.clone(),
+            space,
             resource: env.resource,
             constraints: sla,
         };
-        let default_point = env.knob_set.default_point();
+        let default_point = match &env.space {
+            Some(t) => t.restrict(&env.knob_set.default_point()),
+            None => env.knob_set.default_point(),
+        };
         let default_objective = env.resource.value(&default_observation);
         let mut engine = EvalEngine {
             env,
@@ -295,8 +307,10 @@ impl EvalEngine {
     pub fn evaluate(&mut self, proposal: crate::driver::Proposal) -> IterationRecord {
         let iter = self.history.len();
         let crate::driver::Proposal { point, weights, timing } = proposal;
-        let config =
-            self.problem.knob_set.to_configuration(&point, &Configuration::dba_default());
+        let config = self
+            .problem
+            .knob_set
+            .to_configuration(&self.lift(&point), &Configuration::dba_default());
         let replay = evaluate_with_retry(&mut self.env.dbms, &config, &self.policy);
         let replay_s = replay.replay_s;
         let retries = replay.retries;
@@ -425,6 +439,25 @@ impl EvalEngine {
         &self.default_observation
     }
 
+    /// The default configuration's point in *search* coordinates (equal to
+    /// the knob set's default point when no transform is installed).
+    pub fn default_point(&self) -> &[f64] {
+        &self.default_point
+    }
+
+    /// Lifts a search-space point into native knob coordinates through the
+    /// installed transform (identity when none is installed). Every path
+    /// from a proposed point to a `Configuration` goes through here.
+    fn lift(&self, point: &[f64]) -> Vec<f64> {
+        match &self.env.space {
+            Some(t) => {
+                trace::count("space.project", 1);
+                t.lift(point)
+            }
+            None => point.to_vec(),
+        }
+    }
+
     /// The default configuration's objective value (cheap — no history
     /// clone, unlike rendering a full outcome).
     pub fn default_objective(&self) -> f64 {
@@ -447,7 +480,7 @@ impl EvalEngine {
                 let config = self
                     .problem
                     .knob_set
-                    .to_configuration(point, &Configuration::dba_default());
+                    .to_configuration(&self.lift(point), &Configuration::dba_default());
                 // A seeded incumbent that never improved means "the default";
                 // report no improving iteration then.
                 if (obj - self.default_objective).abs() < 1e-12 && point == &self.default_point {

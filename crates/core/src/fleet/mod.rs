@@ -358,7 +358,7 @@ fn tenant_task_record(
     let default = engine.default_observation();
     let mut observations = Vec::with_capacity(engine.history().len() + 1);
     observations.push(TaskObservation {
-        point: problem.knob_set.default_point(),
+        point: engine.default_point().to_vec(),
         res: resource.value(default),
         tps: default.tps,
         lat: default.p99_ms,
@@ -379,6 +379,7 @@ fn tenant_task_record(
         instance: env.dbms.instance(),
         resource,
         knob_names: problem.knob_set.names().to_vec(),
+        space_id: problem.space.id.clone(),
         meta_feature,
         observations,
     }

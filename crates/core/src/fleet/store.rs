@@ -210,6 +210,7 @@ mod tests {
             instance: InstanceType::A,
             resource: ResourceKind::Cpu,
             knob_names: vec!["a".into()],
+            space_id: "native".into(),
             meta_feature: vec![0.5],
             observations: Vec::new(),
         }

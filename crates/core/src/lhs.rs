@@ -1,13 +1,35 @@
-//! Latin hypercube sampling over `[0,1]^d`.
+//! Latin hypercube sampling over the *half-open* unit cube `[0,1)^d`.
 //!
 //! The paper bootstraps the non-meta BO methods (ResTune-w/o-ML, iTuned,
 //! OtterTune-w-Con) with 10 LHS samples before switching to model-guided
 //! search (§7 "Setting").
+//!
+//! # Interval contract
+//!
+//! The sampler guarantees every coordinate lies in **`[0,1)` — half-open**.
+//! Downstream consumers are *closed*-interval tolerant: `KnobSet::
+//! to_configuration` clamps to `[0,1]` and [`crate::space::SpaceTransform`]
+//! pipelines clip lifted points into the closed cube, so any value this
+//! module emits is accepted verbatim. The half-open guarantee matters for
+//! stratification (`floor(v * n)` must equal the assigned stratum, which
+//! requires `v < 1`) and for quantization (`⌊u·bins⌋` must not index one past
+//! the last bin).
+//!
+//! Naively, `(stratum + jitter) / n` with `jitter ∈ [0,1)` cannot reach `1`,
+//! but floating point disagrees: with the maximal jitter `1 - 2⁻⁵³`, the sum
+//! `(n-1) + jitter` rounds *up* to exactly `n` whenever `n-1`'s ulp exceeds
+//! `2⁻⁵²` (already at `n = 2`), and the division then yields exactly `1.0`.
+//! The sampler therefore clamps each coordinate to the predecessor of `1.0`.
 
 use xrand::rngs::StdRng;
 use xrand::{RngExt, SeedableRng};
 
-/// Draws `n` Latin-hypercube samples in `[0,1]^d`.
+/// The largest `f64` strictly below `1.0` (`1 - 2⁻⁵³`): the supremum of the
+/// sampler's half-open range.
+const BELOW_ONE: f64 = 1.0 - f64::EPSILON / 2.0;
+
+/// Draws `n` Latin-hypercube samples in `[0,1)^d` (half-open; see the module
+/// docs for the interval contract).
 ///
 /// Each dimension's range is split into `n` equal strata; each stratum is hit
 /// exactly once per dimension, with independent random permutations across
@@ -24,7 +46,10 @@ pub fn latin_hypercube(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
         }
         for (row, &stratum) in samples.iter_mut().zip(perm.iter()) {
             let jitter: f64 = rng.random();
-            row[dim] = (stratum as f64 + jitter) / n as f64;
+            // The clamp only fires when rounding pushed the quotient to 1.0
+            // (top stratum, near-maximal jitter); every other value passes
+            // through bit-unchanged, so existing traces are unaffected.
+            row[dim] = ((stratum as f64 + jitter) / n as f64).min(BELOW_ONE);
         }
     }
     samples
@@ -60,6 +85,19 @@ mod tests {
     fn deterministic_per_seed() {
         assert_eq!(latin_hypercube(8, 2, 3), latin_hypercube(8, 2, 3));
         assert_ne!(latin_hypercube(8, 2, 3), latin_hypercube(8, 2, 4));
+    }
+
+    #[test]
+    fn boundary_jitter_would_round_to_one_without_the_clamp() {
+        // Demonstrates the rounding hazard the clamp guards: with the maximal
+        // jitter (the predecessor of 1.0), the stratum sum rounds up to n and
+        // the quotient is exactly 1.0 — outside the half-open contract.
+        assert_eq!(BELOW_ONE, f64::from_bits(1.0f64.to_bits() - 1), "predecessor of 1.0");
+        assert_eq!((1.0 + BELOW_ONE) / 2.0, 1.0, "n=2, top stratum, max jitter");
+        assert_eq!((7.0 + BELOW_ONE) / 8.0, 1.0, "n=8, top stratum, max jitter");
+        // The clamp restores the contract without moving interior values.
+        assert_eq!(((1.0 + BELOW_ONE) / 2.0_f64).min(BELOW_ONE), BELOW_ONE);
+        assert_eq!(0.25_f64.min(BELOW_ONE), 0.25);
     }
 
     #[test]

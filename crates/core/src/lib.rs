@@ -38,6 +38,7 @@ pub mod repository;
 pub mod resilience;
 pub mod scale;
 pub mod shap;
+pub mod space;
 pub mod surrogate;
 pub mod tco;
 pub mod tuner;
@@ -50,10 +51,11 @@ pub use fleet::{
     TenantResult,
 };
 pub use meta::{BaseLearner, MetaLearner, WeightStrategy};
-pub use problem::{ResourceKind, SlaConstraints, TuningProblem};
+pub use problem::{ResourceKind, SlaConstraints, SpaceInfo, TuningProblem};
 pub use proposer::RestuneProposer;
 pub use repository::{DataRepository, TaskObservation, TaskRecord};
 pub use resilience::{FailureCounts, FailureKind, ReplayPolicy};
 pub use scale::Standardizer;
+pub use space::{IdentityTransform, Projection, RandomProjection, SpacePipeline, SpaceTransform};
 pub use surrogate::{SurrogatePrediction, TaskSurrogate};
 pub use tuner::{IterationRecord, RestuneConfig, TuningEnvironment, TuningOutcome, TuningSession};

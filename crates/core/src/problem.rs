@@ -101,11 +101,36 @@ impl SlaConstraints {
     }
 }
 
+/// Identity of the space proposers search in.
+///
+/// With no transform installed this is the native knob space
+/// (`dim == knob_set.dim()`, `id == "native"`); with a
+/// [`crate::space::SpaceTransform`] it is the transform's low-dimensional
+/// search space. The `id` string participates in meta-learning task identity:
+/// observations recorded under different space ids are never mixed, because
+/// their point coordinates are not comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceInfo {
+    /// Search-space dimensionality (what proposers and surrogates see).
+    pub dim: usize,
+    /// Stable transform identity (`"native"` when untransformed).
+    pub id: String,
+}
+
+impl SpaceInfo {
+    /// The untransformed native space of `dim` knobs.
+    pub fn native(dim: usize) -> Self {
+        SpaceInfo { dim, id: "native".to_string() }
+    }
+}
+
 /// A fully specified tuning problem: search space + objective + constraints.
 #[derive(Debug, Clone)]
 pub struct TuningProblem {
     /// The knob subspace being tuned, `[0,1]^m` after normalization.
     pub knob_set: KnobSet,
+    /// The space proposers search in (native, or a transform's low space).
+    pub space: SpaceInfo,
     /// The resource objective.
     pub resource: ResourceKind,
     /// SLA constraints from the default configuration.
@@ -113,9 +138,10 @@ pub struct TuningProblem {
 }
 
 impl TuningProblem {
-    /// Search-space dimensionality.
+    /// Search-space dimensionality — the *proposer-facing* dimension, which
+    /// a transform may make smaller than `knob_set.dim()`.
     pub fn dim(&self) -> usize {
-        self.knob_set.dim()
+        self.space.dim
     }
 }
 

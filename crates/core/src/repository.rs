@@ -65,8 +65,14 @@ pub struct TaskRecord {
     pub instance: InstanceType,
     /// Resource the task tuned.
     pub resource: ResourceKind,
-    /// Knob names of the search space (order = point order).
+    /// Knob names of the native knob space (order = native point order).
     pub knob_names: Vec<String>,
+    /// Identity of the search space the points live in
+    /// ([`crate::problem::SpaceInfo::id`]): `"native"` for untransformed
+    /// tasks, a transform id string otherwise. Meta-transfer requires both
+    /// the knob names *and* this id to match — low-dimensional coordinates
+    /// from different random projections are not comparable.
+    pub space_id: String,
     /// Workload meta-feature (§6.2).
     pub meta_feature: Vec<f64>,
     /// Observation history.
@@ -110,6 +116,7 @@ impl TaskRecord {
             instance,
             resource,
             knob_names: knob_set.names().to_vec(),
+            space_id: "native".to_string(),
             meta_feature,
             observations,
         }
@@ -295,6 +302,7 @@ minjson::json_struct!(TaskRecord {
     instance,
     resource,
     knob_names,
+    space_id,
     meta_feature,
     observations,
 });
@@ -454,6 +462,7 @@ mod tests {
                     instance: InstanceType::A,
                     resource: ResourceKind::Cpu,
                     knob_names: vec!["a".into(), "b".into()],
+                    space_id: "native".into(),
                     meta_feature: vec![0.5],
                     observations,
                 };

@@ -17,8 +17,10 @@ use crate::meta::BaseLearner;
 use crate::problem::{ResourceKind, SlaConstraints};
 use crate::proposer::RestuneProposer;
 use crate::resilience::{FailureCounts, ReplayPolicy};
+use crate::space::SpaceTransform;
 use dbsim::{FaultPlan, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSpec};
 use gp::GpConfig;
+use std::sync::Arc;
 
 pub use crate::engine::{IterationRecord, IterationTiming, TuningOutcome};
 
@@ -31,12 +33,23 @@ pub struct TuningEnvironment {
     pub knob_set: KnobSet,
     /// The resource objective.
     pub resource: ResourceKind,
+    /// Optional search-space transform (DESIGN.md §14). `None` tunes the
+    /// native knob space; `Some` makes every proposer search the transform's
+    /// low-dimensional space, with the engine lifting candidates at its
+    /// evaluate/render seams.
+    pub space: Option<Arc<dyn SpaceTransform>>,
 }
 
 impl TuningEnvironment {
     /// Starts a builder.
     pub fn builder() -> TuningEnvironmentBuilder {
         TuningEnvironmentBuilder::default()
+    }
+
+    /// The proposer-facing search dimensionality: the transform's `dim()`
+    /// when one is installed, the knob set's otherwise.
+    pub fn search_dim(&self) -> usize {
+        self.space.as_ref().map(|t| t.dim()).unwrap_or_else(|| self.knob_set.dim())
     }
 }
 
@@ -50,6 +63,7 @@ pub struct TuningEnvironmentBuilder {
     seed: u64,
     noise: Option<f64>,
     fault_plan: Option<FaultPlan>,
+    space: Option<Arc<dyn SpaceTransform>>,
 }
 
 impl Default for TuningEnvironmentBuilder {
@@ -62,6 +76,7 @@ impl Default for TuningEnvironmentBuilder {
             seed: 0,
             noise: None,
             fault_plan: None,
+            space: None,
         }
     }
 }
@@ -109,6 +124,14 @@ impl TuningEnvironmentBuilder {
         self
     }
 
+    /// Installs a search-space transform (DESIGN.md §14): proposers search
+    /// the transform's low-dimensional space and the engine lifts candidates
+    /// into the knob set's native space at evaluation time.
+    pub fn space(mut self, transform: Arc<dyn SpaceTransform>) -> Self {
+        self.space = Some(transform);
+        self
+    }
+
     /// Builds the environment.
     pub fn build(self) -> TuningEnvironment {
         let mut dbms = SimulatedDbms::new(self.instance, self.workload, self.seed);
@@ -119,7 +142,14 @@ impl TuningEnvironmentBuilder {
             dbms = dbms.with_fault_plan(plan);
         }
         let knob_set = self.knob_set.unwrap_or_else(|| self.resource.default_knob_set());
-        TuningEnvironment { dbms, knob_set, resource: self.resource }
+        if let Some(t) = &self.space {
+            assert_eq!(
+                t.native_dim(),
+                knob_set.dim(),
+                "space transform native dimension must match the knob set"
+            );
+        }
+        TuningEnvironment { dbms, knob_set, resource: self.resource, space: self.space }
     }
 }
 
@@ -280,12 +310,12 @@ impl TuningSession {
         base_learners: Vec<BaseLearner>,
         target_meta_feature: Vec<f64>,
     ) -> Self {
-        let dim = env.knob_set.dim();
+        let dim = env.search_dim();
         for b in &base_learners {
             assert_eq!(
                 b.model.res.dim(),
                 dim,
-                "base learner {:?} was fitted on a {}-dim knob space; the target space is {}-dim",
+                "base learner {:?} was fitted on a {}-dim search space; the target space is {}-dim",
                 b.task_id,
                 b.model.res.dim(),
                 dim
@@ -304,7 +334,7 @@ impl TuningSession {
         if config.trace {
             trace::enable();
         }
-        let dim = env.knob_set.dim();
+        let dim = env.search_dim();
         let engine = EvalEngine::new(
             env,
             EngineSettings {

@@ -194,6 +194,10 @@ fn lhs_stratification_holds() {
         let samples = latin_hypercube(n, d, seed);
         propcheck::prop_assert_eq!(samples.len(), n);
         for dim in 0..d {
+            // `.min(n - 1)` is deliberate closed-downstream tolerance: even
+            // with coordinates strictly below 1, `v * n` can round up to `n`
+            // (e.g. (1 - 2⁻⁵³)·2 rounds to 2.0), so index consumers must
+            // clamp — exactly as the quantization adapter does.
             let mut strata: Vec<usize> = samples
                 .iter()
                 .map(|s| ((s[dim] * n as f64).floor() as usize).min(n - 1))
@@ -203,4 +207,27 @@ fn lhs_stratification_holds() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn lhs_samples_stay_strictly_inside_the_half_open_cube() {
+    // The sampler's contract is half-open [0,1): every coordinate must be
+    // ≥ 0 and *strictly* below 1, across sizes that stress the top stratum
+    // (small n makes the rounding-to-1.0 hazard most likely).
+    check(
+        "lhs_samples_stay_strictly_inside_the_half_open_cube",
+        Config::default().cases(256).seed(0x2E_000B),
+        |g| {
+            let n = g.usize_in(1, 64);
+            let d = g.usize_in(1, 12);
+            let seed = g.i64_in(0, 9999) as u64;
+            for s in latin_hypercube(n, d, seed) {
+                for &v in &s {
+                    propcheck::prop_assert!(v >= 0.0, "coordinate {v} below 0");
+                    propcheck::prop_assert!(v < 1.0, "coordinate {v} reached the closed bound");
+                }
+            }
+            Ok(())
+        },
+    );
 }

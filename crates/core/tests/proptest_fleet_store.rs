@@ -21,6 +21,7 @@ fn record(tenant: u64, seq: usize) -> TaskRecord {
         instance: InstanceType::A,
         resource: ResourceKind::Cpu,
         knob_names: vec!["k".into()],
+        space_id: "native".into(),
         meta_feature: vec![tenant as f64, seq as f64],
         observations: Vec::new(),
     }

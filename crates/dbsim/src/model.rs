@@ -292,6 +292,12 @@ pub fn evaluate_raw(
     let flc = config.get("innodb_flush_log_at_trx_commit");
     let sync_binlog = config.get("sync_binlog");
 
+    // The extended catalogue's minor-impact knobs: a weighted misconfiguration
+    // score in [0,1] that leaks a few percent of CPU and latency. Exactly 0.0
+    // when those knobs sit at their defaults, so pre-extension behaviour (and
+    // the golden digests that pin it) is reproduced bit-for-bit.
+    let micro = crate::knobs::micro_misconfig_score(config);
+
     let mut tps = offered.min(threads * 50.0);
     let mut svc_ms = 1.0;
     let mut rho: f64 = 0.5;
@@ -344,7 +350,8 @@ pub fn evaluate_raw(
             + toc_cpu_us
             + thread_churn_us
             + ticket_cpu_us
-            + io_cpu_us;
+            + io_cpu_us
+            + exec_cpu_us * 0.12 * micro;
 
         // Background CPU: page-cleaner LRU scans, purge coordination, I/O
         // threads polling, and buffer-pool-instance mistuning. These are the
@@ -359,7 +366,8 @@ pub fn evaluate_raw(
             + cores * 0.006 * purge
             + cores * 0.002 * (rio + wio)
             + cores * 0.003 * (bpi - bpi_opt).abs()
-            + 0.06 * checkpoint_pressure * cores * 0.02;
+            + 0.06 * checkpoint_pressure * cores * 0.02
+            + cores * 0.01 * micro;
 
         // Service time: CPU work + synchronous I/O + commit syncs + lock sleeps.
         let sync_reads = q * workload.pages_per_query * miss_ratio * consts::SYNC_MISS_FRAC;
@@ -377,7 +385,8 @@ pub fn evaluate_raw(
             + sync_reads * io_lat_ms
             + commit_lat * wf.max(if flc as i64 == 1 { 0.3 } else { 0.0 })
             + lock_wait_lat_ms
-            + stall_ms;
+            + stall_ms
+            + 0.6 * micro;
 
         // Capacity from each bottleneck.
         let avail_cores = (cores - bg_cpu).max(0.5);

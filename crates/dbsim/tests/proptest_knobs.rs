@@ -1,0 +1,113 @@
+//! Property tests on the knob encoding itself, exercised over the *full*
+//! 200-knob registry (not just the paper's pre-selected subsets): every
+//! registered knob's normalize/denormalize pair must be a projection onto its
+//! discrete domain, and exact values of discrete knobs must survive a round
+//! trip bit-for-bit. The space-transform layer (`core::space`) leans on these
+//! invariants — quantization assumes bin-center idempotence and hybrid
+//! sentinels assume `normalize` is exact on in-range values.
+
+use dbsim::{Configuration, KnobKind, KnobRegistry, KnobSet};
+use propcheck::{check, Config};
+
+#[test]
+fn denormalize_is_a_projection_for_every_registered_knob() {
+    // denormalize(normalize(denormalize(u))) == denormalize(u), exactly:
+    // applying the encoding twice never moves a value. Covers all 200 knobs
+    // and all four kinds each case.
+    check(
+        "denormalize_is_a_projection_for_every_registered_knob",
+        Config::default().cases(64).seed(0xD_B010),
+        |g| {
+            let reg = KnobRegistry::mysql();
+            for i in 0..reg.len() {
+                let k = reg.knob(i);
+                let u = g.unit();
+                let v = k.denormalize(u);
+                let v2 = k.denormalize(k.normalize(v));
+                propcheck::prop_assert!(v == v2, "{}: {v} moved to {v2}", k.name);
+                propcheck::prop_assert!(
+                    (k.min..=k.max).contains(&v) || matches!(k.kind, KnobKind::Enum(_)),
+                    "{}: {v} outside [{}, {}]",
+                    k.name,
+                    k.min,
+                    k.max
+                );
+                match k.kind {
+                    KnobKind::Integer => {
+                        propcheck::prop_assert!(v.fract() == 0.0, "{}: non-integer {v}", k.name)
+                    }
+                    KnobKind::Boolean => {
+                        propcheck::prop_assert!(v == 0.0 || v == 1.0, "{}: {v}", k.name)
+                    }
+                    KnobKind::Enum(n) => propcheck::prop_assert!(
+                        v.fract() == 0.0 && v >= 0.0 && v < n as f64,
+                        "{}: enum value {v} outside 0..{n}",
+                        k.name
+                    ),
+                    KnobKind::Float => {}
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn integer_and_enum_values_roundtrip_exactly_over_the_full_registry() {
+    // For every discrete knob, an arbitrary *in-domain* value must come back
+    // unchanged from normalize ∘ denormalize. This is what makes discrete
+    // knobs recoverable from unit-cube coordinates regardless of which set
+    // (cpu/io/memory/extended) exposes them.
+    check(
+        "integer_and_enum_values_roundtrip_exactly_over_the_full_registry",
+        Config::default().cases(64).seed(0xD_B011),
+        |g| {
+            let reg = KnobRegistry::mysql();
+            for i in 0..reg.len() {
+                let k = reg.knob(i);
+                let value = match k.kind {
+                    KnobKind::Integer => (k.min + g.unit() * (k.max - k.min)).round(),
+                    KnobKind::Enum(n) => g.usize_in(0, n as usize - 1) as f64,
+                    KnobKind::Boolean => {
+                        if g.unit() < 0.5 {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                    KnobKind::Float => continue,
+                };
+                let back = k.denormalize(k.normalize(value));
+                propcheck::prop_assert!(
+                    back == value,
+                    "{} ({:?}): {value} round-tripped to {back}",
+                    k.name,
+                    k.kind
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn extended_set_configuration_roundtrip_is_a_fixpoint() {
+    // Set-level version over the full 200-dim extended set: a configuration
+    // materialized from unit coordinates reaches a fixpoint after one
+    // normalize → to_configuration cycle.
+    check(
+        "extended_set_configuration_roundtrip_is_a_fixpoint",
+        Config::default().cases(24).seed(0xD_B012),
+        |g| {
+            let set = KnobSet::extended();
+            let units: Vec<f64> = (0..set.dim()).map(|_| g.unit()).collect();
+            let config = set.to_configuration(&units, &Configuration::dba_default());
+            let back = set.normalize(&config);
+            let config2 = set.to_configuration(&back, &Configuration::dba_default());
+            for name in set.names() {
+                propcheck::prop_assert!(config.get(name) == config2.get(name), "{name}");
+            }
+            Ok(())
+        },
+    );
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! restune tune  --workload twitter --instance A --resource cpu --iters 40
 //!               [--repo history.json] [--save-repo history.json] [--seed 7]
+//!               [--knobs extended] [--project 16] [--quantize 64]
 //! restune grid  --workload twitter --instance A --levels 8
 //! restune knobs [--resource cpu|io|memory]
 //! ```
@@ -10,6 +11,11 @@
 //! `tune` runs a ResTune session (meta-boosted when `--repo` points at a
 //! saved data repository) and prints the SLA report and recommended knobs;
 //! `--save-repo` appends the finished task so future runs transfer from it.
+//! `--project D` installs a seeded HeSBO random projection so the session
+//! searches `[0,1]^D` instead of the full knob space (DESIGN.md §14), with
+//! hybrid sentinel knobs biased-sampled; `--quantize B` additionally snaps
+//! wide numeric knobs onto `B` bin centers. `--knobs extended` tunes the
+//! whole 200-knob catalogue (the setting projections exist for).
 
 use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
 use restune::core::problem::ResourceKind;
@@ -63,7 +69,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  restune tune  --workload <sysbench|tpcc|twitter|hotel|sales> \
          [--instance A..F] [--resource cpu|io|iops|memory] [--iters N] \
-         [--seed N] [--repo FILE] [--save-repo FILE]\n  restune grid  \
+         [--seed N] [--repo FILE] [--save-repo FILE] [--knobs extended|expert] \
+         [--project D] [--quantize B]\n  restune grid  \
          --workload <name> [--instance A..F] [--levels N]\n  restune knobs [--resource cpu|io|memory]"
     );
     ExitCode::FAILURE
@@ -98,13 +105,50 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
     let iters: usize = flags.get("iters").and_then(|v| v.parse().ok()).unwrap_or(40);
     let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
 
+    let knob_set = match flags.get("knobs").map(String::as_str) {
+        Some("extended") => Some(KnobSet::extended()),
+        Some("expert") => Some(KnobSet::expert()),
+        Some(other) if !other.is_empty() => {
+            eprintln!("error: unknown --knobs value {other} (extended|expert)");
+            return ExitCode::FAILURE;
+        }
+        _ => None,
+    };
+    let project: Option<usize> = flags.get("project").and_then(|v| v.parse().ok());
+    let quantize: Option<usize> = flags.get("quantize").and_then(|v| v.parse().ok());
+
     println!("tuning {} on {} for {} ({} iterations)", workload.name, instance, resource.name(), iters);
-    let env = TuningEnvironment::builder()
+    let mut builder = TuningEnvironment::builder()
         .instance(instance)
         .workload(workload.clone())
         .resource(resource)
-        .seed(seed)
-        .build();
+        .seed(seed);
+    let native_set = knob_set.unwrap_or_else(|| resource.default_knob_set());
+    builder = builder.knob_set(native_set.clone());
+    if let Some(d) = project {
+        if d == 0 || d > native_set.dim() {
+            eprintln!("error: --project must be in 1..={}", native_set.dim());
+            return ExitCode::FAILURE;
+        }
+        let transform = restune::core::space::projected_space(
+            &native_set,
+            restune::core::space::Projection::Hesbo,
+            d,
+            seed,
+            quantize,
+            Some(0.2),
+        );
+        println!("search space: {} ({} -> {} dims)", transform.id(), native_set.dim(), d);
+        builder = builder.space(transform);
+    } else if quantize.is_some() {
+        eprintln!("error: --quantize requires --project");
+        return ExitCode::FAILURE;
+    }
+    let env = builder.build();
+    let space_id = match &env.space {
+        Some(t) => t.id(),
+        None => "native".to_string(),
+    };
     let knob_set = env.knob_set.clone();
     let config = RestuneConfig { seed, ..Default::default() };
 
@@ -117,9 +161,11 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
                 let mf = characterizer.embed_workload(&workload, seed).probs;
                 let gp_config = gp::GpConfig { restarts: 1, adam_iters: 25, ..Default::default() };
                 let learners = repo.base_learners(&gp_config, |t| {
-                    t.knob_names == knob_set.names() && t.resource == resource
+                    t.knob_names == knob_set.names()
+                        && t.space_id == space_id
+                        && t.resource == resource
                 });
-                println!("usable base-learners in this knob space: {}", learners.len());
+                println!("usable base-learners in this search space: {}", learners.len());
                 TuningSession::with_base_learners(env, config, learners, mf).run(iters)
             }
             Err(e) => {
@@ -167,6 +213,7 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
             instance,
             resource,
             knob_names: knob_set.names().to_vec(),
+            space_id: space_id.clone(),
             meta_feature,
             observations,
         });

@@ -92,6 +92,38 @@ fn tracing_on_and_off_runs_are_bit_identical() {
 }
 
 #[test]
+fn identity_transform_runs_are_bit_identical_to_untransformed_runs() {
+    use restune::core::space::IdentityTransform;
+    use std::sync::Arc;
+
+    // Installing the identity `SpaceTransform` must be a no-op to the last
+    // bit: the engine takes the `lift()` code path on every evaluation (and
+    // restricts the default point once), but the numbers it produces are the
+    // same `f64`s the untransformed path sees. This pins the transform seam
+    // itself — any accidental re-normalization, clone-induced reordering, or
+    // clamp drift in the lift path breaks this test before it breaks a bench.
+    let plain = run_once(7, 10);
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(7)
+        .space(Arc::new(IdentityTransform::new(KnobSet::case_study().dim())))
+        .build();
+    let through_identity = TuningSession::new(env, quick_config(7)).run(10);
+    assert_eq!(plain.history.len(), through_identity.history.len());
+    for (ra, rb) in plain.history.iter().zip(&through_identity.history) {
+        assert_eq!(fingerprint(ra), fingerprint(rb), "iteration {} diverged", ra.iteration);
+    }
+    assert_eq!(plain.best_objective, through_identity.best_objective);
+    assert_eq!(
+        format!("{:?}", plain.best_config),
+        format!("{:?}", through_identity.best_config)
+    );
+}
+
+#[test]
 fn different_seeds_actually_diverge() {
     // Guards against the determinism test passing vacuously (e.g. a seed
     // that is ignored would also make same-seed runs identical).

@@ -9,6 +9,14 @@
 //! ResTune's best objective moved 22.39 → 21.70 and ResTune-w/o-ML / iTuned
 //! 21.283 → 21.265; OtterTune and CDBTune digests were unaffected). The
 //! shared `TuningDriver`/`EvalEngine` path must reproduce them exactly.
+//!
+//! Re-pinned a second time when the knob registry grew from 38 to 200 knobs:
+//! the digest hashes `Configuration`'s Debug repr (inside each observation and
+//! the best config), which now spans 200 values. The *numeric* traces were
+//! verified bit-identical against the pre-growth tree — a config-free digest
+//! over (points, observation metric bits, objectives, weights, failures,
+//! replay clock) matched exactly for all six methods, because the extended
+//! knobs' misconfiguration penalty is exactly `0.0` at their defaults.
 
 use baselines::method::Setting;
 use baselines::{method_driver, run_method, Method, MethodContext};
@@ -112,12 +120,12 @@ fn all_six_method_outcomes_match_the_pre_refactor_golden_digests() {
     // seed: the case-study space is feasible almost everywhere, so CEI's
     // feasibility weighting never changes EI's argmax over these 12 iters.
     let expected: [(Method, u64); 6] = [
-        (Method::Restune, 0xb984c088dab258c2),
-        (Method::RestuneWithoutML, 0x10eb1b854e46af55),
-        (Method::RestuneWithoutWorkload, 0xad8f86a8a3470277),
-        (Method::ITuned, 0x10eb1b854e46af55),
-        (Method::OtterTuneWithConstraints, 0x51a113af4a26805d),
-        (Method::CdbTuneWithConstraints, 0x3d4488db1ff68922),
+        (Method::Restune, 0xd44a54bba41e6639),
+        (Method::RestuneWithoutML, 0x369b7d132d8f9428),
+        (Method::RestuneWithoutWorkload, 0x215093b01c0280ce),
+        (Method::ITuned, 0x369b7d132d8f9428),
+        (Method::OtterTuneWithConstraints, 0xc16bc93abf78b13c),
+        (Method::CdbTuneWithConstraints, 0x242e8876597d3073),
     ];
     let mut failures = Vec::new();
     for (method, want) in expected {
@@ -160,12 +168,12 @@ fn a_heterogeneous_fleet_reproduces_the_golden_digests() {
     // the single-driver golden value.
     let repo = golden_repo();
     let expected: [(Method, u64); 6] = [
-        (Method::Restune, 0xb984c088dab258c2),
-        (Method::RestuneWithoutML, 0x10eb1b854e46af55),
-        (Method::RestuneWithoutWorkload, 0xad8f86a8a3470277),
-        (Method::ITuned, 0x10eb1b854e46af55),
-        (Method::OtterTuneWithConstraints, 0x51a113af4a26805d),
-        (Method::CdbTuneWithConstraints, 0x3d4488db1ff68922),
+        (Method::Restune, 0xd44a54bba41e6639),
+        (Method::RestuneWithoutML, 0x369b7d132d8f9428),
+        (Method::RestuneWithoutWorkload, 0x215093b01c0280ce),
+        (Method::ITuned, 0x369b7d132d8f9428),
+        (Method::OtterTuneWithConstraints, 0xc16bc93abf78b13c),
+        (Method::CdbTuneWithConstraints, 0x242e8876597d3073),
     ];
     let tenants: Vec<Tenant> = expected
         .iter()

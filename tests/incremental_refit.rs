@@ -113,6 +113,7 @@ fn synthetic_record(n: usize, task_id: &str) -> TaskRecord {
         instance: InstanceType::A,
         resource: ResourceKind::Cpu,
         knob_names: vec!["a".into(), "b".into(), "c".into()],
+        space_id: "native".into(),
         meta_feature: vec![0.3, 0.7],
         observations,
     }

@@ -165,7 +165,7 @@ fn repository_filter_guards_against_mismatched_knob_spaces() {
 }
 
 #[test]
-#[should_panic(expected = "3-dim knob space; the target space is 14-dim")]
+#[should_panic(expected = "3-dim search space; the target space is 14-dim")]
 fn session_with_mismatched_learner_dimensions_is_rejected_by_construction() {
     // If a caller bypasses the repository filter, the session itself rejects
     // dimensionally-mismatched base learners at construction — with the
