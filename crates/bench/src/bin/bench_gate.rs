@@ -1,0 +1,136 @@
+//! Bench-trajectory regression gate (DESIGN.md §15): diffs current
+//! `BENCH_gp.json` / `BENCH_fleet.json` / `BENCH_projection.json` files
+//! against committed baselines with per-metric tolerances and exits nonzero
+//! on any regression. Gates ratios and deterministic facts, never absolute
+//! wall clocks, so it holds across machines; incommensurate runs (e.g. CI
+//! smoke sizes vs. full baselines) compare the arms they share and skip the
+//! rest visibly.
+//!
+//! Usage:
+//!   bench_gate [--baseline-dir DIR] [--current-dir DIR] [--prefix P]
+//!              [--speedup-drop F] [--throughput-drop F] [--quality-pp F]
+//!              [--iters-growth N] [--lax-digest]
+//!   bench_gate --self-test [--baseline-dir DIR]
+//!
+//! Defaults: baseline-dir `.` (the committed baselines), current-dir =
+//! baseline-dir (a self-diff, which must pass on an unmodified tree).
+//! `--prefix` is prepended to the *current* filenames, matching CI's
+//! `results/ci.BENCH_*.json` outputs. `--self-test` proves the regression
+//! machinery trips: it synthesizes a 2x slowdown of the GP incremental path
+//! from the baseline and exits 0 only if the gate catches it.
+//!
+//! Exit codes: 0 gate passed, 1 regression (or self-test failed to trip),
+//! 2 usage/parse error.
+
+use std::path::Path;
+
+use minjson::Json;
+use restune_bench::gate::{gate_all, gate_gp, synthesize_gp_slowdown, GateReport, Tolerances};
+
+fn load(dir: &str, prefix: &str, name: &str) -> Option<Json> {
+    let path = Path::new(dir).join(format!("{prefix}{name}"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    match Json::parse(&text) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
+            eprintln!("bench_gate: failed to parse {}: {e:?}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let known = [
+        "--baseline-dir",
+        "--current-dir",
+        "--prefix",
+        "--speedup-drop",
+        "--throughput-drop",
+        "--quality-pp",
+        "--iters-growth",
+        "--lax-digest",
+        "--self-test",
+    ];
+    for (i, a) in args.iter().enumerate() {
+        let follows_value_flag = i > 0 && known.contains(&args[i - 1].as_str())
+            && args[i - 1] != "--lax-digest"
+            && args[i - 1] != "--self-test";
+        if a.starts_with("--") && !known.contains(&a.as_str()) {
+            eprintln!("bench_gate: unknown flag {a}");
+            std::process::exit(2);
+        }
+        if !a.starts_with("--") && !follows_value_flag {
+            eprintln!("bench_gate: unexpected argument {a}");
+            std::process::exit(2);
+        }
+    }
+
+    let parse_f64 = |flag: &str, default: f64| -> f64 {
+        match get(flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bench_gate: {flag} expects a number, got {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    let defaults = Tolerances::default();
+    let tol = Tolerances {
+        speedup_drop: parse_f64("--speedup-drop", defaults.speedup_drop),
+        throughput_drop: parse_f64("--throughput-drop", defaults.throughput_drop),
+        quality_pp: parse_f64("--quality-pp", defaults.quality_pp),
+        iters_growth: parse_f64("--iters-growth", defaults.iters_growth as f64) as i64,
+        strict_digest: !args.iter().any(|a| a == "--lax-digest"),
+    };
+    let baseline_dir = get("--baseline-dir").unwrap_or_else(|| ".".to_string());
+    let current_dir = get("--current-dir").unwrap_or_else(|| baseline_dir.clone());
+    let prefix = get("--prefix").unwrap_or_default();
+
+    if args.iter().any(|a| a == "--self-test") {
+        // Prove the gate trips: halve every GP speedup (a synthetic 2x
+        // slowdown of the optimized path) and require a regression verdict.
+        let Some(gp) = load(&baseline_dir, "", "BENCH_gp.json") else {
+            eprintln!("bench_gate: --self-test needs {baseline_dir}/BENCH_gp.json");
+            std::process::exit(2);
+        };
+        let slow = synthesize_gp_slowdown(&gp);
+        let mut report = GateReport::default();
+        gate_gp(&gp, &slow, &tol, &mut report);
+        print!("{}", report.render());
+        if report.passed() {
+            eprintln!("bench_gate: SELF-TEST FAILED: synthetic 2x slowdown was not detected");
+            std::process::exit(1);
+        }
+        println!("self-test ok: synthetic 2x slowdown detected ({} regressions)", report.regressions());
+        return;
+    }
+
+    let baselines = [
+        ("gp", load(&baseline_dir, "", "BENCH_gp.json")),
+        ("fleet", load(&baseline_dir, "", "BENCH_fleet.json")),
+        ("projection", load(&baseline_dir, "", "BENCH_projection.json")),
+    ];
+    if baselines.iter().all(|(_, b)| b.is_none()) {
+        eprintln!("bench_gate: no BENCH_*.json baselines found in {baseline_dir}");
+        std::process::exit(2);
+    }
+    let currents = [
+        load(&current_dir, &prefix, "BENCH_gp.json"),
+        load(&current_dir, &prefix, "BENCH_fleet.json"),
+        load(&current_dir, &prefix, "BENCH_projection.json"),
+    ];
+    let pairs: Vec<(&str, Option<&Json>, Option<&Json>)> = baselines
+        .iter()
+        .zip(&currents)
+        .map(|((label, b), c)| (*label, b.as_ref(), c.as_ref()))
+        .collect();
+    let report = gate_all(&pairs, &tol);
+    print!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Fleet-level health report (DESIGN.md §15): runs a traced, fault-injected,
+//! diagnostics-enabled tenant fleet and folds every tenant's `tuner.health`
+//! stream into cross-tenant digests (p50/p95/p99 regret, calibration, weight
+//! entropy) plus a straggler table — the operator's "is the fleet healthy"
+//! view over the same events `health_report` renders per session.
+//!
+//! Usage:
+//!   fleet_health [--tenants N] [--iters K] [--workers W] [--out <file.trace.jsonl>]
+//!   fleet_health --smoke
+//!
+//! `--smoke` is the CI gate: it additionally checks the aggregation contract
+//! (every tenant has a complete, task-tagged health stream; the aggregate is
+//! identical when recomputed from the reparsed JSONL; a known-bad tenant is
+//! flagged) and exits nonzero on violation.
+
+use dbsim::{FaultPlan, InstanceType, KnobSet, WorkloadSpec};
+use restune_bench::health_view;
+use restune_bench::report::results_dir;
+use restune_core::acquisition::AcquisitionOptimizer;
+use restune_core::fleet::health::{FleetHealth, StragglerPolicy};
+use restune_core::fleet::{mix_seed, FleetConfig, FleetOutcome, FleetService, Tenant};
+use restune_core::problem::ResourceKind;
+use restune_core::tuner::{RestuneConfig, TuningEnvironment};
+use trace::TraceSnapshot;
+
+/// A fleet tenant with tracing + diagnostics on. `transient_rate` lets the
+/// smoke check plant a known failure-storm tenant the straggler policy must
+/// flag.
+fn tenant(id: u64, iters: usize, transient_rate: f64) -> Tenant {
+    let seed = mix_seed(0x5EED_F1EE7, id);
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::fleet_tenant(id))
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(seed)
+        .fault_plan(FaultPlan::none().with_transient_rate(transient_rate).with_seed(seed ^ 0xFA))
+        .build();
+    let config = RestuneConfig {
+        optimizer: AcquisitionOptimizer { n_candidates: 80, n_local: 20, local_sigma: 0.1 },
+        gp: gp::GpConfig { restarts: 1, adam_iters: 5, ..Default::default() },
+        dynamic_samples: 4,
+        init_iters: 2,
+        seed,
+        trace: true,
+        diag: true,
+        ..Default::default()
+    };
+    Tenant::restune(id, format!("tenant-{id}"), env, config, iters)
+}
+
+fn run_fleet(tenants: usize, iters: usize, workers: usize) -> (FleetOutcome, TraceSnapshot) {
+    trace::enable();
+    trace::reset();
+    let service = FleetService::new(FleetConfig { workers, slice: 2, shards: 16 });
+    let out = service.run(
+        (0..tenants as u64)
+            // The last tenant gets a heavy transient-fault rate: a planted
+            // straggler the smoke check expects the policy to flag.
+            .map(|id| tenant(id, iters, if id + 1 == tenants as u64 { 0.9 } else { 0.1 }))
+            .collect(),
+    );
+    let snap = trace::snapshot();
+    trace::disable();
+    (out, snap)
+}
+
+/// Aggregation-contract self-checks; returns violations instead of
+/// panicking so the bin can exit(1) with every problem listed.
+fn contract_violations(
+    snap: &TraceSnapshot,
+    fleet: &FleetHealth,
+    tenants: usize,
+    iters: usize,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if fleet.tenants.len() != tenants {
+        violations.push(format!(
+            "expected health streams for {tenants} tenants, got {}",
+            fleet.tenants.len()
+        ));
+    }
+    for t in &fleet.tenants {
+        if t.iterations != iters {
+            violations.push(format!(
+                "tenant {} has {} health events, want {iters}",
+                t.task, t.iterations
+            ));
+        }
+    }
+    let storm_task = tenants as u64 - 1;
+    if !fleet.stragglers.iter().any(|s| s.task == storm_task) {
+        violations.push(format!(
+            "planted failure-storm tenant {storm_task} was not flagged as a straggler"
+        ));
+    }
+    match snap.to_jsonl().and_then(|text| TraceSnapshot::from_jsonl(&text)) {
+        Ok(reparsed) => {
+            if &FleetHealth::from_snapshot(&reparsed, &StragglerPolicy::default()) != fleet {
+                violations
+                    .push("fleet aggregate changed across the JSONL round trip".to_string());
+            }
+        }
+        Err(e) => violations.push(format!("snapshot JSONL failed to reparse: {e:?}")),
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ncpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let tenants: usize =
+        get("--tenants").and_then(|v| v.parse().ok()).unwrap_or(if smoke { 32 } else { 16 });
+    let iters: usize = get("--iters").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let workers: usize = get("--workers").and_then(|v| v.parse().ok()).unwrap_or(ncpu);
+
+    let (out, snap) = run_fleet(tenants, iters, workers);
+    println!(
+        "fleet: {} tenants, {} workers, {:.3}s wall ({:.1} tenants/s)\n",
+        out.tenants.len(),
+        out.workers,
+        out.wall_s,
+        out.tenants_per_s()
+    );
+    let fleet = FleetHealth::from_snapshot(&snap, &StragglerPolicy::default());
+    print!("{}", health_view::render_fleet(&fleet));
+
+    let trace_path = get("--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("fleet_health.trace.jsonl"));
+    if let Some(parent) = trace_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create trace output dir");
+    }
+    snap.write_jsonl(&trace_path).expect("write trace jsonl");
+    println!("\ntrace -> {}", trace_path.display());
+
+    if smoke {
+        let violations = contract_violations(&snap, &fleet, tenants, iters);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("fleet_health: CONTRACT VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "smoke ok: {tenants} tenants x {iters} health events, straggler flagged, round-trippable"
+        );
+    }
+}

@@ -59,7 +59,10 @@ fn tenant_tree(snap: &TraceSnapshot, task: u64) -> Vec<(String, usize)> {
     counts.into_iter().collect()
 }
 
-fn report(out: &FleetOutcome, snap: &TraceSnapshot, iters: usize) {
+/// Renders the fleet summary and returns self-check violations instead of
+/// panicking, so `main` can list every problem and exit(1) deliberately —
+/// the CI gate keys off the exit status.
+fn report(out: &FleetOutcome, snap: &TraceSnapshot, iters: usize) -> Vec<String> {
     println!("fleet: {} tenants, {} workers, {:.3}s wall ({:.1} tenants/s)",
         out.tenants.len(), out.workers, out.wall_s, out.tenants_per_s());
     let retries: usize = out.tenants.iter().map(|t| t.outcome.failures.retries).sum();
@@ -79,6 +82,7 @@ fn report(out: &FleetOutcome, snap: &TraceSnapshot, iters: usize) {
     }
     // Every tenant's tree must be complete: one `tenant` slice span per
     // scheduled slice and exactly `iters` nested `iteration` spans.
+    let mut violations = Vec::new();
     for t in &out.tenants {
         let tree = tenant_tree(snap, t.id);
         let iterations: usize = tree
@@ -86,13 +90,15 @@ fn report(out: &FleetOutcome, snap: &TraceSnapshot, iters: usize) {
             .filter(|(p, _)| p == "fleet/tenant/iteration")
             .map(|(_, n)| *n)
             .sum();
-        assert_eq!(
-            iterations, iters,
-            "tenant {} trace is missing iterations (got {iterations}, want {iters})",
-            t.id
-        );
+        if iterations != iters {
+            violations.push(format!(
+                "tenant {} trace is missing iterations (got {iterations}, want {iters})",
+                t.id
+            ));
+        }
     }
     println!("\nper-tenant traces complete: {} x {} iteration spans", out.tenants.len(), iters);
+    violations
 }
 
 fn main() {
@@ -108,7 +114,7 @@ fn main() {
     let workers: usize = get("--workers").and_then(|v| v.parse().ok()).unwrap_or(ncpu);
 
     let (out, snap) = run_fleet(tenants, iters, workers);
-    report(&out, &snap, iters);
+    let mut violations = report(&out, &snap, iters);
 
     let trace_path = get("--out")
         .map(std::path::PathBuf::from)
@@ -119,25 +125,41 @@ fn main() {
     snap.write_jsonl(&trace_path).expect("write trace jsonl");
     println!("trace -> {}", trace_path.display());
 
-    assert_eq!(out.tenants.len(), tenants);
-    assert_eq!(out.poisoned().count(), 0, "no tenant may be poisoned by seeded faults");
+    if out.tenants.len() != tenants {
+        violations.push(format!("ran {} tenants, want {tenants}", out.tenants.len()));
+    }
+    let poisoned = out.poisoned().count();
+    if poisoned != 0 {
+        violations.push(format!("{poisoned} tenants poisoned by seeded faults, want 0"));
+    }
 
-    if smoke {
+    if smoke && violations.is_empty() {
         // Rerun at a different worker count: per-tenant records must be
         // byte-identical (the fleet determinism contract, end to end).
         let other_workers = if workers == 1 { 4 } else { 1 };
         let (again, _) = run_fleet(tenants, iters, other_workers);
         for (a, b) in out.tenants.iter().zip(&again.tenants) {
-            assert_eq!(a.id, b.id);
-            assert_eq!(
-                a.record_json().unwrap(),
-                b.record_json().unwrap(),
-                "tenant {} records diverged between workers={workers} and workers={other_workers}",
-                a.id
+            if a.id != b.id {
+                violations.push(format!("tenant order diverged: {} vs {}", a.id, b.id));
+                continue;
+            }
+            if a.record_json().unwrap() != b.record_json().unwrap() {
+                violations.push(format!(
+                    "tenant {} records diverged between workers={workers} and workers={other_workers}",
+                    a.id
+                ));
+            }
+        }
+        if violations.is_empty() {
+            println!(
+                "smoke ok: {tenants} tenants bit-identical at workers={workers} and workers={other_workers}"
             );
         }
-        println!(
-            "smoke ok: {tenants} tenants bit-identical at workers={workers} and workers={other_workers}"
-        );
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("fleet_report: SELF-CHECK FAILED: {v}");
+        }
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,259 @@
+//! Per-session model-quality health report (DESIGN.md §15): runs a seeded,
+//! traced, diagnostics-enabled tuning session and renders its per-iteration
+//! `tuner.health` stream — calibration, regret, weight dynamics, surrogate
+//! path, failure tallies — or renders the same table from a previously
+//! written trace JSONL file.
+//!
+//! Usage:
+//!   health_report [--session [iters]] [--out <file.trace.jsonl>]
+//!   health_report --methods [iters]
+//!   health_report <file.trace.jsonl>
+//!
+//! With `--session`, the bin also self-checks the telemetry contract (one
+//! health event per iteration, in order, round-trippable through JSONL) and
+//! exits nonzero on violation so CI gates on it. `--methods` runs the six
+//! evaluation methods (golden-methods setup: seeded transient faults, shared
+//! repository) and prints the per-method health summary behind the
+//! EXPERIMENTS.md table: progress/failure stats come from each method's
+//! iteration history; calibration, weight entropy, and fallback counts come
+//! from telemetry and exist only for the ResTune variants (the baselines'
+//! proposers emit no `tuner.health` events).
+
+use baselines::method::Setting;
+use baselines::{run_method, Method, MethodContext};
+use dbsim::{FaultPlan, InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
+use restune_bench::health_view;
+use restune_bench::report::results_dir;
+use restune_core::acquisition::AcquisitionOptimizer;
+use restune_core::problem::ResourceKind;
+use restune_core::repository::{DataRepository, TaskRecord};
+use restune_core::tuner::{RestuneConfig, TuningEnvironment, TuningSession};
+use trace::TraceSnapshot;
+
+/// Runs a seeded, meta-boosted, traced session with diagnostics enabled
+/// (same setup as `trace_report --session`, plus `diag: true`).
+fn traced_session(iters: usize) -> TraceSnapshot {
+    let characterizer = workload::WorkloadCharacterizer::train_default(2);
+    let mut repo = DataRepository::new();
+    for (i, spec) in WorkloadSpec::twitter_variations().into_iter().take(3).enumerate() {
+        let mut dbms = SimulatedDbms::new(InstanceType::A, spec, 30 + i as u64);
+        repo.add(TaskRecord::collect(
+            &mut dbms,
+            &KnobSet::case_study(),
+            ResourceKind::Cpu,
+            &characterizer,
+            15,
+            40 + i as u64,
+        ));
+    }
+    let learners = repo.base_learners(&gp::GpConfig::fixed(), |_| true);
+    let mf = characterizer.embed_workload(&WorkloadSpec::twitter(), 1).probs;
+
+    trace::enable();
+    trace::reset();
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(7)
+        .build();
+    let config = RestuneConfig {
+        optimizer: AcquisitionOptimizer { n_candidates: 400, n_local: 80, local_sigma: 0.08 },
+        gp: gp::GpConfig { restarts: 1, adam_iters: 15, ..Default::default() },
+        dynamic_samples: 12,
+        init_iters: 3,
+        seed: 7,
+        trace: true,
+        diag: true,
+        ..Default::default()
+    };
+    let mut session = TuningSession::with_base_learners(env, config, learners, mf);
+    for _ in 0..iters {
+        session.step();
+    }
+    let snap = trace::snapshot();
+    trace::disable();
+    snap
+}
+
+/// Telemetry-contract self-checks; returns violations instead of panicking
+/// so the bin can exit(1) with every problem listed.
+fn contract_violations(snap: &TraceSnapshot, iters: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    let records = health_view::session_records(snap);
+    if records.len() != iters {
+        violations.push(format!(
+            "expected one tuner.health event per iteration ({iters}), got {}",
+            records.len()
+        ));
+    }
+    for (i, r) in records.iter().enumerate() {
+        if r.iteration != i {
+            violations.push(format!("event {i} carries iteration {}", r.iteration));
+        }
+        if !r.objective.is_finite() || !r.incumbent.is_finite() {
+            violations.push(format!("iteration {i} has non-finite objective/incumbent"));
+        }
+    }
+    if !records.iter().any(|r| r.calibration.is_some()) {
+        violations.push("no iteration carried GP calibration".to_string());
+    }
+    if !records.iter().any(|r| r.weights.is_some()) {
+        violations.push("no iteration carried ensemble weights".to_string());
+    }
+    // The stream must survive the JSONL round trip losslessly.
+    match snap.to_jsonl().and_then(|text| TraceSnapshot::from_jsonl(&text)) {
+        Ok(reparsed) => {
+            if health_view::session_records(&reparsed) != records {
+                violations.push("health records changed across the JSONL round trip".to_string());
+            }
+        }
+        Err(e) => violations.push(format!("snapshot JSONL failed to reparse: {e:?}")),
+    }
+    violations
+}
+
+/// Runs the six methods under the golden-methods setup (seed 17, 0.2
+/// transient fault rate, two-task repository) with diagnostics on and prints
+/// a markdown health-summary table. History-derived columns cover every
+/// method; telemetry columns show `-` for methods that emit none.
+fn methods_table(iters: usize) {
+    let characterizer = workload::WorkloadCharacterizer::train_default(0);
+    let mut repo = DataRepository::new();
+    for (i, w) in [WorkloadSpec::twitter(), WorkloadSpec::sysbench()].into_iter().enumerate() {
+        let mut dbms = SimulatedDbms::new(InstanceType::A, w, 100 + i as u64);
+        repo.add(TaskRecord::collect(
+            &mut dbms,
+            &KnobSet::case_study(),
+            ResourceKind::Cpu,
+            &characterizer,
+            12,
+            200 + i as u64,
+        ));
+    }
+    let env = || {
+        TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(17)
+            .fault_plan(FaultPlan::none().with_transient_rate(0.2).with_seed(0xFA))
+            .build()
+    };
+    let ctx = MethodContext {
+        config: RestuneConfig {
+            optimizer: AcquisitionOptimizer { n_candidates: 250, n_local: 50, local_sigma: 0.1 },
+            gp: gp::GpConfig { restarts: 1, adam_iters: 12, ..Default::default() },
+            dynamic_samples: 8,
+            init_iters: 4,
+            seed: 17,
+            trace: true,
+            diag: true,
+            ..Default::default()
+        },
+        repository: Some(&repo),
+        prepared_learners: None,
+        setting: Setting::Original,
+        target_meta_feature: vec![0.2; 5],
+    };
+    let methods = [
+        ("ResTune", Method::Restune),
+        ("ResTune-w/o-ML", Method::RestuneWithoutML),
+        ("ResTune-w/o-WC", Method::RestuneWithoutWorkload),
+        ("iTuned", Method::ITuned),
+        ("OtterTune-w-Con", Method::OtterTuneWithConstraints),
+        ("CDBTune-w-Con", Method::CdbTuneWithConstraints),
+    ];
+    let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
+    println!(
+        "| method | final CPU% | mean regret | failed iters | retries | mean 1σ cov | mean \\|z\\| | final w-entropy | GP fallbacks |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for (label, method) in methods {
+        trace::enable();
+        trace::reset();
+        let outcome = run_method(method, env(), iters, &ctx);
+        let snap = trace::snapshot();
+        trace::disable();
+        trace::reset();
+        // Progress/failure stats from the shared driver's history, so the
+        // columns are method-agnostic.
+        let mean_regret = outcome
+            .history
+            .iter()
+            .map(|r| r.objective - r.best_feasible_objective)
+            .sum::<f64>()
+            / outcome.history.len().max(1) as f64;
+        let failed = outcome.failures.failed_iterations();
+        // Telemetry-only columns, folded with the same per-tenant reducer the
+        // fleet aggregator uses.
+        let records = health_view::session_records(&snap);
+        let telemetry =
+            restune_core::fleet::health::TenantHealth::from_records(0, &records);
+        println!(
+            "| {label} | {} | {mean_regret:.3} | {failed} | {} | {} | {} | {} | {} |",
+            outcome
+                .best_objective
+                .map(|b| format!("{b:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            outcome.failures.retries,
+            fmt_opt(telemetry.as_ref().and_then(|t| t.mean_cov_1s)),
+            fmt_opt(telemetry.as_ref().and_then(|t| t.mean_abs_z)),
+            fmt_opt(telemetry.as_ref().and_then(|t| t.final_weight_entropy)),
+            telemetry
+                .as_ref()
+                .map(|t| t.fallbacks.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.first().filter(|a| !a.starts_with("--")) {
+        let text = std::fs::read_to_string(path).expect("read trace file");
+        let snap = TraceSnapshot::from_jsonl(&text).expect("parse trace jsonl");
+        let records = health_view::session_records(&snap);
+        if records.is_empty() {
+            eprintln!("health_report: no tuner.health events in {path} (diagnostics off?)");
+            std::process::exit(2);
+        }
+        print!("{}", health_view::render_session(&records));
+        return;
+    }
+    if args.first().map(String::as_str) == Some("--methods") {
+        let iters: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+        methods_table(iters);
+        return;
+    }
+    if args.first().map(String::as_str) != Some("--session") && !args.is_empty() {
+        eprintln!("usage: health_report [--session [iters] | --methods [iters]] [--out <file>] | health_report <file.trace.jsonl>");
+        std::process::exit(2);
+    }
+    let iters: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("health.trace.jsonl"));
+
+    let snap = traced_session(iters);
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create trace output dir");
+    }
+    snap.write_jsonl(&out).expect("write trace jsonl");
+    println!("traced {iters}-iteration diagnostic session -> {}\n", out.display());
+    print!("{}", health_view::render_session(&health_view::session_records(&snap)));
+
+    let violations = contract_violations(&snap, iters);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("health_report: CONTRACT VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("\ntelemetry contract ok: {iters} events, in order, calibrated, round-trippable");
+}

@@ -131,10 +131,15 @@ fn main() {
         println!("traced {iters}-iteration baseline (CDBTune-w-Con) -> {}\n", out.display());
         report(&snap);
         let iterations = snap.span_agg().get("iteration").map(|a| a.count).unwrap_or(0);
-        assert_eq!(
-            iterations as usize, iters,
-            "baseline must emit one driver `iteration` root span per step"
-        );
+        // Explicit check + exit(1), not assert!: the CI gate keys off the
+        // exit status, so the failure path must be deliberate, not a panic.
+        if iterations as usize != iters {
+            eprintln!(
+                "trace_report: SELF-CHECK FAILED: baseline must emit one driver \
+                 `iteration` root span per step (got {iterations}, want {iters})"
+            );
+            std::process::exit(1);
+        }
         return;
     }
     if args.first().map(String::as_str) == Some("--session") {
@@ -169,7 +174,14 @@ fn main() {
             );
         }
         println!("  max delta: {:.3}% (acceptance bound: 1%)", 100.0 * max_rel);
-        assert!(max_rel < 0.01, "span totals diverge from IterationTiming by {max_rel}");
+        if max_rel >= 0.01 {
+            eprintln!(
+                "trace_report: SELF-CHECK FAILED: span totals diverge from \
+                 IterationTiming sums by {:.3}% (bound 1%)",
+                100.0 * max_rel
+            );
+            std::process::exit(1);
+        }
         return;
     }
     let Some(path) = args.first() else {

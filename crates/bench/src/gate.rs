@@ -1,0 +1,515 @@
+//! Bench-trajectory regression gate: diffs the current `BENCH_gp.json` /
+//! `BENCH_fleet.json` / `BENCH_projection.json` against committed baselines
+//! with per-metric tolerance thresholds, so the tracked numbers regress
+//! loudly PR-over-PR instead of silently (ROADMAP: "a tracked BENCH
+//! trajectory so regressions are visible").
+//!
+//! Design rules:
+//!
+//! - **Gate ratios and deterministic facts, not wall clocks.** Absolute
+//!   microseconds differ across machines; self-relative speedups
+//!   (incremental vs. full refit, sparse vs. dense), determinism digests,
+//!   projection counters, and final tuning quality do not. Wall-clock
+//!   fields are reported but never gated.
+//! - **Arms are matched structurally** (`n`, `(n, m)`, `workers`, arm name)
+//!   and only compared when the runs are commensurate — a CI-sized current
+//!   file against a full-size baseline compares the arms they share and
+//!   *skips* the rest, visibly.
+//! - Every check lands in a [`GateReport`] as pass / regression / skip with
+//!   the numbers inline; `bench_gate` exits nonzero iff any regression.
+
+use minjson::Json;
+
+/// Per-metric tolerance thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Allowed fractional drop in self-relative speedups: a current speedup
+    /// below `baseline * (1 - speedup_drop)` is a regression. The default
+    /// 0.4 tolerates machine noise but trips on a 2x slowdown of the
+    /// optimized path (which halves the speedup).
+    pub speedup_drop: f64,
+    /// Allowed fractional drop in fleet throughput (`tenants_per_s`),
+    /// checked only when tenant/iteration counts match.
+    pub throughput_drop: f64,
+    /// Allowed tuning-quality regression, in objective percentage points
+    /// (`final_cpu_pct` may rise by at most this much).
+    pub quality_pp: f64,
+    /// Allowed growth of `iters_to_5pct` (iterations to reach within 5% of
+    /// the expert configuration).
+    pub iters_growth: i64,
+    /// Treat a determinism-digest mismatch (same-size runs) as a
+    /// regression. On by default: the digest is seed-exact, so a mismatch
+    /// means the algorithm changed without re-pinning the baseline.
+    pub strict_digest: bool,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            speedup_drop: 0.4,
+            throughput_drop: 0.5,
+            quality_pp: 5.0,
+            iters_growth: 6,
+            strict_digest: true,
+        }
+    }
+}
+
+/// Outcome of one gated metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Within tolerance.
+    Pass,
+    /// Outside tolerance.
+    Regression,
+    /// Not comparable (arm missing, incommensurate run sizes); the reason
+    /// is in the detail string.
+    Skipped,
+}
+
+/// One metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// Dotted metric id, e.g. `gp.incremental.n50.speedup`.
+    pub metric: String,
+    /// Pass / regression / skip.
+    pub outcome: Outcome,
+    /// Human-readable numbers behind the verdict.
+    pub detail: String,
+}
+
+/// Every check from one gate run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Checks in evaluation order.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateReport {
+    fn push(&mut self, metric: impl Into<String>, outcome: Outcome, detail: impl Into<String>) {
+        self.checks.push(GateCheck {
+            metric: metric.into(),
+            outcome,
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of regressions.
+    pub fn regressions(&self) -> usize {
+        self.checks.iter().filter(|c| c.outcome == Outcome::Regression).count()
+    }
+
+    /// True iff no check regressed (skips do not fail the gate).
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Renders one line per check plus a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let tag = match c.outcome {
+                Outcome::Pass => "ok  ",
+                Outcome::Regression => "FAIL",
+                Outcome::Skipped => "skip",
+            };
+            out.push_str(&format!("[{tag}] {:<38} {}\n", c.metric, c.detail));
+        }
+        let (passes, skips) = (
+            self.checks.iter().filter(|c| c.outcome == Outcome::Pass).count(),
+            self.checks.iter().filter(|c| c.outcome == Outcome::Skipped).count(),
+        );
+        out.push_str(&format!(
+            "gate: {} passed, {} regressed, {} skipped -> {}\n",
+            passes,
+            self.regressions(),
+            skips,
+            if self.passed() { "PASS" } else { "REGRESSION" }
+        ));
+        out
+    }
+}
+
+fn arms<'a>(doc: &'a Json, key: &str) -> Vec<&'a Json> {
+    doc.get(key).and_then(|a| a.as_array()).map(|a| a.iter().collect()).unwrap_or_default()
+}
+
+fn num(doc: &Json, key: &str) -> Option<f64> {
+    doc.get(key).and_then(|v| v.as_f64())
+}
+
+fn find_arm<'a>(list: &[&'a Json], matches: impl Fn(&Json) -> bool) -> Option<&'a Json> {
+    list.iter().copied().find(|a| matches(a))
+}
+
+/// A speedup-style "current must not drop below baseline×(1−tol)" check.
+fn check_floor(
+    report: &mut GateReport,
+    metric: String,
+    baseline: f64,
+    current: f64,
+    drop_tol: f64,
+) {
+    let floor = baseline * (1.0 - drop_tol);
+    let outcome = if current >= floor { Outcome::Pass } else { Outcome::Regression };
+    report.push(
+        metric,
+        outcome,
+        format!("baseline {baseline:.1} current {current:.1} (floor {floor:.1})"),
+    );
+}
+
+/// Gates `BENCH_gp.json`: incremental and sparse speedups per matching arm.
+pub fn gate_gp(baseline: &Json, current: &Json, tol: &Tolerances, report: &mut GateReport) {
+    let (b_inc, c_inc) = (arms(baseline, "incremental"), arms(current, "incremental"));
+    for b in &b_inc {
+        let Some(n) = num(b, "n") else { continue };
+        let metric = format!("gp.incremental.n{}.speedup", n as u64);
+        match find_arm(&c_inc, |a| num(a, "n") == Some(n)) {
+            Some(c) => match (num(b, "speedup"), num(c, "speedup")) {
+                (Some(bs), Some(cs)) => {
+                    check_floor(report, metric, bs, cs, tol.speedup_drop)
+                }
+                _ => report.push(metric, Outcome::Skipped, "speedup field missing"),
+            },
+            None => report.push(
+                metric,
+                Outcome::Skipped,
+                format!("no n={} arm in current run", n as u64),
+            ),
+        }
+    }
+    let (b_sp, c_sp) = (arms(baseline, "sparse"), arms(current, "sparse"));
+    for b in &b_sp {
+        let (Some(n), Some(m)) = (num(b, "n"), num(b, "m")) else { continue };
+        let metric = format!("gp.sparse.n{}m{}.speedup", n as u64, m as u64);
+        match find_arm(&c_sp, |a| num(a, "n") == Some(n) && num(a, "m") == Some(m)) {
+            Some(c) => match (num(b, "speedup"), num(c, "speedup")) {
+                (Some(bs), Some(cs)) => {
+                    check_floor(report, metric, bs, cs, tol.speedup_drop)
+                }
+                _ => report.push(metric, Outcome::Skipped, "speedup field missing"),
+            },
+            None => report.push(
+                metric,
+                Outcome::Skipped,
+                format!("no (n={}, m={}) arm in current run", n as u64, m as u64),
+            ),
+        }
+    }
+    // Rank-1 updates must still be exercised at all — a zero count means the
+    // incremental path silently stopped running.
+    let metric = "gp.cholesky_updates.nonzero";
+    match (num(baseline, "cholesky_updates"), num(current, "cholesky_updates")) {
+        (Some(b), Some(c)) if b > 0.0 => {
+            let outcome = if c > 0.0 { Outcome::Pass } else { Outcome::Regression };
+            report.push(metric, outcome, format!("baseline {b} current {c}"));
+        }
+        _ => report.push(metric, Outcome::Skipped, "counter absent"),
+    }
+}
+
+/// Gates `BENCH_fleet.json`: per-worker-count throughput and the cross-arm
+/// determinism digest, when run sizes are commensurate.
+pub fn gate_fleet(baseline: &Json, current: &Json, tol: &Tolerances, report: &mut GateReport) {
+    let same_size = num(baseline, "tenants") == num(current, "tenants")
+        && num(baseline, "iters") == num(current, "iters");
+    let (b_arms, c_arms) = (arms(baseline, "arms"), arms(current, "arms"));
+    for b in &b_arms {
+        let Some(w) = num(b, "workers") else { continue };
+        let metric = format!("fleet.workers{}.tenants_per_s", w as u64);
+        if !same_size {
+            report.push(
+                metric,
+                Outcome::Skipped,
+                format!(
+                    "incommensurate runs (baseline {}x{}, current {}x{})",
+                    num(baseline, "tenants").unwrap_or(0.0),
+                    num(baseline, "iters").unwrap_or(0.0),
+                    num(current, "tenants").unwrap_or(0.0),
+                    num(current, "iters").unwrap_or(0.0)
+                ),
+            );
+            continue;
+        }
+        match find_arm(&c_arms, |a| num(a, "workers") == Some(w)) {
+            Some(c) => match (num(b, "tenants_per_s"), num(c, "tenants_per_s")) {
+                (Some(bt), Some(ct)) => {
+                    check_floor(report, metric, bt, ct, tol.throughput_drop)
+                }
+                _ => report.push(metric, Outcome::Skipped, "tenants_per_s missing"),
+            },
+            None => report.push(
+                metric,
+                Outcome::Skipped,
+                format!("no workers={} arm in current run", w as u64),
+            ),
+        }
+    }
+    let metric = "fleet.determinism_digest";
+    let digest = |d: &Json| d.get("determinism_digest").and_then(|v| v.as_str().map(String::from));
+    match (digest(baseline), digest(current)) {
+        (Some(b), Some(c)) if same_size => {
+            let outcome = if b == c || !tol.strict_digest {
+                Outcome::Pass
+            } else {
+                Outcome::Regression
+            };
+            report.push(metric, outcome, format!("baseline {b} current {c}"));
+        }
+        (Some(_), Some(_)) => {
+            report.push(metric, Outcome::Skipped, "incommensurate run sizes")
+        }
+        _ => report.push(metric, Outcome::Skipped, "digest absent"),
+    }
+}
+
+/// Gates `BENCH_projection.json`: per-arm final tuning quality, convergence
+/// speed, and the deterministic lift counters, when BO budgets match.
+pub fn gate_projection(
+    baseline: &Json,
+    current: &Json,
+    tol: &Tolerances,
+    report: &mut GateReport,
+) {
+    let same_budget = num(baseline, "bo_iters") == num(current, "bo_iters")
+        && num(baseline, "random_iters") == num(current, "random_iters");
+    if !same_budget {
+        report.push(
+            "projection.arms",
+            Outcome::Skipped,
+            format!(
+                "incommensurate budgets (baseline bo_iters {}, current {})",
+                num(baseline, "bo_iters").unwrap_or(0.0),
+                num(current, "bo_iters").unwrap_or(0.0)
+            ),
+        );
+        return;
+    }
+    let (b_arms, c_arms) = (arms(baseline, "arms"), arms(current, "arms"));
+    for b in &b_arms {
+        let Some(name) = b.get("arm").and_then(|v| v.as_str()) else { continue };
+        let Some(c) = find_arm(&c_arms, |a| a.get("arm").and_then(|v| v.as_str()) == Some(name))
+        else {
+            report.push(
+                format!("projection.{name}.final_cpu_pct"),
+                Outcome::Skipped,
+                "arm missing in current run",
+            );
+            continue;
+        };
+        // Quality: the tuned objective (CPU%, lower is better) may rise by
+        // at most `quality_pp` percentage points.
+        if let (Some(bq), Some(cq)) = (num(b, "final_cpu_pct"), num(c, "final_cpu_pct")) {
+            let ceiling = bq + tol.quality_pp;
+            let outcome = if cq <= ceiling { Outcome::Pass } else { Outcome::Regression };
+            report.push(
+                format!("projection.{name}.final_cpu_pct"),
+                outcome,
+                format!("baseline {bq:.2} current {cq:.2} (ceiling {ceiling:.2})"),
+            );
+        }
+        // Convergence: iterations to reach within 5% of expert must not grow
+        // by more than the tolerance.
+        if let (Some(bi), Some(ci)) = (num(b, "iters_to_5pct"), num(c, "iters_to_5pct")) {
+            let ceiling = bi as i64 + tol.iters_growth;
+            let outcome =
+                if (ci as i64) <= ceiling { Outcome::Pass } else { Outcome::Regression };
+            report.push(
+                format!("projection.{name}.iters_to_5pct"),
+                outcome,
+                format!("baseline {bi:.0} current {ci:.0} (ceiling {ceiling})"),
+            );
+        }
+    }
+    // The lift counters are seed-exact: same budgets must project the same
+    // number of points through the space-transform seam.
+    if let (Some(Json::Obj(b)), Some(Json::Obj(c))) =
+        (baseline.get("space_projects"), current.get("space_projects"))
+    {
+        for (arm, bv) in b {
+            let metric = format!("projection.{arm}.space_projects");
+            match c.iter().find(|(k, _)| k == arm).and_then(|(_, v)| v.as_f64()) {
+                Some(cv) => {
+                    let bv = bv.as_f64().unwrap_or(0.0);
+                    let outcome = if bv == cv { Outcome::Pass } else { Outcome::Regression };
+                    report.push(metric, outcome, format!("baseline {bv:.0} current {cv:.0}"));
+                }
+                None => report.push(metric, Outcome::Skipped, "arm missing in current run"),
+            }
+        }
+    }
+}
+
+/// Runs every gate whose baseline/current JSON pair is present. Pairs are
+/// `(label, baseline, current)` with labels `gp` / `fleet` / `projection`.
+pub fn gate_all(
+    pairs: &[(&str, Option<&Json>, Option<&Json>)],
+    tol: &Tolerances,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (label, baseline, current) in pairs {
+        match (baseline, current) {
+            (Some(b), Some(c)) => match *label {
+                "gp" => gate_gp(b, c, tol, &mut report),
+                "fleet" => gate_fleet(b, c, tol, &mut report),
+                "projection" => gate_projection(b, c, tol, &mut report),
+                other => report.push(
+                    format!("{other}.unknown"),
+                    Outcome::Skipped,
+                    "no gate registered for this bench",
+                ),
+            },
+            _ => report.push(
+                format!("{label}.files"),
+                Outcome::Skipped,
+                format!(
+                    "missing {} file",
+                    if baseline.is_none() { "baseline" } else { "current" }
+                ),
+            ),
+        }
+    }
+    report
+}
+
+/// Synthesizes a "2x slowdown" of the GP incremental path from a baseline
+/// document: every incremental/sparse arm's optimized time doubles, so its
+/// speedup halves. Used by `bench_gate --self-test` and the gate's own tests
+/// to prove the regression machinery actually trips.
+pub fn synthesize_gp_slowdown(baseline: &Json) -> Json {
+    let mut doc = baseline.clone();
+    if let Json::Obj(fields) = &mut doc {
+        for (key, value) in fields.iter_mut() {
+            if key != "incremental" && key != "sparse" {
+                continue;
+            }
+            if let Json::Arr(list) = value {
+                for arm in list.iter_mut() {
+                    if let Json::Obj(arm_fields) = arm {
+                        for (k, v) in arm_fields.iter_mut() {
+                            match (k.as_str(), &v) {
+                                ("speedup", Json::Num(x)) => *v = Json::Num(x / 2.0),
+                                ("incremental_us" | "sparse_us", Json::Num(x)) => {
+                                    *v = Json::Num(x * 2.0)
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GP: &str = r#"{
+      "bench": "gp_fit", "smoke": false, "cholesky_updates": 100,
+      "incremental": [
+        {"n": 25, "full_us": 9.3, "incremental_us": 1.4, "speedup": 6.4},
+        {"n": 50, "full_us": 37.6, "incremental_us": 3.9, "speedup": 9.7}
+      ],
+      "sparse": [{"n": 1000, "m": 64, "dense_us": 147508.8, "sparse_us": 2664.0, "speedup": 55.4}]
+    }"#;
+    const FLEET: &str = r#"{
+      "bench": "fleet_scaling", "tenants": 128, "iters": 3, "ncpu": 1,
+      "arms": [{"workers": 1, "wall_s": 0.1, "tenants_per_s": 1280.0}],
+      "determinism_digest": "0xabc"
+    }"#;
+    const PROJECTION: &str = r#"{
+      "bench": "projection_sweep", "smoke": false, "bo_iters": 24, "random_iters": 48,
+      "expert_final_cpu_pct": 26.6,
+      "space_projects": {"proj8": 25},
+      "arms": [{"arm": "proj8", "native_dims": 200, "search_dims": 8, "iters": 24,
+                "default_cpu_pct": 92.6, "final_cpu_pct": 26.4, "vs_expert_pct": -0.8,
+                "iters_to_5pct": 3}]
+    }"#;
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn self_comparison_passes_everything() {
+        let (gp, fleet, proj) = (parse(GP), parse(FLEET), parse(PROJECTION));
+        let report = gate_all(
+            &[
+                ("gp", Some(&gp), Some(&gp)),
+                ("fleet", Some(&fleet), Some(&fleet)),
+                ("projection", Some(&proj), Some(&proj)),
+            ],
+            &Tolerances::default(),
+        );
+        assert!(report.passed(), "self-diff must pass:\n{}", report.render());
+        assert_eq!(report.regressions(), 0);
+        assert!(report.checks.iter().any(|c| c.outcome == Outcome::Pass));
+    }
+
+    #[test]
+    fn two_x_slowdown_fixture_trips_the_gate() {
+        let gp = parse(GP);
+        let slow = synthesize_gp_slowdown(&gp);
+        let mut report = GateReport::default();
+        gate_gp(&gp, &slow, &Tolerances::default(), &mut report);
+        assert!(!report.passed(), "2x slowdown must regress:\n{}", report.render());
+        // Every speedup arm halves, so every speedup check trips.
+        let tripped: Vec<&str> = report
+            .checks
+            .iter()
+            .filter(|c| c.outcome == Outcome::Regression)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert!(tripped.contains(&"gp.incremental.n50.speedup"));
+        assert!(tripped.contains(&"gp.sparse.n1000m64.speedup"));
+    }
+
+    #[test]
+    fn digest_mismatch_is_a_regression_only_when_strict() {
+        let fleet = parse(FLEET);
+        let other = parse(&FLEET.replace("0xabc", "0xdef"));
+        let mut report = GateReport::default();
+        gate_fleet(&fleet, &other, &Tolerances::default(), &mut report);
+        assert_eq!(report.regressions(), 1);
+        let mut lax = GateReport::default();
+        let tol = Tolerances { strict_digest: false, ..Default::default() };
+        gate_fleet(&fleet, &other, &tol, &mut lax);
+        assert!(lax.passed());
+    }
+
+    #[test]
+    fn incommensurate_runs_skip_instead_of_failing() {
+        let fleet = parse(FLEET);
+        let smoke = parse(&FLEET.replace("\"tenants\": 128", "\"tenants\": 16"));
+        let mut report = GateReport::default();
+        gate_fleet(&fleet, &smoke, &Tolerances::default(), &mut report);
+        assert!(report.passed());
+        assert!(report.checks.iter().all(|c| c.outcome == Outcome::Skipped));
+    }
+
+    #[test]
+    fn projection_quality_and_counter_regressions_trip() {
+        let proj = parse(PROJECTION);
+        let worse = parse(
+            &PROJECTION
+                .replace("\"final_cpu_pct\": 26.4", "\"final_cpu_pct\": 40.0")
+                .replace("{\"proj8\": 25}", "{\"proj8\": 99}"),
+        );
+        let mut report = GateReport::default();
+        gate_projection(&proj, &worse, &Tolerances::default(), &mut report);
+        assert_eq!(report.regressions(), 2, "{}", report.render());
+    }
+
+    #[test]
+    fn missing_files_are_visible_skips() {
+        let gp = parse(GP);
+        let report = gate_all(&[("gp", Some(&gp), None)], &Tolerances::default());
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 1);
+        assert_eq!(report.checks[0].outcome, Outcome::Skipped);
+    }
+}

@@ -1,0 +1,188 @@
+//! Views over `tuner.health` telemetry (DESIGN.md §15): the per-iteration
+//! session table rendered by `health_report` and the fleet digest/straggler
+//! report rendered by `fleet_health`. Both operate on data already in a
+//! [`trace::TraceSnapshot`], so they work identically on a live collector
+//! snapshot and on a JSONL file parsed back.
+
+use restune_core::diag::{TunerHealth, HEALTH_EVENT};
+use restune_core::fleet::health::{Digest, FleetHealth};
+use trace::TraceSnapshot;
+
+/// Extracts the snapshot's `tuner.health` records in recorded order,
+/// regardless of task tagging (a solo session leaves them untagged; a fleet
+/// run tags each with the tenant's task id).
+pub fn session_records(snap: &TraceSnapshot) -> Vec<TunerHealth> {
+    snap.events_named(HEALTH_EVENT).into_iter().filter_map(TunerHealth::from_event).collect()
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:>7.3}")).unwrap_or_else(|| format!("{:>7}", "-"))
+}
+
+/// Renders a session's health stream as a per-iteration table plus a
+/// summary block.
+pub fn render_session(records: &[TunerHealth]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4} {:>10} {:>10} {:>9} {:>5} {:<11} {:<6} {:>7} {:>7} {:>7} {:>7}  flags\n",
+        "iter",
+        "objective",
+        "incumbent",
+        "regret",
+        "stagn",
+        "fit",
+        "model",
+        "cov1s",
+        "|z|",
+        "loo_nll",
+        "w_ent"
+    ));
+    for r in records {
+        let mut flags = Vec::new();
+        if !r.feasible {
+            flags.push("infeasible");
+        }
+        if r.penalized {
+            flags.push("penalized");
+        }
+        if r.improvement > 0.0 {
+            flags.push("improved");
+        }
+        out.push_str(&format!(
+            "{:>4} {:>10.4} {:>10.4} {:>9.4} {:>5} {:<11} {:<6} {} {} {} {}  {}\n",
+            r.iteration,
+            r.objective,
+            r.incumbent,
+            r.regret,
+            r.since_improvement,
+            r.fit_path.as_str(),
+            r.surrogate,
+            opt(r.calibration.map(|c| c.coverage_1s)),
+            opt(r.calibration.map(|c| c.mean_abs_z)),
+            opt(r.calibration.map(|c| c.loo_nll)),
+            opt(r.weight_entropy),
+            flags.join(","),
+        ));
+    }
+    if let Some(last) = records.last() {
+        let n = records.len() as f64;
+        let mean_regret = records.iter().map(|r| r.regret).sum::<f64>() / n;
+        let calibrated: Vec<_> = records.iter().filter_map(|r| r.calibration).collect();
+        out.push_str(&format!(
+            "\nsummary: {} iterations, final incumbent {:.4}, mean regret {:.4}\n",
+            records.len(),
+            last.incumbent,
+            mean_regret
+        ));
+        if !calibrated.is_empty() {
+            let m = calibrated.len() as f64;
+            out.push_str(&format!(
+                "calibration ({} iters): mean 1-sigma coverage {:.3}, mean |z| {:.3}, mean LOO-NLL {:.3}\n",
+                calibrated.len(),
+                calibrated.iter().map(|c| c.coverage_1s).sum::<f64>() / m,
+                calibrated.iter().map(|c| c.mean_abs_z).sum::<f64>() / m,
+                calibrated.iter().map(|c| c.loo_nll).sum::<f64>() / m,
+            ));
+        }
+        out.push_str(&format!(
+            "failures: {} crashes, {} timeouts, {} partials, {} retries, {} GP fallbacks\n",
+            last.failures.crashes,
+            last.failures.timeouts,
+            last.failures.partials,
+            last.failures.retries,
+            last.fallbacks
+        ));
+        if let Some(w) = &last.weights {
+            let joined = w.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(" ");
+            out.push_str(&format!(
+                "final weights: [{joined}] (entropy {})\n",
+                last.weight_entropy.map(|h| format!("{h:.3}")).unwrap_or_else(|| "-".into())
+            ));
+        }
+    }
+    out
+}
+
+fn digest_row(name: &str, d: &Option<Digest>) -> String {
+    match d {
+        Some(d) => format!(
+            "  {name:<16} n {:>4}  mean {:>9.4}  p50 {:>9.4}  p95 {:>9.4}  p99 {:>9.4}  max {:>9.4}\n",
+            d.n, d.mean, d.p50, d.p95, d.p99, d.max
+        ),
+        None => format!("  {name:<16} (no samples)\n"),
+    }
+}
+
+/// Renders the fleet aggregate: cross-tenant digests, totals, and the
+/// flagged-straggler table.
+pub fn render_fleet(fleet: &FleetHealth) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("fleet health: {} tenants with telemetry\n", fleet.tenants.len()));
+    out.push_str("\nper-tenant digests:\n");
+    out.push_str(&digest_row("mean regret", &fleet.regret));
+    out.push_str(&digest_row("final incumbent", &fleet.final_incumbent));
+    out.push_str(&digest_row("1-sigma coverage", &fleet.coverage_1s));
+    out.push_str(&digest_row("LOO-NLL", &fleet.loo_nll));
+    out.push_str(&digest_row("weight entropy", &fleet.weight_entropy));
+    out.push_str(&format!(
+        "\ntotals: {} GP fallbacks, {} failed iterations\n",
+        fleet.total_fallbacks, fleet.total_failed_iterations
+    ));
+    if fleet.stragglers.is_empty() {
+        out.push_str("stragglers: none\n");
+    } else {
+        out.push_str(&format!("stragglers: {} flagged\n", fleet.stragglers.len()));
+        for s in &fleet.stragglers {
+            out.push_str(&format!("  tenant {}: {}\n", s.task, s.reasons.join("; ")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use restune_core::diag::FitPath;
+    use restune_core::fleet::health::StragglerPolicy;
+    use restune_core::resilience::FailureCounts;
+
+    fn record(iter: usize) -> TunerHealth {
+        TunerHealth {
+            iteration: iter,
+            objective: 30.0 + iter as f64,
+            feasible: true,
+            penalized: false,
+            incumbent: 30.0,
+            regret: iter as f64,
+            improvement: 0.0,
+            since_improvement: iter,
+            fit_path: FitPath::Full,
+            surrogate: "dense".into(),
+            fallbacks: 0,
+            failures: FailureCounts::default(),
+            weights: Some(vec![0.5, 0.5]),
+            weight_entropy: Some(2.0f64.ln()),
+            calibration: None,
+        }
+    }
+
+    #[test]
+    fn session_table_has_one_row_per_record_plus_summary() {
+        let records = vec![record(0), record(1), record(2)];
+        let text = render_session(&records);
+        assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 3);
+        assert!(text.contains("summary: 3 iterations"));
+        assert!(text.contains("final weights"));
+    }
+
+    #[test]
+    fn fleet_report_renders_digests_and_stragglers() {
+        let fleet = FleetHealth::aggregate(
+            vec![(0, vec![record(0)]), (7, vec![record(0), record(5)])],
+            &StragglerPolicy::default(),
+        );
+        let text = render_fleet(&fleet);
+        assert!(text.contains("2 tenants"));
+        assert!(text.contains("mean regret"));
+    }
+}

@@ -13,6 +13,8 @@
 
 pub mod context;
 pub mod experiments;
+pub mod gate;
+pub mod health_view;
 pub mod microbench;
 pub mod report;
 pub mod trace_view;

@@ -173,6 +173,23 @@ pub fn render_breakdown(snap: &TraceSnapshot) -> String {
         100.0 * p.replay_share(),
     ));
     out.push_str(&format!("  iterations: {}\n", p.iterations));
+    // The surrogate/lift path taken, from the counters the proposer and
+    // engine maintain: how many target fits were from-scratch vs. rank-1
+    // incremental (DESIGN.md §13), the hyperopt refit schedule behind them,
+    // and how many evaluations crossed the space-transform seam (§14).
+    let full = snap.counter("gp.fit.full");
+    let incremental = snap.counter("gp.fit.incremental");
+    let refit = snap.counter("gp.hypers.refit");
+    let reuse = snap.counter("gp.hypers.reuse");
+    let projects = snap.counter("space.project");
+    if full + incremental > 0 {
+        out.push_str(&format!(
+            "  surrogate fits: {full} full + {incremental} incremental (hyperopt: {refit} refit / {reuse} reuse)\n"
+        ));
+    }
+    if projects > 0 {
+        out.push_str(&format!("  space projections: {projects}\n"));
+    }
     if !snap.counters.is_empty() {
         out.push_str("\ncounters:\n");
         for (name, value) in &snap.counters {
@@ -220,6 +237,25 @@ mod tests {
         assert!(lines[1].contains("meta_data_processing"));
         assert!(lines[2].contains("model_update"));
         assert!(lines[3].contains("gp_fit"));
+    }
+
+    #[test]
+    fn breakdown_renders_surrogate_and_projection_counters() {
+        let mut snap = TraceSnapshot::default();
+        snap.counters.insert("loop.iterations".to_string(), 44);
+        snap.counters.insert("gp.fit.full".to_string(), 40);
+        snap.counters.insert("gp.fit.incremental".to_string(), 4);
+        snap.counters.insert("gp.hypers.refit".to_string(), 9);
+        snap.counters.insert("gp.hypers.reuse".to_string(), 35);
+        snap.counters.insert("space.project".to_string(), 45);
+        let text = render_breakdown(&snap);
+        assert!(text.contains("surrogate fits: 40 full + 4 incremental"));
+        assert!(text.contains("hyperopt: 9 refit / 35 reuse"));
+        assert!(text.contains("space projections: 45"));
+        // Absent counters keep the lines out entirely.
+        let empty = render_breakdown(&TraceSnapshot::default());
+        assert!(!empty.contains("surrogate fits"));
+        assert!(!empty.contains("space projections"));
     }
 
     #[test]

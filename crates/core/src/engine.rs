@@ -167,6 +167,10 @@ pub struct HistoryView<'a> {
     pub best: Option<&'a (usize, f64, Vec<f64>)>,
     /// Iteration of the most recent incumbent improvement.
     pub last_improvement: usize,
+    /// Running failure/retry tallies across committed iterations
+    /// (DESIGN.md §9) — the engine's contribution to the per-iteration
+    /// health event (`core::diag`).
+    pub failures: FailureCounts,
 }
 
 /// The shared evaluate-and-record engine.
@@ -295,6 +299,7 @@ impl EvalEngine {
             history: &self.history,
             best: self.best.as_ref(),
             last_improvement: self.last_improvement,
+            failures: self.failures,
         }
     }
 

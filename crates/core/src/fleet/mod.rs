@@ -28,9 +28,11 @@
 //! single-driver run of the same configuration (pinned by
 //! `tests/determinism.rs`, `tests/golden_methods.rs`, `tests/fleet.rs`).
 
+pub mod health;
 pub mod scheduler;
 pub mod store;
 
+pub use health::{Digest, FleetHealth, Straggler, StragglerPolicy, TenantHealth};
 pub use scheduler::{PoolHandle, WorkerPool};
 pub use store::{mix_seed, CommitEntry, ShardedStore, StoreSnapshot};
 

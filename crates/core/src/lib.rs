@@ -27,6 +27,7 @@
 
 pub mod acquisition;
 pub mod advisor;
+pub mod diag;
 pub mod driver;
 pub mod engine;
 pub mod fleet;
@@ -44,6 +45,7 @@ pub mod tco;
 pub mod tuner;
 
 pub use acquisition::{AcquisitionKind, ConstrainedExpectedImprovement};
+pub use diag::{FitPath, TunerHealth, HEALTH_EVENT};
 pub use driver::{BoxProposer, Proposal, ProposalTiming, Proposer, TuningDriver};
 pub use engine::{EngineSettings, EvalEngine, HistoryView};
 pub use fleet::{

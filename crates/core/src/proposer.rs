@@ -9,8 +9,9 @@
 use crate::acquisition::{
     expected_improvement, AcquisitionKind, ConstrainedExpectedImprovement,
 };
+use crate::diag::{FitPath, TunerHealth};
 use crate::driver::{Proposal, ProposalTiming, Proposer};
-use crate::engine::HistoryView;
+use crate::engine::{HistoryView, IterationRecord};
 use crate::meta::{static_weights, BaseLearner, MetaLearner, TargetObservations};
 use crate::surrogate::{GpTaskModel, SurrogatePrediction, TaskSurrogate};
 use crate::tuner::{InitStrategy, RestuneConfig};
@@ -28,6 +29,12 @@ pub struct RestuneProposer {
     /// iterations can grow it by a rank-1 Cholesky append instead of paying
     /// a from-scratch `O(n^3)` refit. `None` until the first successful fit.
     target_cache: Option<GpTaskModel>,
+    /// How the most recent `fit_target` produced its model — the
+    /// per-iteration fact behind the `gp.fit.*` counters, reported by the
+    /// health event (`core::diag`).
+    last_fit: FitPath,
+    /// GP-failure exploration fallbacks taken so far in this session.
+    gp_fallbacks: u64,
 }
 
 impl RestuneProposer {
@@ -49,6 +56,8 @@ impl RestuneProposer {
             use_meta,
             lhs_plan,
             target_cache: None,
+            last_fit: FitPath::Full,
+            gp_fallbacks: 0,
         }
     }
 
@@ -131,12 +140,14 @@ impl RestuneProposer {
                         .is_ok()
                 {
                     trace::count("gp.fit.incremental", 1);
+                    self.last_fit = FitPath::Incremental;
                     self.target_cache = Some(cached.clone());
                     return Ok(cached);
                 }
             }
         }
         trace::count("gp.fit.full", 1);
+        self.last_fit = FitPath::Full;
         let fitted = GpTaskModel::fit_with_scalers(
             view.points,
             res,
@@ -407,6 +418,8 @@ impl Proposer for RestuneProposer {
                 // run: degrade to a seeded uniform exploration point — the
                 // next full observation both makes progress and feeds the
                 // surrogate fresh, usable data.
+                self.last_fit = FitPath::Fallback;
+                self.gp_fallbacks += 1;
                 let mut rng = xrand::rngs::StdRng::seed_from_u64(seed ^ 0xFA11);
                 let point: Vec<f64> =
                     (0..view.problem.dim()).map(|_| rng.random::<f64>()).collect();
@@ -425,5 +438,38 @@ impl Proposer for RestuneProposer {
                 recommendation_s,
             },
         }
+    }
+
+    /// Post-replay hook: emit the per-iteration `tuner.health` diagnostics
+    /// event (DESIGN.md §15) when enabled. Every quantity read here is
+    /// closed-form — the LOO calibration inverts the already-factored kernel
+    /// matrix, no RNG stream is touched — so diagnostics on/off cannot move
+    /// a bit of the tuning trace. Returns 0: diagnostics time is not model
+    /// update; it shows up as the nested `diag` span instead.
+    fn observe(&mut self, view: &HistoryView<'_>, record: &IterationRecord) -> f64 {
+        if self.config.diag && trace::enabled() {
+            let _sp = trace::span!("diag");
+            let calibration = self
+                .target_cache
+                .as_ref()
+                .filter(|_| self.last_fit != FitPath::Fallback)
+                .and_then(|m| m.res.as_dense())
+                .and_then(|g| g.loo_calibration().ok());
+            let surrogate = match self.target_cache.as_ref().map(|m| &m.res) {
+                Some(gp::SurrogateGp::Dense(_)) => "dense",
+                Some(gp::SurrogateGp::Sparse(_)) => "sparse",
+                None => "none",
+            };
+            TunerHealth::collect(
+                view,
+                record,
+                self.last_fit,
+                surrogate,
+                self.gp_fallbacks,
+                calibration,
+            )
+            .emit();
+        }
+        0.0
     }
 }

@@ -79,6 +79,22 @@ impl FailureCounts {
     pub fn failed_iterations(&self) -> usize {
         self.crashes + self.timeouts + self.partials
     }
+
+    /// The tally with one more resolved iteration folded in — *without* the
+    /// trace-counter mirroring of [`FailureCounts::record`]. Diagnostics
+    /// (`core::diag`) use this to preview the post-commit tally for a record
+    /// the engine has not committed yet; mirroring here would double-count
+    /// the `replay.*` counters when the engine records the same iteration.
+    pub fn including(mut self, failure: Option<FailureKind>, retries: usize) -> FailureCounts {
+        self.retries += retries;
+        match failure {
+            Some(FailureKind::Crash) => self.crashes += 1,
+            Some(FailureKind::Timeout) => self.timeouts += 1,
+            Some(FailureKind::Partial) => self.partials += 1,
+            None => {}
+        }
+        self
+    }
 }
 
 /// Bounded retry-with-backoff for transient replay failures.

@@ -224,6 +224,14 @@ pub struct RestuneConfig {
     /// only — never RNG streams or observations — so enabling it cannot
     /// change tuning output.
     pub trace: bool,
+    /// Emit a per-iteration `tuner.health` diagnostics event (DESIGN.md §15):
+    /// GP calibration, ensemble weights + entropy, incumbent regret, the
+    /// surrogate fit path, and failure tallies. Off by default; events only
+    /// reach the collector while tracing is enabled. Like tracing itself the
+    /// diagnostics are read-only over closed-form quantities — no RNG streams
+    /// — so flipping this cannot change tuning output
+    /// (`tests/determinism.rs` pins it).
+    pub diag: bool,
     /// Algorithm seed (acquisition optimizer, weight sampling).
     pub seed: u64,
 }
@@ -249,6 +257,7 @@ impl Default for RestuneConfig {
             max_retries: 2,
             retry_backoff_s: 5.0,
             trace: false,
+            diag: false,
             seed: 0,
         }
     }

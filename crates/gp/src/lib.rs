@@ -24,12 +24,14 @@
 // the textbook formulations and keep bounds explicit.
 #![allow(clippy::needless_range_loop)]
 
+pub mod calibration;
 pub mod kernel;
 pub mod model;
 pub mod process;
 pub mod rand_util;
 pub mod sparse;
 
+pub use calibration::Calibration;
 pub use kernel::{Kernel, Matern52, SquaredExponential};
 pub use model::SurrogateGp;
 pub use process::{GaussianProcess, GpConfig, GpError, Prediction};

@@ -9,6 +9,9 @@
 //! - **Counters** — monotone `u64` tallies (`dbsim.evals`, `replay.retries`).
 //! - **Histograms** — `{count, sum, min, max}` summaries of `f64` samples
 //!   (`replay.sim_s`).
+//! - **Events** — typed, timestamp-free records with named f64/int/string
+//!   fields (`tuner.health`), tagged with the ambient task like spans so one
+//!   collector slices into per-tenant streams.
 //!
 //! The collector is **disabled by default** and costs one relaxed atomic
 //! load per call site when off. [`Span::finish_s`] always returns the
@@ -48,6 +51,7 @@ struct Collector {
     spans: Vec<SpanEvent>,
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Hist>,
+    events: Vec<Event>,
 }
 
 /// Turns event recording on.
@@ -81,6 +85,7 @@ pub fn reset() {
     c.spans.clear();
     c.counters.clear();
     c.hists.clear();
+    c.events.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -398,6 +403,143 @@ impl Hist {
     pub fn mean(&self) -> f64 {
         if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
     }
+
+    /// Folds another summary into this one. Merging an empty summary is the
+    /// identity (its `±inf` min/max sentinels lose every comparison), so
+    /// per-task histograms can be combined without special-casing emptiness.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed events
+// ---------------------------------------------------------------------------
+
+/// A typed value on an [`Event`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A float (non-finite values are dropped at record time, like
+    /// [`observe`], so JSONL export never fails).
+    F64(f64),
+    /// An integer. Round-trips exactly through JSONL for magnitudes up to
+    /// 2^53 (JSON numbers are `f64`).
+    Int(i64),
+    /// A string.
+    Str(String),
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured, **timestamp-free** record: a name plus named typed fields
+/// in recording order. Unlike spans, events carry no clock reading at all —
+/// two same-seed runs produce byte-identical event streams, so they can sit
+/// in determinism fingerprints where span durations cannot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name, e.g. `tuner.health`.
+    pub name: String,
+    /// Task tag of the recording thread, if inside a [`task_scope`].
+    pub task: Option<u64>,
+    /// Named fields in recording order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// The value of field `key`, if present (first occurrence).
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field `key` as a float (`Int` fields widen losslessly below 2^53).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        match self.field(key)? {
+            FieldValue::F64(v) => Some(*v),
+            FieldValue::Int(v) => Some(*v as f64),
+            FieldValue::Str(_) => None,
+        }
+    }
+
+    /// Field `key` as an integer.
+    pub fn int(&self, key: &str) -> Option<i64> {
+        match self.field(key)? {
+            FieldValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Field `key` as a string.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.field(key)? {
+            FieldValue::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Records a typed event (no-op when tracing is disabled). The event is
+/// tagged with the recording thread's ambient task, like spans. Hot paths
+/// that build a large field list should check [`enabled`] first so the
+/// allocation is skipped entirely when the sink is off.
+pub fn event<K, V, I>(name: &str, fields: I)
+where
+    K: Into<String>,
+    V: Into<FieldValue>,
+    I: IntoIterator<Item = (K, V)>,
+{
+    if !enabled() {
+        return;
+    }
+    let task = PATH.with(|s| s.borrow().task);
+    let fields = fields
+        .into_iter()
+        .map(|(k, v)| (k.into(), v.into()))
+        .filter(|(_, v)| !matches!(v, FieldValue::F64(x) if !x.is_finite()))
+        .collect();
+    collector().events.push(Event { name: name.to_string(), task, fields });
 }
 
 // ---------------------------------------------------------------------------
@@ -426,6 +568,8 @@ pub struct TraceSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram summaries by name.
     pub hists: BTreeMap<String, Hist>,
+    /// Typed events in recording order.
+    pub events: Vec<Event>,
 }
 
 /// Copies the collector's current contents.
@@ -435,6 +579,7 @@ pub fn snapshot() -> TraceSnapshot {
         spans: c.spans.clone(),
         counters: c.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         hists: c.hists.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        events: c.events.clone(),
     }
 }
 
@@ -502,6 +647,24 @@ impl TraceSnapshot {
         self.hists.get(name)
     }
 
+    /// Every event named `name`, in recording order.
+    pub fn events_named(&self, name: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.name == name).collect()
+    }
+
+    /// Every event tagged with task `task`, in recording order.
+    pub fn events_for_task(&self, task: u64) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.task == Some(task)).collect()
+    }
+
+    /// The distinct task tags present among events, ascending.
+    pub fn event_tasks(&self) -> Vec<u64> {
+        let mut tags: Vec<u64> = self.events.iter().filter_map(|e| e.task).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
+
     /// Serializes to JSONL: one `span`, `counter`, or `hist` object per line.
     pub fn to_jsonl(&self) -> Result<String, minjson::JsonError> {
         let mut out = String::new();
@@ -537,6 +700,33 @@ impl TraceSnapshot {
                 ("min".to_string(), Json::Num(h.min)),
                 ("max".to_string(), Json::Num(h.max)),
             ];
+            out.push_str(&Json::Obj(obj).render()?);
+            out.push('\n');
+        }
+        for ev in &self.events {
+            // Fields render as ordered `[key, tag, value]` triples so typed
+            // values round-trip losslessly (a flat object would collapse the
+            // f64/int distinction and scramble recording order).
+            let fields: Vec<Json> = ev
+                .fields
+                .iter()
+                .map(|(k, v)| {
+                    let (tag, val) = match v {
+                        FieldValue::F64(x) => ("f", Json::Num(*x)),
+                        FieldValue::Int(x) => ("i", Json::Num(*x as f64)),
+                        FieldValue::Str(x) => ("s", Json::Str(x.clone())),
+                    };
+                    Json::Arr(vec![Json::Str(k.clone()), Json::Str(tag.to_string()), val])
+                })
+                .collect();
+            let mut obj = vec![
+                ("type".to_string(), Json::Str("event".to_string())),
+                ("name".to_string(), Json::Str(ev.name.clone())),
+            ];
+            if let Some(task) = ev.task {
+                obj.push(("task".to_string(), Json::Num(task as f64)));
+            }
+            obj.push(("fields".to_string(), Json::Arr(fields)));
             out.push_str(&Json::Obj(obj).render()?);
             out.push('\n');
         }
@@ -582,6 +772,49 @@ impl TraceSnapshot {
                             max: v.field("max")?.as_f64().unwrap_or(0.0),
                         },
                     );
+                }
+                "event" => {
+                    let name = v.field("name")?.as_str().unwrap_or_default().to_string();
+                    let task = v.get("task").and_then(|t| t.as_f64()).map(|t| t as u64);
+                    let mut fields = Vec::new();
+                    if let Some(Json::Arr(fs)) = v.get("fields") {
+                        for entry in fs {
+                            let triple = entry.as_array().ok_or_else(|| {
+                                minjson::JsonError::new(format!(
+                                    "line {}: event field is not a [key, tag, value] triple",
+                                    lineno + 1
+                                ))
+                            })?;
+                            let (key, tag, val) = match triple {
+                                [k, t, val] => (
+                                    k.as_str().unwrap_or_default().to_string(),
+                                    t.as_str().unwrap_or_default(),
+                                    val,
+                                ),
+                                _ => {
+                                    return Err(minjson::JsonError::new(format!(
+                                        "line {}: event field is not a [key, tag, value] triple",
+                                        lineno + 1
+                                    )));
+                                }
+                            };
+                            let value = match tag {
+                                "f" => FieldValue::F64(val.as_f64().unwrap_or(0.0)),
+                                "i" => FieldValue::Int(val.as_f64().unwrap_or(0.0) as i64),
+                                "s" => FieldValue::Str(
+                                    val.as_str().unwrap_or_default().to_string(),
+                                ),
+                                other => {
+                                    return Err(minjson::JsonError::new(format!(
+                                        "line {}: unknown event field tag `{other}`",
+                                        lineno + 1
+                                    )));
+                                }
+                            };
+                            fields.push((key, value));
+                        }
+                    }
+                    snap.events.push(Event { name, task, fields });
                 }
                 other => {
                     return Err(minjson::JsonError::new(format!(
@@ -810,6 +1043,127 @@ mod tests {
         let snap = snapshot();
         let paths: Vec<&str> = snap.spans.iter().map(|e| e.path.as_str()).collect();
         assert_eq!(paths, vec!["root/straddler", "outer/inner", "outer"]);
+    }
+
+    #[test]
+    fn empty_histogram_keeps_identity_sentinels() {
+        // A never-recorded summary: count 0, mean 0, and ±inf min/max
+        // sentinels that lose every comparison — both against a sample
+        // (`record`) and against another summary (`merge`).
+        let h = Hist::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min, f64::INFINITY);
+        assert_eq!(h.max, f64::NEG_INFINITY);
+
+        let mut empty = Hist::default();
+        let full = Hist { count: 2, sum: 3.0, min: 1.0, max: 2.0 };
+        empty.merge(&full);
+        assert_eq!(empty, full, "merging into an empty summary must be the identity");
+        let mut full2 = full.clone();
+        full2.merge(&Hist::default());
+        assert_eq!(full2, full, "merging an empty summary must be the identity");
+    }
+
+    #[test]
+    fn single_sample_histogram_collapses_to_the_sample() {
+        let _g = lock();
+        enable();
+        reset();
+        observe("h.single", 4.25);
+        disable();
+        let snap = snapshot();
+        let h = snap.hist("h.single").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (1, 4.25, 4.25, 4.25));
+        assert_eq!(h.mean(), 4.25);
+    }
+
+    #[test]
+    fn histograms_merge_across_task_slices() {
+        // Merging per-task summaries reproduces the global summary: the
+        // `{count, sum, min, max}` representation is a monoid.
+        let a = Hist { count: 3, sum: 6.0, min: 1.0, max: 3.0 };
+        let b = Hist { count: 2, sum: 9.0, min: 4.0, max: 5.0 };
+        let mut merged = Hist::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!((merged.count, merged.sum, merged.min, merged.max), (5, 15.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn disabled_events_record_nothing() {
+        let _g = lock();
+        disable();
+        reset();
+        event("quiet.event", [("x", FieldValue::F64(1.0))]);
+        assert!(snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn events_carry_typed_fields_and_task_tags() {
+        let _g = lock();
+        enable();
+        reset();
+        event(
+            "tuner.health",
+            vec![
+                ("iter", FieldValue::Int(7)),
+                ("regret", FieldValue::F64(0.125)),
+                ("path", FieldValue::Str("dense".to_string())),
+                ("bad", FieldValue::F64(f64::NAN)), // dropped like observe()
+            ],
+        );
+        let ctx = TraceContext { stack: vec![], task: None };
+        {
+            let _t = task_scope(&ctx, 9);
+            event("tuner.health", [("iter", FieldValue::Int(0))]);
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 2);
+        let ev = &snap.events[0];
+        assert_eq!(ev.name, "tuner.health");
+        assert_eq!(ev.task, None);
+        assert_eq!(ev.int("iter"), Some(7));
+        assert_eq!(ev.f64("iter"), Some(7.0), "Int widens to f64 on demand");
+        assert_eq!(ev.f64("regret"), Some(0.125));
+        assert_eq!(ev.str("path"), Some("dense"));
+        assert_eq!(ev.field("bad"), None, "non-finite f64 fields are dropped");
+        assert_eq!(snap.events[1].task, Some(9));
+        assert_eq!(snap.events_named("tuner.health").len(), 2);
+        assert_eq!(snap.events_for_task(9).len(), 1);
+        assert_eq!(snap.event_tasks(), vec![9]);
+    }
+
+    #[test]
+    fn event_jsonl_round_trip_preserves_types_and_order() {
+        let _g = lock();
+        enable();
+        reset();
+        event(
+            "tuner.health",
+            vec![
+                ("z", FieldValue::F64(-1.5)),
+                ("a", FieldValue::Int(-42)),
+                ("s", FieldValue::Str("sparse|inc".to_string())),
+            ],
+        );
+        let ctx = TraceContext { stack: vec![], task: None };
+        {
+            let _t = task_scope(&ctx, 3);
+            event("fleet.note", [("w", FieldValue::F64(0.1))]);
+        }
+        count("evals", 2);
+        observe("sim_s", 1.0);
+        disable();
+        let snap = snapshot();
+        let text = snap.to_jsonl().unwrap();
+        let back = TraceSnapshot::from_jsonl(&text).unwrap();
+        assert_eq!(back, snap, "typed events must round-trip losslessly");
+        // Field order (z before a) and the f64/int distinction survive.
+        assert_eq!(back.events[0].fields[0].0, "z");
+        assert!(matches!(back.events[0].fields[1].1, FieldValue::Int(-42)));
+        assert_eq!(back.events[1].task, Some(3));
     }
 
     #[test]

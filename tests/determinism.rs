@@ -3,10 +3,16 @@
 //! byte-identical serialized repositories. This is the property that makes
 //! every figure/table in the bench harness reproducible offline.
 
+use std::sync::Mutex;
+
 use dbsim::{InstanceType, KnobSet, SimulatedDbms, WorkloadSpec};
 use restune::core::acquisition::AcquisitionOptimizer;
 use restune::core::repository::{DataRepository, TaskRecord};
 use restune::prelude::*;
+
+/// Serializes the tests that toggle the global trace collector (the harness
+/// runs tests on parallel threads); everything else stays parallel.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
 
 fn quick_config(seed: u64) -> RestuneConfig {
     RestuneConfig {
@@ -65,6 +71,7 @@ fn tracing_on_and_off_runs_are_bit_identical() {
     // streams or observation values — so flipping it must not move a single
     // bit of the tuning trace. Other tests in this binary are unaffected by
     // the global toggle for the same reason.
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let off = run_once(7, 10);
     let mut config = quick_config(7);
     config.trace = true;
@@ -89,6 +96,76 @@ fn tracing_on_and_off_runs_are_bit_identical() {
     }
     assert_eq!(off.best_objective, on.best_objective);
     assert_eq!(format!("{:?}", off.best_config), format!("{:?}", on.best_config));
+}
+
+#[test]
+fn diagnostics_on_and_off_runs_are_bit_identical() {
+    // The health-telemetry layer (DESIGN.md §15) reads closed-form
+    // quantities only — LOO calibration from the already-fitted Cholesky
+    // factor, weight entropy, incumbent deltas — never RNG streams, so
+    // flipping `RestuneConfig::diag` must not move a single bit of the
+    // tuning trace either.
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let off = run_once(7, 10);
+    let mut config = quick_config(7);
+    config.trace = true;
+    config.diag = true;
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(7)
+        .build();
+    let on = TuningSession::new(env, config).run(10);
+    let snapshot = trace::snapshot();
+    trace::disable();
+    trace::reset();
+    let health = snapshot.events_named(restune::core::diag::HEALTH_EVENT);
+    assert_eq!(health.len(), 10, "diag must emit one tuner.health event per iteration");
+    assert_eq!(off.history.len(), on.history.len());
+    for (ra, rb) in off.history.iter().zip(&on.history) {
+        assert_eq!(fingerprint(ra), fingerprint(rb), "iteration {} diverged", ra.iteration);
+    }
+    assert_eq!(off.best_objective, on.best_objective);
+    assert_eq!(format!("{:?}", off.best_config), format!("{:?}", on.best_config));
+}
+
+#[test]
+fn same_seed_diagnostic_event_streams_are_byte_identical() {
+    // Health events are timestamp-free by design, so the serialized event
+    // stream itself — not just the tuning trace — must reproduce exactly.
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run = || {
+        let mut config = quick_config(7);
+        config.trace = true;
+        config.diag = true;
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(WorkloadSpec::twitter())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::case_study())
+            .seed(7)
+            .build();
+        TuningSession::new(env, config).run(8);
+        let snap = trace::snapshot();
+        trace::disable();
+        trace::reset();
+        snap
+    };
+    let a = run();
+    let b = run();
+    let lines = |snap: &trace::TraceSnapshot| -> Vec<String> {
+        snap.to_jsonl()
+            .unwrap()
+            .lines()
+            .filter(|l| l.contains("\"type\":\"event\""))
+            .map(String::from)
+            .collect()
+    };
+    let (la, lb) = (lines(&a), lines(&b));
+    assert!(!la.is_empty(), "the diagnostic runs must have emitted events");
+    assert_eq!(la, lb, "same-seed diagnostic event streams diverged");
 }
 
 #[test]
