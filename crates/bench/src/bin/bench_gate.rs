@@ -1,5 +1,6 @@
 //! Bench-trajectory regression gate (DESIGN.md §15): diffs current
-//! `BENCH_gp.json` / `BENCH_fleet.json` / `BENCH_projection.json` files
+//! `BENCH_gp.json` / `BENCH_fleet.json` / `BENCH_projection.json` /
+//! `BENCH_drift.json` files
 //! against committed baselines with per-metric tolerances and exits nonzero
 //! on any regression. Gates ratios and deterministic facts, never absolute
 //! wall clocks, so it holds across machines; incommensurate runs (e.g. CI
@@ -113,6 +114,7 @@ fn main() {
         ("gp", load(&baseline_dir, "", "BENCH_gp.json")),
         ("fleet", load(&baseline_dir, "", "BENCH_fleet.json")),
         ("projection", load(&baseline_dir, "", "BENCH_projection.json")),
+        ("drift", load(&baseline_dir, "", "BENCH_drift.json")),
     ];
     if baselines.iter().all(|(_, b)| b.is_none()) {
         eprintln!("bench_gate: no BENCH_*.json baselines found in {baseline_dir}");
@@ -122,6 +124,7 @@ fn main() {
         load(&current_dir, &prefix, "BENCH_gp.json"),
         load(&current_dir, &prefix, "BENCH_fleet.json"),
         load(&current_dir, &prefix, "BENCH_projection.json"),
+        load(&current_dir, &prefix, "BENCH_drift.json"),
     ];
     let pairs: Vec<(&str, Option<&Json>, Option<&Json>)> = baselines
         .iter()

@@ -1,5 +1,6 @@
 //! Bench-trajectory regression gate: diffs the current `BENCH_gp.json` /
-//! `BENCH_fleet.json` / `BENCH_projection.json` against committed baselines
+//! `BENCH_fleet.json` / `BENCH_projection.json` / `BENCH_drift.json` against
+//! committed baselines
 //! with per-metric tolerance thresholds, so the tracked numbers regress
 //! loudly PR-over-PR instead of silently (ROADMAP: "a tracked BENCH
 //! trajectory so regressions are visible").
@@ -341,8 +342,127 @@ pub fn gate_projection(
     }
 }
 
+/// Gates `BENCH_drift.json`: warm-restart quality and convergence per arm,
+/// the detector's deterministic facts, and the warm-vs-cold acceptance line,
+/// when run sizes are commensurate.
+pub fn gate_drift(baseline: &Json, current: &Json, tol: &Tolerances, report: &mut GateReport) {
+    let same_size = num(baseline, "total_iters") == num(current, "total_iters")
+        && num(baseline, "drift_at") == num(current, "drift_at");
+    if !same_size {
+        report.push(
+            "drift.arms",
+            Outcome::Skipped,
+            format!(
+                "incommensurate runs (baseline {} iters, current {})",
+                num(baseline, "total_iters").unwrap_or(0.0),
+                num(current, "total_iters").unwrap_or(0.0)
+            ),
+        );
+        return;
+    }
+    // Seed-exact: same-size runs must replay the same drifting session bit
+    // for bit.
+    let metric = "drift.determinism_digest";
+    let digest = |d: &Json| d.get("determinism_digest").and_then(|v| v.as_str().map(String::from));
+    match (digest(baseline), digest(current)) {
+        (Some(b), Some(c)) => {
+            let outcome = if b == c || !tol.strict_digest {
+                Outcome::Pass
+            } else {
+                Outcome::Regression
+            };
+            report.push(metric, outcome, format!("baseline {b} current {c}"));
+        }
+        _ => report.push(metric, Outcome::Skipped, "digest absent"),
+    }
+    // The detector must still fire at all — zero restarts means the drift
+    // machinery silently stopped running.
+    let metric = "drift.restarts.nonzero";
+    let restarts = |d: &Json| d.get("drift_counters").and_then(|c| num(c, "restarts"));
+    match (restarts(baseline), restarts(current)) {
+        (Some(b), Some(c)) if b > 0.0 => {
+            let outcome = if c > 0.0 { Outcome::Pass } else { Outcome::Regression };
+            report.push(metric, outcome, format!("baseline {b} current {c}"));
+        }
+        _ => report.push(metric, Outcome::Skipped, "counter absent"),
+    }
+    let (b_arms, c_arms) = (arms(baseline, "arms"), arms(current, "arms"));
+    for b in &b_arms {
+        let Some(name) = b.get("arm").and_then(|v| v.as_str()) else { continue };
+        let Some(c) = find_arm(&c_arms, |a| a.get("arm").and_then(|v| v.as_str()) == Some(name))
+        else {
+            report.push(
+                format!("drift.{name}.final_cpu_pct"),
+                Outcome::Skipped,
+                "arm missing in current run",
+            );
+            continue;
+        };
+        // Quality: the post-drift objective (CPU%, lower is better) may rise
+        // by at most `quality_pp` points. Arms with a null objective (the
+        // oblivious arm never has a feasible post-drift point) are skipped.
+        if let (Some(bq), Some(cq)) = (num(b, "final_cpu_pct"), num(c, "final_cpu_pct")) {
+            let ceiling = bq + tol.quality_pp;
+            let outcome = if cq <= ceiling { Outcome::Pass } else { Outcome::Regression };
+            report.push(
+                format!("drift.{name}.final_cpu_pct"),
+                outcome,
+                format!("baseline {bq:.2} current {cq:.2} (ceiling {ceiling:.2})"),
+            );
+        }
+        // Convergence: post-drift iterations to within 10 % of the scratch
+        // retune must not grow past the tolerance — and must not become
+        // censored (null) when the baseline converged.
+        if let Some(bi) = num(b, "iters_to_10pct") {
+            let metric = format!("drift.{name}.iters_to_10pct");
+            let ceiling = bi as i64 + tol.iters_growth;
+            match num(c, "iters_to_10pct") {
+                Some(ci) => {
+                    let outcome =
+                        if (ci as i64) <= ceiling { Outcome::Pass } else { Outcome::Regression };
+                    report.push(
+                        metric,
+                        outcome,
+                        format!("baseline {bi:.0} current {ci:.0} (ceiling {ceiling})"),
+                    );
+                }
+                None => report.push(
+                    metric,
+                    Outcome::Regression,
+                    format!("baseline {bi:.0}, current censored (never within 10%)"),
+                ),
+            }
+        }
+    }
+    // The ISSUE acceptance line, re-checked from the current file alone: the
+    // warm restart converges in at most half the post-drift iterations the
+    // cold restart needs (censored at the window). Smoke budgets are too
+    // small for the comparison to mean anything.
+    if current.get("smoke").and_then(|v| v.as_bool()) == Some(false) {
+        let metric = "drift.warm_vs_cold.advantage";
+        let to10 = |name: &str| {
+            find_arm(&c_arms, |a| a.get("arm").and_then(|v| v.as_str()) == Some(name))
+                .and_then(|a| num(a, "iters_to_10pct"))
+        };
+        match (to10("warm"), num(current, "post_drift_iters")) {
+            (Some(w), Some(window)) => {
+                let cold = to10("cold").unwrap_or(window);
+                let outcome =
+                    if w * 2.0 <= cold { Outcome::Pass } else { Outcome::Regression };
+                report.push(
+                    metric,
+                    outcome,
+                    format!("warm {w:.0} vs cold {cold:.0} post-drift iters"),
+                );
+            }
+            _ => report.push(metric, Outcome::Regression, "warm arm censored or absent"),
+        }
+    }
+}
+
 /// Runs every gate whose baseline/current JSON pair is present. Pairs are
-/// `(label, baseline, current)` with labels `gp` / `fleet` / `projection`.
+/// `(label, baseline, current)` with labels `gp` / `fleet` / `projection` /
+/// `drift`.
 pub fn gate_all(
     pairs: &[(&str, Option<&Json>, Option<&Json>)],
     tol: &Tolerances,
@@ -354,6 +474,7 @@ pub fn gate_all(
                 "gp" => gate_gp(b, c, tol, &mut report),
                 "fleet" => gate_fleet(b, c, tol, &mut report),
                 "projection" => gate_projection(b, c, tol, &mut report),
+                "drift" => gate_drift(b, c, tol, &mut report),
                 other => report.push(
                     format!("{other}.unknown"),
                     Outcome::Skipped,
@@ -430,24 +551,87 @@ mod tests {
                 "iters_to_5pct": 3}]
     }"#;
 
+    const DRIFT: &str = r#"{
+      "bench": "drift_sweep", "smoke": false, "total_iters": 34, "drift_at": 10,
+      "drift_ramp": 6, "restart_iter": 14, "post_drift_iters": 20,
+      "scratch_final_cpu_pct": 16.16,
+      "determinism_digest": "0x32d32958e071f4f7",
+      "drift_counters": {"checks": 13, "detected": 2, "restarts": 1, "epochs_sealed": 1},
+      "arms": [
+        {"arm": "warm", "restarts": 1, "sealed_tasks": 1, "final_cpu_pct": 15.57, "iters_to_10pct": 4},
+        {"arm": "cold", "restarts": 1, "sealed_tasks": 1, "final_cpu_pct": 16.20, "iters_to_10pct": 10},
+        {"arm": "oblivious", "restarts": 0, "sealed_tasks": 0, "final_cpu_pct": null, "iters_to_10pct": null},
+        {"arm": "scratch", "restarts": 0, "sealed_tasks": 0, "final_cpu_pct": 16.16, "iters_to_10pct": 9}
+      ]
+    }"#;
+
     fn parse(s: &str) -> Json {
         Json::parse(s).unwrap()
     }
 
     #[test]
     fn self_comparison_passes_everything() {
-        let (gp, fleet, proj) = (parse(GP), parse(FLEET), parse(PROJECTION));
+        let (gp, fleet, proj, drift) =
+            (parse(GP), parse(FLEET), parse(PROJECTION), parse(DRIFT));
         let report = gate_all(
             &[
                 ("gp", Some(&gp), Some(&gp)),
                 ("fleet", Some(&fleet), Some(&fleet)),
                 ("projection", Some(&proj), Some(&proj)),
+                ("drift", Some(&drift), Some(&drift)),
             ],
             &Tolerances::default(),
         );
         assert!(report.passed(), "self-diff must pass:\n{}", report.render());
         assert_eq!(report.regressions(), 0);
         assert!(report.checks.iter().any(|c| c.outcome == Outcome::Pass));
+    }
+
+    #[test]
+    fn drift_regressions_trip_and_smoke_skips_commensurability() {
+        let drift = parse(DRIFT);
+        // Warm arm slows past the ceiling AND loses its 2x advantage.
+        let worse = parse(&DRIFT.replace(
+            "\"final_cpu_pct\": 15.57, \"iters_to_10pct\": 4",
+            "\"final_cpu_pct\": 15.57, \"iters_to_10pct\": 18",
+        ));
+        let mut report = GateReport::default();
+        gate_drift(&drift, &worse, &Tolerances::default(), &mut report);
+        let tripped: Vec<&str> = report
+            .checks
+            .iter()
+            .filter(|c| c.outcome == Outcome::Regression)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert!(tripped.contains(&"drift.warm.iters_to_10pct"), "{}", report.render());
+        assert!(tripped.contains(&"drift.warm_vs_cold.advantage"), "{}", report.render());
+        // A censored warm arm (never within 10%) is a regression, not a skip.
+        let censored = parse(&DRIFT.replace(
+            "\"final_cpu_pct\": 15.57, \"iters_to_10pct\": 4",
+            "\"final_cpu_pct\": 15.57, \"iters_to_10pct\": null",
+        ));
+        let mut report = GateReport::default();
+        gate_drift(&drift, &censored, &Tolerances::default(), &mut report);
+        assert!(!report.passed());
+        // A CI-sized (smoke) run is incommensurate: everything skips.
+        let smoke = parse(&DRIFT.replace("\"total_iters\": 34", "\"total_iters\": 16"));
+        let mut report = GateReport::default();
+        gate_drift(&drift, &smoke, &Tolerances::default(), &mut report);
+        assert!(report.passed());
+        assert!(report.checks.iter().all(|c| c.outcome == Outcome::Skipped));
+    }
+
+    #[test]
+    fn drift_digest_mismatch_trips_only_when_strict() {
+        let drift = parse(DRIFT);
+        let other = parse(&DRIFT.replace("0x32d32958e071f4f7", "0xdeadbeefdeadbeef"));
+        let mut report = GateReport::default();
+        gate_drift(&drift, &other, &Tolerances::default(), &mut report);
+        assert_eq!(report.regressions(), 1);
+        let mut lax = GateReport::default();
+        let tol = Tolerances { strict_digest: false, ..Default::default() };
+        gate_drift(&drift, &other, &tol, &mut lax);
+        assert!(lax.passed());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub fn render_session(records: &[TunerHealth]) -> String {
         "loo_nll",
         "w_ent"
     ));
+    let mut prev_epoch = 0usize;
     for r in records {
         let mut flags = Vec::new();
         if !r.feasible {
@@ -47,6 +48,13 @@ pub fn render_session(records: &[TunerHealth]) -> String {
         }
         if r.improvement > 0.0 {
             flags.push("improved");
+        }
+        // A drift-driven warm restart shows up as the epoch counter moving.
+        if let Some(d) = &r.drift {
+            if d.epoch > prev_epoch {
+                flags.push("restarted");
+            }
+            prev_epoch = d.epoch;
         }
         out.push_str(&format!(
             "{:>4} {:>10.4} {:>10.4} {:>9.4} {:>5} {:<11} {:<6} {} {} {} {}  {}\n",
@@ -97,6 +105,12 @@ pub fn render_session(records: &[TunerHealth]) -> String {
             out.push_str(&format!(
                 "final weights: [{joined}] (entropy {})\n",
                 last.weight_entropy.map(|h| format!("{h:.3}")).unwrap_or_else(|| "-".into())
+            ));
+        }
+        if let Some(d) = &last.drift {
+            out.push_str(&format!(
+                "drift: epoch {}, {} warm restarts, {} sealed tasks, last score {:.3}\n",
+                d.epoch, d.restarts, d.sealed_tasks, d.last_score
             ));
         }
     }
@@ -163,6 +177,7 @@ mod tests {
             weights: Some(vec![0.5, 0.5]),
             weight_entropy: Some(2.0f64.ln()),
             calibration: None,
+            drift: None,
         }
     }
 

@@ -190,6 +190,17 @@ pub fn render_breakdown(snap: &TraceSnapshot) -> String {
     if projects > 0 {
         out.push_str(&format!("  space projections: {projects}\n"));
     }
+    // Drift detection / warm-restart activity (DESIGN.md §16): absent for
+    // static sessions, which never touch the drift counters.
+    let drift_checks = snap.counter("drift.checks");
+    if drift_checks > 0 {
+        out.push_str(&format!(
+            "  drift: {drift_checks} checks, {} detected, {} warm restarts, {} epochs sealed\n",
+            snap.counter("drift.detected"),
+            snap.counter("drift.restarts"),
+            snap.counter("drift.epochs.sealed"),
+        ));
+    }
     if !snap.counters.is_empty() {
         out.push_str("\ncounters:\n");
         for (name, value) in &snap.counters {
@@ -248,14 +259,20 @@ mod tests {
         snap.counters.insert("gp.hypers.refit".to_string(), 9);
         snap.counters.insert("gp.hypers.reuse".to_string(), 35);
         snap.counters.insert("space.project".to_string(), 45);
+        snap.counters.insert("drift.checks".to_string(), 13);
+        snap.counters.insert("drift.detected".to_string(), 2);
+        snap.counters.insert("drift.restarts".to_string(), 1);
+        snap.counters.insert("drift.epochs.sealed".to_string(), 1);
         let text = render_breakdown(&snap);
         assert!(text.contains("surrogate fits: 40 full + 4 incremental"));
         assert!(text.contains("hyperopt: 9 refit / 35 reuse"));
         assert!(text.contains("space projections: 45"));
+        assert!(text.contains("drift: 13 checks, 2 detected, 1 warm restarts, 1 epochs sealed"));
         // Absent counters keep the lines out entirely.
         let empty = render_breakdown(&TraceSnapshot::default());
         assert!(!empty.contains("surrogate fits"));
         assert!(!empty.contains("space projections"));
+        assert!(!empty.contains("drift:"));
     }
 
     #[test]

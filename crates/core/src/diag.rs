@@ -70,6 +70,22 @@ impl FitPath {
     }
 }
 
+/// Drift/warm-restart facts carried by the health event once a session's
+/// [`DriftController`](crate::drift::DriftController) has executed at least
+/// one restart (DESIGN.md §16). Absent (`None`) until then, so static
+/// sessions' event streams stay byte-identical to pre-drift builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftDiag {
+    /// Current tuning epoch (1 after the first restart).
+    pub epoch: usize,
+    /// Warm restarts executed so far.
+    pub restarts: u64,
+    /// Pre-drift epochs sealed into the repository so far.
+    pub sealed_tasks: usize,
+    /// Total-variation score of the detection that started this epoch.
+    pub last_score: f64,
+}
+
 /// Shannon entropy (nats) of a weight vector, normalized defensively so it
 /// tolerates vectors that do not sum exactly to one. `None` when no positive
 /// mass exists.
@@ -126,6 +142,8 @@ pub struct TunerHealth {
     /// LOO calibration of the objective surrogate, in standardized-target
     /// units (absent on fallback iterations and for sparse surrogates).
     pub calibration: Option<gp::Calibration>,
+    /// Drift/warm-restart facts (absent until the first restart).
+    pub drift: Option<DriftDiag>,
 }
 
 impl TunerHealth {
@@ -133,6 +151,7 @@ impl TunerHealth {
     /// committed: `view.history` excludes it). The proposer supplies the
     /// surrogate-side facts; the engine's `view` and `record` supply the
     /// optimization- and failure-side facts.
+    #[allow(clippy::too_many_arguments)]
     pub fn collect(
         view: &HistoryView<'_>,
         record: &IterationRecord,
@@ -140,9 +159,12 @@ impl TunerHealth {
         surrogate: &str,
         fallbacks: u64,
         calibration: Option<gp::Calibration>,
+        drift: Option<DriftDiag>,
     ) -> TunerHealth {
-        let prev_incumbent = view
-            .history
+        // Improvement is measured within the current epoch: right after a
+        // warm restart the previous incumbent is the fresh default, not the
+        // sealed epoch's best.
+        let prev_incumbent = view.history[view.epoch_start..]
             .last()
             .map(|r| r.best_feasible_objective)
             .unwrap_or(view.default_objective);
@@ -175,6 +197,7 @@ impl TunerHealth {
             weights: record.weights.clone(),
             weight_entropy,
             calibration,
+            drift,
         }
     }
 
@@ -216,6 +239,12 @@ impl TunerHealth {
             fields.push(("cov_1s", c.coverage_1s.into()));
             fields.push(("cov_2s", c.coverage_2s.into()));
         }
+        if let Some(d) = &self.drift {
+            fields.push(("drift_epoch", d.epoch.into()));
+            fields.push(("drift_restarts", d.restarts.into()));
+            fields.push(("drift_sealed", d.sealed_tasks.into()));
+            fields.push(("drift_score", d.last_score.into()));
+        }
         trace::event(HEALTH_EVENT, fields);
     }
 
@@ -237,6 +266,12 @@ impl TunerHealth {
             loo_nll: ev.f64("loo_nll").unwrap_or(0.0),
             coverage_1s: ev.f64("cov_1s").unwrap_or(0.0),
             coverage_2s: ev.f64("cov_2s").unwrap_or(0.0),
+        });
+        let drift = ev.int("drift_epoch").map(|e| DriftDiag {
+            epoch: e as usize,
+            restarts: ev.int("drift_restarts").unwrap_or(0) as u64,
+            sealed_tasks: ev.int("drift_sealed").unwrap_or(0) as usize,
+            last_score: ev.f64("drift_score").unwrap_or(0.0),
         });
         Some(TunerHealth {
             iteration,
@@ -262,6 +297,7 @@ impl TunerHealth {
             weights,
             weight_entropy: ev.f64("weight_entropy"),
             calibration,
+            drift,
         })
     }
 }

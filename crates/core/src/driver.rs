@@ -10,6 +10,7 @@
 //! bookkeeping) lives in the engine. The driver owns the `iteration` trace
 //! span, so every proposer's phase spans nest under the same root.
 
+use crate::drift::{DriftController, DriftEvent};
 use crate::engine::{EvalEngine, HistoryView, IterationRecord, TuningOutcome};
 
 /// Proposal-side wall-clock breakdown (everything up to the replay; the
@@ -70,6 +71,13 @@ pub trait Proposer {
     fn observe(&mut self, _view: &HistoryView<'_>, _record: &IterationRecord) -> f64 {
         0.0
     }
+
+    /// Hook run when the driver's [`DriftController`] executed a warm
+    /// restart: the strategy re-initializes whatever it conditions on the
+    /// old epoch (ensemble weights, bootstrap plans, cached models). The
+    /// default is a no-op — baselines without transfer state simply keep
+    /// proposing against the reset engine view.
+    fn on_drift(&mut self, _event: &DriftEvent) {}
 }
 
 /// A type-erased, sendable strategy: what the fleet scheduler moves between
@@ -84,6 +92,10 @@ impl Proposer for BoxProposer {
     fn observe(&mut self, view: &HistoryView<'_>, record: &IterationRecord) -> f64 {
         (**self).observe(view, record)
     }
+
+    fn on_drift(&mut self, event: &DriftEvent) {
+        (**self).on_drift(event)
+    }
 }
 
 /// The run loop tying a [`Proposer`] to an [`EvalEngine`].
@@ -91,12 +103,27 @@ pub struct TuningDriver<P> {
     engine: EvalEngine,
     proposer: P,
     seed: u64,
+    /// Drift detector for dynamic-workload sessions; `None` (the default)
+    /// leaves the loop byte-identical to pre-drift builds.
+    drift: Option<DriftController>,
 }
 
 impl<P: Proposer> TuningDriver<P> {
     /// Builds a driver over an already-constructed engine.
     pub fn new(engine: EvalEngine, proposer: P, seed: u64) -> Self {
-        TuningDriver { engine, proposer, seed }
+        TuningDriver { engine, proposer, seed, drift: None }
+    }
+
+    /// Installs a drift controller: after every committed iteration the
+    /// controller may re-characterize the live workload and execute a warm
+    /// restart (DESIGN.md §16).
+    pub fn set_drift(&mut self, controller: DriftController) {
+        self.drift = Some(controller);
+    }
+
+    /// The installed drift controller, if any.
+    pub fn drift(&self) -> Option<&DriftController> {
+        self.drift.as_ref()
     }
 
     /// Runs one iteration; returns the committed record.
@@ -114,6 +141,16 @@ impl<P: Proposer> TuningDriver<P> {
         record.timing.model_update_s += self.proposer.observe(&self.engine.view(), &record);
         self.engine.commit(record.clone());
         trace::count("loop.iterations", 1);
+        // Post-commit drift check: a restart must see the committed record
+        // (the sealed task includes it) and reaches the proposer before the
+        // next `propose`. Taken out and put back so the controller can
+        // borrow the engine and the proposer simultaneously.
+        if let Some(mut controller) = self.drift.take() {
+            if let Some(event) = controller.check(&mut self.engine, iter) {
+                self.proposer.on_drift(&event);
+            }
+            self.drift = Some(controller);
+        }
         let _ = iteration_span.finish_s();
         record
     }
@@ -167,7 +204,8 @@ impl<P: Proposer> TuningDriver<P> {
     /// Decomposes the driver into its engine, strategy, and seed — the exact
     /// state [`TuningDriver::new`] reassembles, so callers can re-wrap the
     /// strategy (e.g. box it for a heterogeneous fleet) without perturbing
-    /// the seed schedule.
+    /// the seed schedule. Any installed drift controller is dropped; use
+    /// [`TuningDriver::boxed`] to type-erase without losing it.
     pub fn into_parts(self) -> (EvalEngine, P, u64) {
         (self.engine, self.proposer, self.seed)
     }
@@ -175,9 +213,10 @@ impl<P: Proposer> TuningDriver<P> {
 
 impl<P: Proposer + Send + 'static> TuningDriver<P> {
     /// Type-erases the strategy: the same driver, bit-for-bit, behind
-    /// [`BoxProposer`] so heterogeneous tenants fit one fleet.
+    /// [`BoxProposer`] so heterogeneous tenants fit one fleet. The drift
+    /// controller (when installed) rides along.
     pub fn boxed(self) -> TuningDriver<BoxProposer> {
-        let (engine, proposer, seed) = self.into_parts();
-        TuningDriver::new(engine, Box::new(proposer), seed)
+        let TuningDriver { engine, proposer, seed, drift } = self;
+        TuningDriver { engine, proposer: Box::new(proposer), seed, drift }
     }
 }

@@ -12,6 +12,7 @@
 //! job; the run loop tying the two together is [`crate::driver::TuningDriver`].
 
 use crate::problem::{SlaConstraints, SpaceInfo, TuningProblem};
+use crate::repository::{TaskObservation, TaskRecord};
 use crate::resilience::{
     evaluate_with_retry, failure_penalty, penalty_observation, FailureCounts, FailureKind,
     ReplayPolicy,
@@ -171,6 +172,11 @@ pub struct HistoryView<'a> {
     /// (DESIGN.md §9) — the engine's contribution to the per-iteration
     /// health event (`core::diag`).
     pub failures: FailureCounts,
+    /// First iteration of the current tuning epoch (0 until a warm restart;
+    /// see [`EvalEngine::warm_restart`]). Proposers gate their
+    /// iteration-dependent schedules on `iter - epoch_start`, so a restarted
+    /// session re-enters its bootstrap instead of inheriting a stale clock.
+    pub epoch_start: usize,
 }
 
 /// The shared evaluate-and-record engine.
@@ -203,6 +209,9 @@ pub struct EvalEngine {
     policy: ReplayPolicy,
     convergence_window: usize,
     convergence_epsilon: f64,
+    seed_default: bool,
+    /// First iteration of the current epoch (0 until a warm restart).
+    epoch_start: usize,
 }
 
 impl EvalEngine {
@@ -251,6 +260,8 @@ impl EvalEngine {
             policy: settings.policy,
             convergence_window: settings.convergence_window,
             convergence_epsilon: settings.convergence_epsilon,
+            seed_default: settings.seed_default_observation,
+            epoch_start: 0,
         };
         if settings.seed_default_observation {
             // The default observation seeds the model and the incumbent.
@@ -300,6 +311,7 @@ impl EvalEngine {
             best: self.best.as_ref(),
             last_improvement: self.last_improvement,
             failures: self.failures,
+            epoch_start: self.epoch_start,
         }
     }
 
@@ -389,11 +401,15 @@ impl EvalEngine {
             return;
         }
         let w = self.convergence_window;
-        if self.history.len() < w + 1 {
+        // Convergence is a property of the current epoch: a warm restart
+        // resets the criterion, and pre-restart records never stabilize a
+        // post-restart tail.
+        let epoch = &self.history[self.epoch_start..];
+        if epoch.len() < w + 1 {
             return;
         }
         let eps = self.convergence_epsilon;
-        let tail = &self.history[self.history.len() - w - 1..];
+        let tail = &epoch[epoch.len() - w - 1..];
         let within = |get: fn(&IterationRecord) -> f64| {
             let base = get(&tail[0]).abs().max(1e-12);
             tail.iter().all(|r| (get(r) - get(&tail[0])).abs() / base <= eps)
@@ -477,6 +493,88 @@ impl EvalEngine {
     /// Iteration at which the §4 convergence criterion first held.
     pub fn converged_at(&self) -> Option<usize> {
         self.converged_at
+    }
+
+    /// First iteration of the current tuning epoch (0 until a warm restart).
+    pub fn epoch_start(&self) -> usize {
+        self.epoch_start
+    }
+
+    /// Renders the **current epoch's** observed history as a [`TaskRecord`]
+    /// in the repository's convention: the SLA-anchoring default observation
+    /// first, then one observation per committed iteration since
+    /// [`EvalEngine::epoch_start`]. Before any warm restart the epoch is the
+    /// whole session, which is exactly what a fleet tenant commits on
+    /// completion. Every field derives from the deterministic tuning trace,
+    /// so the record (and its JSON) is bit-identical across worker counts.
+    pub fn to_task_record(&self, task_id: &str, meta_feature: Vec<f64>) -> TaskRecord {
+        let resource = self.problem.resource;
+        let default = &self.default_observation;
+        let epoch = &self.history[self.epoch_start..];
+        let mut observations = Vec::with_capacity(epoch.len() + 1);
+        observations.push(TaskObservation {
+            point: self.default_point.clone(),
+            res: resource.value(default),
+            tps: default.tps,
+            lat: default.p99_ms,
+            metrics: default.internal.to_vec(),
+        });
+        for r in epoch {
+            observations.push(TaskObservation {
+                point: r.point.clone(),
+                res: r.objective,
+                tps: r.observation.tps,
+                lat: r.observation.p99_ms,
+                metrics: r.observation.internal.to_vec(),
+            });
+        }
+        TaskRecord {
+            task_id: task_id.to_string(),
+            workload: self.env.dbms.workload().name.clone(),
+            instance: self.env.dbms.instance(),
+            resource,
+            knob_names: self.problem.knob_set.names().to_vec(),
+            space_id: self.problem.space.id.clone(),
+            meta_feature,
+            observations,
+        }
+    }
+
+    /// Executes the engine side of a warm restart after a detected workload
+    /// drift (DESIGN.md §16): seals the current epoch's history as a
+    /// [`TaskRecord`] (returned so the caller can commit it to a repository),
+    /// then starts a fresh epoch against the *drifted* workload — the default
+    /// configuration is re-evaluated to re-fix the SLA and the penalty basis,
+    /// and the incumbent/convergence bookkeeping resets. The committed
+    /// [`IterationRecord`] history and failure tallies are retained, so trace
+    /// and diagnostics continuity survives the restart.
+    pub fn warm_restart(&mut self, sealed_task_id: &str, meta_feature: Vec<f64>) -> TaskRecord {
+        let sealed = self.to_task_record(sealed_task_id, meta_feature);
+        self.epoch_start = self.history.len();
+        self.points.clear();
+        self.res.clear();
+        self.tps.clear();
+        self.lat.clear();
+        self.metrics.clear();
+        // Re-anchor against the drifted workload: the default observation is
+        // the epoch's SLA and scale reference, exactly as at construction.
+        let default_observation = self.env.dbms.evaluate(&Configuration::dba_default());
+        self.problem.constraints = SlaConstraints::from_default_observation(&default_observation);
+        self.default_objective = self.env.resource.value(&default_observation);
+        self.default_observation = default_observation;
+        self.best = None;
+        self.last_improvement = self.epoch_start;
+        self.converged_at = None;
+        self.obs_worst = self.default_objective;
+        self.obs_best = self.default_objective;
+        if self.seed_default {
+            let point = self.default_point.clone();
+            let obs = self.default_observation.clone();
+            self.push_columns(point.clone(), &obs);
+            self.best = Some((self.epoch_start, self.default_objective, point));
+        }
+        trace::count("drift.epochs.sealed", 1);
+        sealed
     }
 
     fn render_outcome(&self, history: Vec<IterationRecord>) -> TuningOutcome {

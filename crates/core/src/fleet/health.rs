@@ -316,6 +316,7 @@ mod tests {
             weights: None,
             weight_entropy: None,
             calibration: None,
+            drift: None,
         }
     }
 

@@ -40,11 +40,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 
+use crate::drift::{DriftConfig, DriftController, FleetSealSink};
 use crate::driver::{BoxProposer, Proposer, TuningDriver};
-use crate::engine::{EvalEngine, IterationRecord, TuningOutcome};
+use crate::engine::{IterationRecord, TuningOutcome};
 use crate::meta::BaseLearner;
-use crate::repository::{TaskObservation, TaskRecord};
+use crate::repository::TaskRecord;
 use crate::tuner::{RestuneConfig, TuningEnvironment, TuningSession};
+use workload::WorkloadCharacterizer;
 
 /// Fleet service construction knobs.
 #[derive(Debug, Clone, Copy)]
@@ -125,6 +127,36 @@ impl Tenant {
         let session =
             TuningSession::with_base_learners(env, config, base_learners, meta_feature.clone());
         Tenant::new(id, name, iters, meta_feature, session.into_driver())
+    }
+
+    /// A ResTune tenant with a drift controller (DESIGN.md §16): the live
+    /// workload (typically evolving under a [`dbsim::WorkloadSchedule`]) is
+    /// re-characterized on the controller's epoch clock, and a detected
+    /// drift seals the tenant's pre-drift epoch into the shared `store` and
+    /// warm-restarts with the matching records as transfer sources. The
+    /// [`FleetSealSink`] pins the store's contents **now** — call before the
+    /// fleet runs — so restarts never read siblings' live commits and the
+    /// tenant's trace stays bit-identical at any worker count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restune_drift(
+        id: u64,
+        name: impl Into<String>,
+        env: TuningEnvironment,
+        config: RestuneConfig,
+        iters: usize,
+        drift: DriftConfig,
+        characterizer: Arc<WorkloadCharacterizer>,
+        store: Arc<ShardedStore>,
+    ) -> Tenant {
+        let name = name.into();
+        let base_spec = env.dbms.workload().clone();
+        let gp = config.gp.clone();
+        let sink = Box::new(FleetSealSink::new(id, store, gp));
+        let controller =
+            DriftController::for_workload(drift, characterizer, &base_spec, name.clone(), sink);
+        let mut tenant = Tenant::restune(id, name, env, config, iters);
+        tenant.driver.set_drift(controller);
+        tenant
     }
 }
 
@@ -332,59 +364,19 @@ fn slice_job(
     })
 }
 
-/// Completes a tenant: renders its task record, commits it to the shared
+/// Completes a tenant: renders its task record — via
+/// [`EvalEngine::to_task_record`](crate::engine::EvalEngine::to_task_record),
+/// which covers the tenant's *current epoch* (the whole run unless a drift
+/// restart sealed earlier epochs mid-flight) — commits it to the shared
 /// store, and reports the result.
 fn finalize(st: TenantState, tx: &Sender<Event>, store: &ShardedStore) {
     let TenantState { id, name, done, meta_feature, driver, panicked, .. } = st;
-    let record = tenant_task_record(&name, meta_feature, driver.engine());
+    let record: TaskRecord = driver.engine().to_task_record(&name, meta_feature);
     let outcome = driver.into_outcome();
     store.commit_shared(id, Arc::new(record.clone()));
     let result =
         TenantResult { id, name, outcome, record, panicked, iterations_run: done };
     let _ = tx.send(Event::Done { result: Box::new(result) });
-}
-
-/// Renders a tenant's observed history as a [`TaskRecord`] in the
-/// repository's convention: the SLA-anchoring default observation first,
-/// then one observation per committed iteration. Every field derives from
-/// the deterministic tuning trace, so the record (and its JSON) is
-/// bit-identical across worker counts.
-fn tenant_task_record(
-    name: &str,
-    meta_feature: Vec<f64>,
-    engine: &EvalEngine,
-) -> TaskRecord {
-    let env = engine.environment();
-    let problem = engine.problem();
-    let resource = problem.resource;
-    let default = engine.default_observation();
-    let mut observations = Vec::with_capacity(engine.history().len() + 1);
-    observations.push(TaskObservation {
-        point: engine.default_point().to_vec(),
-        res: resource.value(default),
-        tps: default.tps,
-        lat: default.p99_ms,
-        metrics: default.internal.to_vec(),
-    });
-    for r in engine.history() {
-        observations.push(TaskObservation {
-            point: r.point.clone(),
-            res: r.objective,
-            tps: r.observation.tps,
-            lat: r.observation.p99_ms,
-            metrics: r.observation.internal.to_vec(),
-        });
-    }
-    TaskRecord {
-        task_id: name.to_string(),
-        workload: env.dbms.workload().name.clone(),
-        instance: env.dbms.instance(),
-        resource,
-        knob_names: problem.knob_set.names().to_vec(),
-        space_id: problem.space.id.clone(),
-        meta_feature,
-        observations,
-    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@
 pub mod acquisition;
 pub mod advisor;
 pub mod diag;
+pub mod drift;
 pub mod driver;
 pub mod engine;
 pub mod fleet;
@@ -45,7 +46,11 @@ pub mod tco;
 pub mod tuner;
 
 pub use acquisition::{AcquisitionKind, ConstrainedExpectedImprovement};
-pub use diag::{FitPath, TunerHealth, HEALTH_EVENT};
+pub use diag::{DriftDiag, FitPath, TunerHealth, HEALTH_EVENT};
+pub use drift::{
+    DriftConfig, DriftController, DriftEvent, FleetSealSink, LocalSealSink, RestartPolicy,
+    SealSink,
+};
 pub use driver::{BoxProposer, Proposal, ProposalTiming, Proposer, TuningDriver};
 pub use engine::{EngineSettings, EvalEngine, HistoryView};
 pub use fleet::{

@@ -9,7 +9,8 @@
 use crate::acquisition::{
     expected_improvement, AcquisitionKind, ConstrainedExpectedImprovement,
 };
-use crate::diag::{FitPath, TunerHealth};
+use crate::diag::{DriftDiag, FitPath, TunerHealth};
+use crate::drift::DriftEvent;
 use crate::driver::{Proposal, ProposalTiming, Proposer};
 use crate::engine::{HistoryView, IterationRecord};
 use crate::meta::{static_weights, BaseLearner, MetaLearner, TargetObservations};
@@ -24,6 +25,7 @@ pub struct RestuneProposer {
     base_learners: Vec<BaseLearner>,
     target_meta_feature: Vec<f64>,
     use_meta: bool,
+    dim: usize,
     lhs_plan: Vec<Vec<f64>>,
     /// The previous iteration's fitted target model, kept so no-hyperopt
     /// iterations can grow it by a rank-1 Cholesky append instead of paying
@@ -35,6 +37,10 @@ pub struct RestuneProposer {
     last_fit: FitPath,
     /// GP-failure exploration fallbacks taken so far in this session.
     gp_fallbacks: u64,
+    /// Drift/warm-restart facts for the health event; `None` until the
+    /// driver's controller reports a restart, so static sessions' event
+    /// streams stay byte-identical.
+    drift: Option<DriftDiag>,
 }
 
 impl RestuneProposer {
@@ -54,10 +60,12 @@ impl RestuneProposer {
             base_learners,
             target_meta_feature,
             use_meta,
+            dim,
             lhs_plan,
             target_cache: None,
             last_fit: FitPath::Full,
             gp_fallbacks: 0,
+            drift: None,
         }
     }
 
@@ -232,9 +240,11 @@ impl RestuneProposer {
         // stretch (a misled ensemble or a degenerate surrogate can pin the
         // acquisition in a dead region), interleave a uniform exploration
         // point every few iterations — standard ε-greedy insurance in BO
-        // implementations.
+        // implementations. The improvement clock compares two absolute
+        // iteration indices (`last_improvement` rebases to `epoch_start` on
+        // a warm restart), so the difference is epoch-local like `iter`.
         let stagnated = iter >= self.config.init_iters
-            && iter.saturating_sub(view.last_improvement) >= 8
+            && (view.epoch_start + iter).saturating_sub(view.last_improvement) >= 8
             && iter.is_multiple_of(4);
         if lhs_init {
             // Non-meta methods (and the w/o-Workload ablation) bootstrap with
@@ -389,6 +399,12 @@ impl RestuneProposer {
 
 impl Proposer for RestuneProposer {
     fn propose(&mut self, view: &HistoryView<'_>, iter: usize, seed: u64) -> Proposal {
+        // Every iteration-dependent schedule below (LHS bootstrap, weight
+        // mode, hyperopt refits, stagnation) runs on the *epoch* clock: a
+        // warm restart rewinds it to zero while `iter` — and the driver's
+        // seed stream — keep counting. Static sessions have epoch_start 0,
+        // so the two clocks coincide bit-for-bit.
+        let rel_iter = iter - view.epoch_start;
         // ---- stage 1: meta-data processing (scale unification) ------------
         let meta_span = trace::span!("meta_data_processing");
         let (res_col, scalers) = self.scale_unification(view);
@@ -397,18 +413,18 @@ impl Proposer for RestuneProposer {
         // ---- stage 2: model update (surrogate fit + weights + ensemble) ---
         let model_span = trace::span!("model_update");
         let fit_span = trace::span!("gp_fit", n_obs = view.points.len());
-        let fit = self.fit_target(view, iter, &res_col, scalers);
+        let fit = self.fit_target(view, rel_iter, &res_col, scalers);
         let gp_fit_s = fit_span.finish_s();
         let (point, weights, model_update_s, weight_update_s, recommendation_s) = match fit {
             Ok(target) => {
                 let weight_span = trace::span!("weight_update");
-                let (surrogate, weights) = self.update_weights(view, iter, seed, target);
+                let (surrogate, weights) = self.update_weights(view, rel_iter, seed, target);
                 let weight_update_s = weight_span.finish_s();
                 let model_update_s = model_span.finish_s();
 
                 // ---- stage 3: knob recommendation -------------------------
                 let recommendation_span = trace::span!("recommendation");
-                let point = self.recommend(view, iter, seed, &surrogate);
+                let point = self.recommend(view, rel_iter, seed, &surrogate);
                 let recommendation_s = recommendation_span.finish_s();
                 (point, weights, model_update_s, weight_update_s, recommendation_s)
             }
@@ -467,9 +483,40 @@ impl Proposer for RestuneProposer {
                 surrogate,
                 self.gp_fallbacks,
                 calibration,
+                self.drift,
             )
             .emit();
         }
         0.0
+    }
+
+    /// Warm-restart hook (DESIGN.md §16): the sealed pre-drift epoch (and
+    /// whatever else the repository matched) becomes the new base-learner
+    /// ensemble, the drifted workload's profile becomes the target
+    /// meta-feature, and the bootstrap/cache state resets so the next
+    /// `propose` re-enters initialization against the new epoch.
+    fn on_drift(&mut self, event: &DriftEvent) {
+        self.base_learners = event.learners.clone();
+        self.target_meta_feature = event.meta_feature.clone();
+        // A session that started without transfer sources gains them the
+        // moment its own past is sealed; a cold restart (no learners) keeps
+        // — or falls back to — the non-meta LHS bootstrap.
+        self.use_meta = !self.base_learners.is_empty();
+        // A fresh LHS plan, decorrelated per epoch: replaying the epoch-0
+        // bootstrap points against a different workload would waste the
+        // restart's initialization budget on a stale design.
+        self.lhs_plan = crate::lhs::latin_hypercube(
+            self.config.init_iters,
+            self.dim,
+            self.config.seed ^ 0x5A ^ (event.epoch as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        self.target_cache = None;
+        self.last_fit = FitPath::Full;
+        self.drift = Some(DriftDiag {
+            epoch: event.epoch,
+            restarts: self.drift.map(|d| d.restarts).unwrap_or(0) + 1,
+            sealed_tasks: self.drift.map(|d| d.sealed_tasks).unwrap_or(0) + 1,
+            last_score: event.score,
+        });
     }
 }

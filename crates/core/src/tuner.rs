@@ -18,7 +18,9 @@ use crate::problem::{ResourceKind, SlaConstraints};
 use crate::proposer::RestuneProposer;
 use crate::resilience::{FailureCounts, ReplayPolicy};
 use crate::space::SpaceTransform;
-use dbsim::{FaultPlan, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSpec};
+use dbsim::{
+    FaultPlan, InstanceType, KnobSet, Observation, SimulatedDbms, WorkloadSchedule, WorkloadSpec,
+};
 use gp::GpConfig;
 use std::sync::Arc;
 
@@ -64,6 +66,7 @@ pub struct TuningEnvironmentBuilder {
     noise: Option<f64>,
     fault_plan: Option<FaultPlan>,
     space: Option<Arc<dyn SpaceTransform>>,
+    schedule: Option<WorkloadSchedule>,
 }
 
 impl Default for TuningEnvironmentBuilder {
@@ -77,6 +80,7 @@ impl Default for TuningEnvironmentBuilder {
             noise: None,
             fault_plan: None,
             space: None,
+            schedule: None,
         }
     }
 }
@@ -132,6 +136,15 @@ impl TuningEnvironmentBuilder {
         self
     }
 
+    /// Installs a workload schedule (DESIGN.md §16): the builder's workload
+    /// becomes the schedule's base spec and the simulated DBMS evolves it
+    /// deterministically by evaluation index. No schedule — or a static one
+    /// — leaves the environment bit-identical to pre-schedule builds.
+    pub fn schedule(mut self, schedule: WorkloadSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
     /// Builds the environment.
     pub fn build(self) -> TuningEnvironment {
         let mut dbms = SimulatedDbms::new(self.instance, self.workload, self.seed);
@@ -140,6 +153,9 @@ impl TuningEnvironmentBuilder {
         }
         if let Some(plan) = self.fault_plan {
             dbms = dbms.with_fault_plan(plan);
+        }
+        if let Some(schedule) = self.schedule {
+            dbms = dbms.with_schedule(schedule);
         }
         let knob_set = self.knob_set.unwrap_or_else(|| self.resource.default_knob_set());
         if let Some(t) = &self.space {
@@ -371,6 +387,19 @@ impl TuningSession {
     /// clean data accumulates (see DESIGN.md §9).
     pub fn seed_history(&mut self, point: Vec<f64>, res: f64, tps: f64, lat: f64) {
         self.driver.engine_mut().seed_history(point, res, tps, lat);
+    }
+
+    /// Installs a drift controller (DESIGN.md §16): after every committed
+    /// iteration the controller may re-characterize the live workload and
+    /// execute a warm restart. Builder-style so it chains onto construction.
+    pub fn with_drift(mut self, controller: crate::drift::DriftController) -> Self {
+        self.driver.set_drift(controller);
+        self
+    }
+
+    /// The installed drift controller, if any (restart/seal tallies).
+    pub fn drift(&self) -> Option<&crate::drift::DriftController> {
+        self.driver.drift()
     }
 
     /// Replay-failure tally so far.

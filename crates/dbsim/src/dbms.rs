@@ -11,6 +11,7 @@ use crate::instance::InstanceType;
 use crate::knobs::Configuration;
 use crate::metrics::{InternalMetrics, ResourceUsage};
 use crate::model::{evaluate_raw, PerfBreakdown};
+use crate::schedule::WorkloadSchedule;
 use crate::workload::WorkloadSpec;
 use xrand::rngs::StdRng;
 use xrand::{RngExt, SeedableRng};
@@ -58,8 +59,20 @@ pub struct SimulatedDbms {
     evals: u64,
     fault_plan: FaultPlan,
     /// Noiseless default-configuration throughput, cached on first use by
-    /// the structural-timeout check.
+    /// the structural-timeout check. Invalidated whenever the scheduled
+    /// workload changes, so the timeout reference tracks current traffic.
     baseline_tps: Option<f64>,
+    /// Dynamic-workload schedule; `None` (the default) leaves the captured
+    /// workload frozen, bit-identical to the pre-schedule simulator.
+    schedule: Option<Box<ScheduleState>>,
+}
+
+/// A schedule plus the base spec it derives from (the workload captured when
+/// the schedule was attached).
+#[derive(Debug, Clone)]
+struct ScheduleState {
+    base: WorkloadSpec,
+    schedule: WorkloadSchedule,
 }
 
 impl SimulatedDbms {
@@ -78,6 +91,7 @@ impl SimulatedDbms {
             evals: 0,
             fault_plan: FaultPlan::none(),
             baseline_tps: None,
+            schedule: None,
         }
     }
 
@@ -97,6 +111,35 @@ impl SimulatedDbms {
     /// The installed fault schedule.
     pub fn fault_plan(&self) -> FaultPlan {
         self.fault_plan
+    }
+
+    /// Attaches a dynamic-workload schedule. The workload captured at attach
+    /// time becomes the schedule's base spec; before every evaluation the
+    /// effective workload is recomputed from `(base, eval index)`, so the
+    /// drifting traffic replays bit-identically run to run. A static
+    /// (empty) schedule leaves behavior bit-identical to no schedule.
+    pub fn with_schedule(mut self, schedule: WorkloadSchedule) -> Self {
+        self.schedule = Some(Box::new(ScheduleState { base: self.workload.clone(), schedule }));
+        self
+    }
+
+    /// The attached dynamic-workload schedule, if any.
+    pub fn schedule(&self) -> Option<&WorkloadSchedule> {
+        self.schedule.as_ref().map(|s| &s.schedule)
+    }
+
+    /// Re-derives the effective workload for the upcoming evaluation index.
+    /// When the scheduled workload actually moves, the cached baseline
+    /// throughput is dropped so the structural-timeout reference is
+    /// recomputed against current traffic.
+    fn advance_workload(&mut self) {
+        let Some(state) = self.schedule.as_ref() else { return };
+        let effective = state.schedule.effective(&state.base, self.evals);
+        if effective != self.workload {
+            trace::count("dbsim.workload.drift", 1);
+            self.workload = effective;
+            self.baseline_tps = None;
+        }
     }
 
     /// The instance this copy runs on.
@@ -125,6 +168,7 @@ impl SimulatedDbms {
     /// whole experiments are reproducible.
     pub fn evaluate(&mut self, config: &Configuration) -> Observation {
         trace::count("dbsim.evals", 1);
+        self.advance_workload();
         let perf = evaluate_raw(self.instance, &self.workload, config);
         let idx = self.evals;
         self.evals += 1;
@@ -144,6 +188,7 @@ impl SimulatedDbms {
     /// Every attempt — success or failure — consumes one evaluation index.
     pub fn evaluate_outcome(&mut self, config: &Configuration) -> EvalOutcome {
         trace::count("dbsim.evals", 1);
+        self.advance_workload();
         let perf = evaluate_raw(self.instance, &self.workload, config);
         let idx = self.evals;
         self.evals += 1;
@@ -426,6 +471,48 @@ mod tests {
             }
         }
         assert!(compared > 20, "expected mostly-successful evaluations");
+    }
+
+    #[test]
+    fn static_schedule_is_bit_identical_to_no_schedule() {
+        let config = Configuration::dba_default().with("innodb_thread_concurrency", 16.0);
+        let mut plain = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 7);
+        let mut scheduled = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 7)
+            .with_schedule(WorkloadSchedule::new(3));
+        for _ in 0..6 {
+            assert_eq!(plain.evaluate(&config), scheduled.evaluate(&config));
+        }
+    }
+
+    #[test]
+    fn scheduled_drift_changes_the_effective_workload_deterministically() {
+        let run = || {
+            let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 7)
+                .with_schedule(WorkloadSchedule::oltp_to_olap(5, 4, 3));
+            (0..10).map(|_| dbms.evaluate(&Configuration::dba_default())).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "drifting sessions must replay bit-identically");
+        // Pre-drift evaluations match the frozen simulator at the same index;
+        // post-drift evaluations diverge (the OLAP mix is far heavier).
+        let mut frozen = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 7);
+        let b: Vec<_> = (0..10).map(|_| frozen.evaluate(&Configuration::dba_default())).collect();
+        assert_eq!(a[..4], b[..4]);
+        assert_ne!(a[9], b[9]);
+    }
+
+    #[test]
+    fn drift_invalidates_the_structural_timeout_baseline() {
+        // Post-drift, the closed-loop OLAP mix runs orders of magnitude below
+        // Twitter's 30k txn/s: if the cached pre-drift baseline survived the
+        // drift, every post-drift evaluation would be misjudged a timeout.
+        let mut dbms = SimulatedDbms::new(InstanceType::A, WorkloadSpec::twitter(), 3)
+            .with_fault_plan(FaultPlan::structural())
+            .with_schedule(WorkloadSchedule::new(0).phase_at(2, WorkloadSpec::olap()));
+        for i in 0..6 {
+            let outcome = dbms.evaluate_outcome(&Configuration::dba_default());
+            assert!(outcome.is_ok(), "default config misjudged at eval {i}: {outcome:?}");
+        }
     }
 
     #[test]

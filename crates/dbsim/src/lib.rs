@@ -36,6 +36,8 @@ pub mod instance;
 pub mod knobs;
 pub mod metrics;
 pub mod model;
+pub mod schedule;
+pub mod seed;
 pub mod workload;
 
 pub use dbms::{Observation, SimulatedDbms};
@@ -43,4 +45,5 @@ pub use fault::{EvalOutcome, FaultKind, FaultPlan};
 pub use instance::InstanceType;
 pub use knobs::{Configuration, KnobDef, KnobKind, KnobRegistry, KnobSet};
 pub use metrics::{InternalMetrics, ResourceUsage};
+pub use schedule::{DriftPhase, WorkloadSchedule};
 pub use workload::{WorkloadKind, WorkloadSpec};

@@ -1,7 +1,7 @@
 //! Workload specifications matching Table 2 of the paper, plus the knobs the
 //! performance model needs (per-transaction work, contention, skew).
 
-use xrand::{RngExt, SplitMix64};
+use xrand::RngExt;
 
 /// Workload families used in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,6 +16,10 @@ pub enum WorkloadKind {
     Hotel,
     /// Production sales/reporting workload.
     Sales,
+    /// Analytics/reporting mix (star-schema scans and aggregations); the
+    /// drift target of dynamic-workload schedules, not part of the paper's
+    /// Figure 3 evaluation suite.
+    Olap,
 }
 
 impl WorkloadKind {
@@ -27,6 +31,7 @@ impl WorkloadKind {
             WorkloadKind::Twitter => "Twitter",
             WorkloadKind::Hotel => "Hotel",
             WorkloadKind::Sales => "Sales",
+            WorkloadKind::Olap => "OLAP",
         }
     }
 }
@@ -204,6 +209,32 @@ impl WorkloadSpec {
         }
     }
 
+    /// Analytics/reporting mix: 80 GB, 32 closed-loop clients with long
+    /// think times, few heavy multi-join scan queries per transaction, most
+    /// of them sorting through temp tables. The drift *target* for dynamic
+    /// workloads — deliberately excluded from the Figure 3 evaluation suite
+    /// and the repository catalog, both pinned by the paper's experiments.
+    pub fn olap() -> Self {
+        WorkloadSpec {
+            name: "OLAP".into(),
+            kind: WorkloadKind::Olap,
+            data_gb: 80.0,
+            threads: 32,
+            read_parts: 49.0,
+            write_parts: 1.0,
+            request_rate: None,
+            think_time_ms: 500.0,
+            queries_per_txn: 4.0,
+            base_cpu_us_per_query: 2500.0,
+            pages_per_query: 40.0,
+            lock_contention_base: 0.05,
+            skew: 0.6,
+            tmp_table_frac: 0.6,
+            tables: 25,
+            log_bytes_per_txn: 100.0,
+        }
+    }
+
     /// The five evaluation workloads of Figure 3 in paper order.
     pub fn evaluation_suite() -> Vec<WorkloadSpec> {
         vec![
@@ -280,6 +311,9 @@ impl WorkloadSpec {
     /// with jitter seeded by the **id alone** — a pure function of `id`, so
     /// a tenant's workload never depends on fleet composition or ordering
     /// (the same position-independence contract as the fleet seed mixing).
+    /// The jitter stream comes from the shared [`crate::seed::domain_rng`]
+    /// helper under [`crate::seed::TENANT_DOMAIN`], so tenant ids and
+    /// schedule seeds can never alias each other's streams.
     pub fn fleet_tenant(id: u64) -> WorkloadSpec {
         let mut base = match id % 5 {
             0 => WorkloadSpec::sysbench(),
@@ -288,7 +322,7 @@ impl WorkloadSpec {
             3 => WorkloadSpec::hotel(),
             _ => WorkloadSpec::sales(),
         };
-        let mut rng = SplitMix64::new(id ^ 0xF1EE7_7E4A47);
+        let mut rng = crate::seed::domain_rng(crate::seed::TENANT_DOMAIN, id);
         // Size ×[0.75, 1.5), rate ×[0.8, 1.2), and a mild write-mix tilt —
         // enough spread that sibling tenants genuinely differ, small enough
         // that every tenant stays in the simulator's calibrated regime.
@@ -399,6 +433,19 @@ mod tests {
         assert_eq!(cat.len(), 17);
         let names: std::collections::HashSet<_> = cat.iter().map(|w| w.name.clone()).collect();
         assert_eq!(names.len(), 17, "names must be unique");
+    }
+
+    #[test]
+    fn olap_family_is_closed_loop_and_outside_the_pinned_suites() {
+        let o = WorkloadSpec::olap();
+        assert_eq!(o.kind.name(), "OLAP");
+        assert!(o.request_rate.is_none(), "OLAP is closed-loop");
+        assert!(o.write_fraction() < 0.05, "OLAP is read-dominated");
+        // The Figure 3 suite and the repository catalog are pinned by the
+        // paper's experiments (and by golden digests downstream): the new
+        // family must not leak into either.
+        assert!(WorkloadSpec::evaluation_suite().iter().all(|w| w.kind != WorkloadKind::Olap));
+        assert!(WorkloadSpec::repository_catalog().iter().all(|w| w.kind != WorkloadKind::Olap));
     }
 
     #[test]

@@ -325,6 +325,56 @@ fn sales_templates() -> Vec<Template> {
     ]
 }
 
+fn olap_templates() -> Vec<Template> {
+    vec![
+        Template {
+            weight: 10.0,
+            is_write: false,
+            cost: 9.0,
+            render: |r| format!(
+                "SELECT d.year, c.segment, SUM(f.revenue) FROM fact_sales AS f INNER JOIN dim_date AS d ON f.date_id = d.id INNER JOIN dim_customer AS c ON f.customer_id = c.id WHERE d.year BETWEEN {} AND {} GROUP BY d.year, c.segment ORDER BY d.year",
+                r.random_range(2000..2010u32), r.random_range(2010..2025u32)
+            ),
+        },
+        Template {
+            weight: 8.0,
+            is_write: false,
+            cost: 10.0,
+            render: |r| format!(
+                "SELECT p.category, AVG(f.margin), COUNT(DISTINCT f.customer_id) FROM fact_sales AS f INNER JOIN dim_product AS p ON f.product_id = p.id LEFT JOIN dim_store AS s ON f.store_id = s.id WHERE s.region = '{}' GROUP BY p.category ORDER BY AVG(f.margin) DESC",
+                id(r)
+            ),
+        },
+        Template {
+            weight: 6.0,
+            is_write: false,
+            cost: 8.0,
+            render: |r| format!(
+                "SELECT f.store_id, SUM(f.quantity) FROM fact_inventory AS f WHERE f.snapshot_day BETWEEN {} AND {} GROUP BY f.store_id ORDER BY SUM(f.quantity) DESC LIMIT 50",
+                id(r), id(r)
+            ),
+        },
+        Template {
+            weight: 4.0,
+            is_write: false,
+            cost: 10.0,
+            render: |r| format!(
+                "SELECT c.country, d.quarter, MIN(f.revenue), MAX(f.revenue) FROM fact_sales AS f INNER JOIN dim_customer AS c ON f.customer_id = c.id INNER JOIN dim_date AS d ON f.date_id = d.id WHERE c.cohort = {} GROUP BY c.country, d.quarter",
+                id(r)
+            ),
+        },
+        Template {
+            weight: 1.0,
+            is_write: true,
+            cost: 6.0,
+            render: |r| format!(
+                "INSERT INTO fact_sales (date_id, customer_id, product_id, revenue) VALUES ({}, {}, {}, {})",
+                id(r), id(r), id(r), r.random_range(1..100_000u32)
+            ),
+        },
+    ]
+}
+
 fn templates_for(kind: WorkloadKind) -> Vec<Template> {
     match kind {
         WorkloadKind::Sysbench => sysbench_templates(),
@@ -332,6 +382,7 @@ fn templates_for(kind: WorkloadKind) -> Vec<Template> {
         WorkloadKind::Twitter => twitter_templates(),
         WorkloadKind::Hotel => hotel_templates(),
         WorkloadKind::Sales => sales_templates(),
+        WorkloadKind::Olap => olap_templates(),
     }
 }
 
@@ -429,5 +480,35 @@ mod tests {
         // Sales is aggregation-heavy; Twitter is point-read heavy.
         assert!(sales.get("GROUP").copied().unwrap_or(0) > 100);
         assert!(twitter.get("GROUP").copied().unwrap_or(0) < 10);
+    }
+
+    #[test]
+    fn olap_profile_is_join_heavy_and_distinct_from_sales() {
+        let profile = |spec: &WorkloadSpec| {
+            let mut counts = std::collections::HashMap::new();
+            for q in generate_queries(spec, 500, 5) {
+                for t in extract_reserved_words(&q.text) {
+                    *counts.entry(t).or_insert(0usize) += 1;
+                }
+            }
+            counts
+        };
+        let olap = profile(&WorkloadSpec::olap());
+        let sales = profile(&WorkloadSpec::sales());
+        // Every OLAP query tokenizes and carries a heavy cost hint.
+        for q in generate_queries(&WorkloadSpec::olap(), 200, 0) {
+            assert!(!extract_reserved_words(&q.text).is_empty());
+            assert!(q.cost > 0.0);
+        }
+        // Star-schema reporting: far more JOINs per query than Sales' flat
+        // GROUP BY/HAVING aggregations, so the TF-IDF embedding separates
+        // the two even though both aggregate.
+        let joins_per_q = |p: &std::collections::HashMap<&str, usize>| {
+            p.get("JOIN").copied().unwrap_or(0) as f64 / 500.0
+        };
+        assert!(joins_per_q(&olap) > 1.0, "OLAP should average >1 JOIN per query");
+        assert!(joins_per_q(&olap) > 3.0 * joins_per_q(&sales));
+        assert!(sales.get("HAVING").copied().unwrap_or(0) > 0);
+        assert!(olap.get("HAVING").copied().unwrap_or(0) == 0);
     }
 }

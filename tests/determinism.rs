@@ -201,6 +201,177 @@ fn identity_transform_runs_are_bit_identical_to_untransformed_runs() {
 }
 
 #[test]
+fn attaching_an_empty_schedule_is_bit_identical_to_no_schedule() {
+    use dbsim::WorkloadSchedule;
+
+    // The schedule seam (DESIGN.md §16) must be invisible when the schedule
+    // has no transitions: the dbsim recomputes the effective workload before
+    // every evaluation, but a static schedule is the identity, so the trace
+    // cannot move a bit relative to a schedule-free session.
+    let plain = run_once(7, 10);
+    let env = TuningEnvironment::builder()
+        .instance(InstanceType::A)
+        .workload(WorkloadSpec::twitter())
+        .resource(ResourceKind::Cpu)
+        .knob_set(KnobSet::case_study())
+        .seed(7)
+        .schedule(WorkloadSchedule::new(7))
+        .build();
+    let scheduled = TuningSession::new(env, quick_config(7)).run(10);
+    assert_eq!(plain.history.len(), scheduled.history.len());
+    for (ra, rb) in plain.history.iter().zip(&scheduled.history) {
+        assert_eq!(fingerprint(ra), fingerprint(rb), "iteration {} diverged", ra.iteration);
+    }
+    assert_eq!(plain.best_objective, scheduled.best_objective);
+}
+
+#[test]
+fn same_seed_drifting_sessions_are_bit_identical() {
+    use restune::core::drift::{DriftConfig, DriftController, LocalSealSink, RestartPolicy};
+    use std::sync::Arc;
+
+    // A drifting session adds three new deterministic actors — the workload
+    // schedule, the drift detector's epoch clock, and the warm-restart
+    // re-initialization — and the whole composition must still replay
+    // bit-for-bit from the seed, restart included.
+    let characterizer = Arc::new(workload::WorkloadCharacterizer::train_default(7));
+    let run = || {
+        let base = WorkloadSpec::twitter();
+        let env = TuningEnvironment::builder()
+            .instance(InstanceType::A)
+            .workload(base.clone())
+            .resource(ResourceKind::Cpu)
+            .knob_set(KnobSet::cpu())
+            .seed(7)
+            .schedule(dbsim::WorkloadSchedule::oltp_to_olap(7, 5, 3))
+            .build();
+        let mut config = quick_config(7);
+        config.init_iters = 3;
+        config.static_bandwidth = 2.0;
+        let sink = Box::new(LocalSealSink::new(DataRepository::new(), gp::GpConfig::fixed()));
+        let controller = DriftController::for_workload(
+            DriftConfig {
+                check_every: 2,
+                threshold: 0.25,
+                min_epoch_iters: 4,
+                settle_tol: 0.05,
+                embed_seed: 0,
+                policy: RestartPolicy::Warm,
+            },
+            Arc::clone(&characterizer),
+            &base,
+            "twitter@A",
+            sink,
+        );
+        let mut driver = TuningSession::new(env, config).with_drift(controller).into_driver();
+        for _ in 0..12 {
+            driver.step();
+        }
+        let restarts = driver.drift().map(|d| d.restarts()).unwrap_or(0);
+        let epoch_start = driver.engine().epoch_start();
+        (restarts, epoch_start, driver.into_outcome())
+    };
+    let (restarts_a, epoch_a, a) = run();
+    let (restarts_b, epoch_b, b) = run();
+    assert!(restarts_a >= 1, "the drift must actually fire for this test to mean anything");
+    assert_eq!(restarts_a, restarts_b);
+    assert_eq!(epoch_a, epoch_b, "same-seed sessions restarted at different iterations");
+    assert_eq!(a.history.len(), b.history.len());
+    for (ra, rb) in a.history.iter().zip(&b.history) {
+        assert_eq!(fingerprint(ra), fingerprint(rb), "iteration {} diverged", ra.iteration);
+    }
+    assert_eq!(a.best_objective, b.best_objective);
+}
+
+#[test]
+fn drifting_fleet_runs_are_bit_identical_across_worker_counts() {
+    use restune::core::drift::DriftConfig;
+    use restune::core::fleet::{mix_seed, FleetConfig, FleetService, ShardedStore, Tenant};
+    use std::sync::Arc;
+
+    // The fleet extension of the drift determinism contract: per-tenant
+    // drift detection, epoch sealing into the shared store, and
+    // warm-restarted traces depend only on each tenant's own state and its
+    // **pinned** pre-start snapshot — never on sibling commits or worker
+    // scheduling (DESIGN.md §12/§16).
+    let characterizer = Arc::new(workload::WorkloadCharacterizer::train_default(5));
+    let iters = 12;
+    let run_fleet = |workers: usize| {
+        let store = Arc::new(ShardedStore::new(4));
+        let tenants: Vec<Tenant> = (0..3u64)
+            .map(|id| {
+                let seed = mix_seed(42, id);
+                let base = WorkloadSpec::fleet_tenant(id);
+                let env = TuningEnvironment::builder()
+                    .instance(InstanceType::A)
+                    .workload(base)
+                    .resource(ResourceKind::Cpu)
+                    .knob_set(KnobSet::cpu())
+                    .seed(seed)
+                    .schedule(dbsim::WorkloadSchedule::oltp_to_olap(seed, 4, 2))
+                    .build();
+                let mut config = quick_config(seed);
+                config.optimizer =
+                    AcquisitionOptimizer { n_candidates: 100, n_local: 25, local_sigma: 0.1 };
+                config.init_iters = 2;
+                config.static_bandwidth = 2.0;
+                Tenant::restune_drift(
+                    id,
+                    format!("tenant-{id}"),
+                    env,
+                    config,
+                    iters,
+                    DriftConfig {
+                        check_every: 2,
+                        threshold: 0.25,
+                        min_epoch_iters: 4,
+                        settle_tol: 0.05,
+                        embed_seed: 0,
+                        policy: restune::core::drift::RestartPolicy::Warm,
+                    },
+                    Arc::clone(&characterizer),
+                    Arc::clone(&store),
+                )
+            })
+            .collect();
+        FleetService::new(FleetConfig { workers, slice: 2, shards: 4 }).run(tenants)
+    };
+
+    let baseline = run_fleet(1);
+    for t in &baseline.tenants {
+        // The committed record covers the *current epoch* only: strictly
+        // fewer observations than the full run (+1 default anchor) proves
+        // every tenant actually sealed a pre-drift epoch mid-flight.
+        assert!(
+            t.record.observations.len() < iters + 1,
+            "tenant {} never warm-restarted ({} observations)",
+            t.id,
+            t.record.observations.len()
+        );
+    }
+    let out = run_fleet(3);
+    assert_eq!(out.tenants.len(), baseline.tenants.len());
+    for (a, b) in baseline.tenants.iter().zip(&out.tenants) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.record_json().unwrap(),
+            b.record_json().unwrap(),
+            "tenant {} sealed-epoch repository JSON diverged between workers=1 and workers=3",
+            a.id
+        );
+        for (ra, rb) in a.outcome.history.iter().zip(&b.outcome.history) {
+            assert_eq!(
+                fingerprint(ra),
+                fingerprint(rb),
+                "tenant {} iteration {} diverged at workers=3",
+                a.id,
+                ra.iteration
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_actually_diverge() {
     // Guards against the determinism test passing vacuously (e.g. a seed
     // that is ignored would also make same-seed runs identical).
